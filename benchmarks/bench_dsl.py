@@ -1,0 +1,67 @@
+"""Benchmarks for the DSL layer: the overhead of going through SQL
+compared with the hand-written SQL, and tile-size ablation for the
+distributed matrix multiply."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER_CLUSTER
+from repro.dsl import Session
+
+CONFIG = PAPER_CLUSTER.with_updates(job_startup_s=0.0)
+
+
+@pytest.mark.parametrize("tile", [16, 32, 64])
+def test_bench_dsl_matmul_tile_sweep(benchmark, tile):
+    """Tile-size ablation: the same 128x128 multiply with different tile
+    granularity (more tiles = more tuples through the join)."""
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(128, 128))
+    B = rng.normal(size=(128, 128))
+    sess = Session(CONFIG, tile=tile)
+    a, b = sess.matrix(A), sess.matrix(B)
+
+    def run():
+        sess.reset_metrics()
+        out = (a @ b).to_numpy()
+        sess._cache.clear()  # force recompilation each round
+        return out
+
+    result = benchmark(run)
+    assert np.allclose(result, A @ B)
+
+
+def test_bench_dsl_gram_pipeline(benchmark):
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(256, 64))
+    sess = Session(CONFIG, tile=32)
+    x = sess.matrix(X)
+
+    def run():
+        out = x.gram().to_numpy()
+        sess._cache.clear()
+        return out
+
+    result = benchmark(run)
+    assert np.allclose(result, X.T @ X)
+
+
+class TestTileAblationSimulatedTime:
+    def test_fewer_bigger_tiles_fewer_join_tuples(self):
+        """The blocking trade-off of the paper's section 3.4 at the DSL
+        level: per-tuple overheads shrink as tiles grow."""
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(128, 128))
+        B = rng.normal(size=(128, 128))
+
+        def tuples_through_join(tile):
+            sess = Session(CONFIG, tile=tile)
+            sess.reset_metrics()
+            (sess.matrix(A) @ sess.matrix(B)).to_numpy()
+            return sum(
+                op.rows_in
+                for op in sess.last_metrics.operators
+                if op.name == "HashJoin"
+            )
+
+        assert tuples_through_join(16) > tuples_through_join(64)

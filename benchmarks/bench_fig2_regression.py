@@ -1,0 +1,65 @@
+"""Figure 2 — Least squares linear regression.
+
+Same structure as Figure 1: table regeneration, shape checks, mini-scale
+engine benchmarks.
+"""
+
+import pytest
+
+from repro.bench.figures import format_figure
+from repro.bench.simsql import SimSQLPlatform
+from repro.bench.workloads import generate
+from repro.config import PAPER_CLUSTER
+
+
+class TestFigure2Shape:
+    def test_table_prints(self, regression_figure):
+        assert "Linear regression" in format_figure(regression_figure)
+
+    def test_orderings_match_paper(self, regression_figure):
+        assert regression_figure.orderings_match_paper(), (
+            regression_figure.ordering_violations()
+        )
+
+    def test_vector_dominates_tuple_everywhere(self, regression_figure):
+        for vec, tup in zip(
+            regression_figure.rows["Vector SimSQL"],
+            regression_figure.rows["Tuple SimSQL"],
+        ):
+            assert vec.predicted_seconds < tup.predicted_seconds
+
+    def test_tuple_blowup_at_1000_dims(self, regression_figure):
+        tup = regression_figure.rows["Tuple SimSQL"][2].predicted_seconds
+        vec = regression_figure.rows["Vector SimSQL"][2].predicted_seconds
+        assert tup / vec > 30
+
+    def test_regression_costs_at_least_gram(self, gram_figure, regression_figure):
+        """Regression strictly extends the Gram computation, so no
+        platform should get faster moving from Figure 1 to Figure 2."""
+        for name in regression_figure.rows:
+            for gram_cell, reg_cell in zip(
+                gram_figure.rows[name], regression_figure.rows[name]
+            ):
+                assert (
+                    reg_cell.predicted_seconds >= 0.95 * gram_cell.predicted_seconds
+                )
+
+    def test_predictions_within_3x_of_paper(self, regression_figure):
+        for name, cells in regression_figure.rows.items():
+            for cell in cells:
+                assert cell.ratio is not None
+                assert 1 / 3 <= cell.ratio <= 3.0, (name, cell)
+
+    def test_mini_scale_results_correct(self, regression_figure):
+        for name, (ok, _) in regression_figure.verification.items():
+            assert ok, f"{name} produced wrong regression coefficients"
+
+
+@pytest.mark.parametrize("style", ["tuple", "vector", "block"])
+def test_bench_mini_regression(benchmark, style):
+    workload = generate(48, 6, seed=4)
+    platform = SimSQLPlatform(
+        style, PAPER_CLUSTER.with_updates(job_startup_s=1.0), block_size=8
+    )
+    outcome = benchmark(platform.regression, workload)
+    assert outcome.seconds > 0

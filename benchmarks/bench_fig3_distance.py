@@ -1,0 +1,74 @@
+"""Figure 3 — Distance computation.
+
+Shape checks include the paper's distinctive Figure 3 findings: the
+tuple style *fails*, the block style beats the vector style despite the
+skew penalty, Spark is an order of magnitude off, and SciDB is nearly
+flat in the dimensionality.
+"""
+
+import pytest
+
+from repro.bench.figures import format_figure
+from repro.bench.model import SimSQLModel
+from repro.bench.simsql import SimSQLPlatform
+from repro.bench.workloads import generate
+from repro.config import PAPER_CLUSTER
+
+N_PAPER = 100_000
+
+
+class TestFigure3Shape:
+    def test_table_prints(self, distance_figure):
+        assert "Fail" in format_figure(distance_figure)
+
+    def test_orderings_match_paper(self, distance_figure):
+        assert distance_figure.orderings_match_paper(), (
+            distance_figure.ordering_violations()
+        )
+
+    def test_tuple_fails_at_every_dimensionality(self, distance_figure):
+        for cell in distance_figure.rows["Tuple SimSQL"]:
+            assert cell.predicted_seconds is None
+            assert cell.paper_seconds is None
+
+    def test_block_beats_vector(self, distance_figure):
+        for blk, vec in zip(
+            distance_figure.rows["Block SimSQL"],
+            distance_figure.rows["Vector SimSQL"],
+        ):
+            assert blk.predicted_seconds < vec.predicted_seconds
+
+    def test_spark_an_order_of_magnitude_off(self, distance_figure):
+        for index in range(3):
+            spark = distance_figure.rows["Spark mllib"][index].predicted_seconds
+            scidb = distance_figure.rows["SciDB"][index].predicted_seconds
+            assert spark > 10 * scidb
+
+    def test_scidb_nearly_flat_in_d(self, distance_figure):
+        cells = distance_figure.rows["SciDB"]
+        assert cells[2].predicted_seconds < 2.5 * cells[0].predicted_seconds
+
+    def test_mini_scale_results_correct(self, distance_figure):
+        for name, (ok, _) in distance_figure.verification.items():
+            assert ok, f"{name} selected the wrong point"
+
+    def test_block_skew_penalty_exists(self):
+        """Ablation for the paper's load-balancing discussion: with ideal
+        placement the blocked distance computation gets faster."""
+        skewed = SimSQLModel(PAPER_CLUSTER)
+        balanced = SimSQLModel(PAPER_CLUSTER.with_updates(balanced_placement=True))
+        slow = skewed.simulate("distance", "block", N_PAPER, 1000).total
+        fast = balanced.simulate("distance", "block", N_PAPER, 1000).total
+        assert fast < slow
+        # the paper saw "four or five of the 100 matrices" on one core
+        assert skewed._skew(100) >= 3.0
+
+
+@pytest.mark.parametrize("style", ["tuple", "vector", "block"])
+def test_bench_mini_distance(benchmark, style):
+    workload = generate(24, 6, seed=5)
+    platform = SimSQLPlatform(
+        style, PAPER_CLUSTER.with_updates(job_startup_s=1.0), block_size=8
+    )
+    outcome = benchmark(platform.distance, workload)
+    assert outcome.seconds > 0

@@ -1,0 +1,50 @@
+"""Figure 4 — per-operation breakdown of tuple vs vector Gram.
+
+The paper's finding: in the tuple-based computation, the dominant cost
+is not the join but the *aggregation* — even a tiny fixed cost per tuple
+is magnified by the 5x10^11 tuples pushed through it.
+"""
+
+import pytest
+
+from repro.bench.figures import figure4, format_figure4
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return figure4()
+
+
+class TestFigure4Shape:
+    def test_prints(self, breakdowns):
+        text = format_figure4(breakdowns)
+        assert "aggregation" in text
+
+    def test_tuple_aggregation_dominates_join(self, breakdowns):
+        """The paper: 'the dominant cost is not the join ... but the
+        aggregation'."""
+        tuple_model = breakdowns["tuple (paper-scale model)"]
+        assert tuple_model["aggregation"] > tuple_model["join"]
+
+    def test_tuple_join_and_agg_dominate_everything(self, breakdowns):
+        tuple_model = breakdowns["tuple (paper-scale model)"]
+        total = sum(tuple_model.values())
+        assert (tuple_model["aggregation"] + tuple_model["join"]) > 0.9 * total
+
+    def test_vector_orders_of_magnitude_cheaper(self, breakdowns):
+        tuple_total = sum(breakdowns["tuple (paper-scale model)"].values())
+        vector_total = sum(breakdowns["vector (paper-scale model)"].values())
+        assert tuple_total > 30 * vector_total
+
+    def test_mini_measured_mirrors_model(self, breakdowns):
+        """At mini scale on the real engine, the tuple computation's
+        hash-join + aggregation must dominate its CPU profile too."""
+        mini = breakdowns["tuple (mini measured)"]
+        total = sum(mini.values())
+        hot = mini.get("HashJoin", 0.0) + mini.get("PartialAggregate", 0.0)
+        assert hot > 0.3 * total
+
+
+def test_bench_figure4_pipeline(benchmark):
+    result = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    assert "tuple (mini measured)" in result

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.bench.figures import figure
+
+
+@pytest.fixture(scope="session")
+def gram_figure():
+    return figure("gram")
+
+
+@pytest.fixture(scope="session")
+def regression_figure():
+    return figure("regression")
+
+
+@pytest.fixture(scope="session")
+def distance_figure():
+    return figure("distance")

@@ -1,0 +1,82 @@
+"""Distributed multiplication of matrices too big for one machine
+(paper section 3.4).
+
+The system deliberately keeps individual MATRIX attributes
+machine-local; a huge matrix is stored as *tiles* — one MATRIX per
+tuple — and multiplied with plain SQL: a join on the shared tile index
+followed by SUM(matrix_multiply(...)) GROUP BY the output tile
+coordinates. The relational engine parallelizes, shuffles, and
+load-balances it like any other join+aggregate.
+
+Run:  python examples/distributed_matmul.py
+"""
+
+import numpy as np
+
+from repro import Database
+
+
+def load_tiled(db, name, matrix, tile):
+    """Store a matrix as (tileRow, tileCol, MATRIX) tuples."""
+    rows, cols = matrix.shape
+    db.execute(
+        f"CREATE TABLE {name} (tileRow INTEGER, tileCol INTEGER, "
+        f"mat MATRIX[{tile}][{tile}])"
+    )
+    data = []
+    for ti in range(rows // tile):
+        for tj in range(cols // tile):
+            block = matrix[ti * tile : (ti + 1) * tile, tj * tile : (tj + 1) * tile]
+            data.append((ti + 1, tj + 1, block))
+    db.load(name, data)
+    return len(data)
+
+
+def main():
+    tile = 25
+    size = 100  # a 100x100 "big" matrix stored as 16 tiles of 25x25
+    rng = np.random.default_rng(3)
+    A = rng.normal(size=(size, size))
+    B = rng.normal(size=(size, size))
+
+    db = Database()
+    tiles_a = load_tiled(db, "bigMatrix", A, tile)
+    tiles_b = load_tiled(db, "anotherBigMat", B, tile)
+    print(f"stored two {size}x{size} matrices as {tiles_a}+{tiles_b} tiles")
+
+    # the paper's section 3.4 query, verbatim
+    result = db.execute(
+        """SELECT lhs.tileRow, rhs.tileCol,
+               SUM(matrix_multiply(lhs.mat, rhs.mat))
+        FROM bigMatrix AS lhs, anotherBigMat AS rhs
+        WHERE lhs.tileCol = rhs.tileRow
+        GROUP BY lhs.tileRow, rhs.tileCol"""
+    )
+
+    C = np.zeros((size, size))
+    for tile_row, tile_col, block in result.rows:
+        C[
+            (tile_row - 1) * tile : tile_row * tile,
+            (tile_col - 1) * tile : tile_col * tile,
+        ] = block.data
+
+    print("product tiles computed:", len(result.rows))
+    print("matches numpy A @ B:", np.allclose(C, A @ B))
+    print(f"simulated cluster time: {result.metrics.total_seconds:.2f}s "
+          f"({result.metrics.jobs} MapReduce-style jobs)")
+
+    print("\nthe physical plan (tiles shuffled on the join key, partial")
+    print("aggregation before the output shuffle):")
+    print(
+        db.explain(
+            """SELECT lhs.tileRow, rhs.tileCol,
+                   SUM(matrix_multiply(lhs.mat, rhs.mat))
+            FROM bigMatrix AS lhs, anotherBigMat AS rhs
+            WHERE lhs.tileCol = rhs.tileRow
+            GROUP BY lhs.tileRow, rhs.tileCol"""
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Command line entry point: ``repro-bench {fig1,fig2,fig3,fig4,rst,all}``.
+
+Regenerates the paper's tables and figures: paper-scale simulated times
+for all six platforms next to the paper's reported numbers, mini-scale
+real executions with correctness checks, the Figure 4 operation
+breakdown, and the section 4.1 optimizer ablation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import (
+    figure,
+    figure4,
+    format_figure,
+    format_figure4,
+    format_rst,
+    rst_experiment,
+)
+
+TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "all")
+
+
+def run_target(target: str, run_mini: bool = True) -> str:
+    if target == "fig1":
+        return format_figure(figure("gram", run_mini=run_mini))
+    if target == "fig2":
+        return format_figure(figure("regression", run_mini=run_mini))
+    if target == "fig3":
+        return format_figure(figure("distance", run_mini=run_mini))
+    if target == "fig4":
+        return format_figure4(figure4())
+    if target == "rst":
+        return format_rst(rst_experiment())
+    if target == "all":
+        return "\n\n".join(
+            run_target(name, run_mini=run_mini)
+            for name in ("fig1", "fig2", "fig3", "fig4", "rst")
+        )
+    raise ValueError(f"unknown target {target!r}; pick one of {TARGETS}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the evaluation of 'Scalable Linear Algebra "
+        "on a Relational Database System' (ICDE 2017).",
+    )
+    parser.add_argument("target", choices=TARGETS, help="which artifact to regenerate")
+    parser.add_argument(
+        "--no-mini",
+        action="store_true",
+        help="skip the mini-scale real executions (model tables only)",
+    )
+    args = parser.parse_args(argv)
+    print(run_target(args.target, run_mini=not args.no_mini))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The paper's reported results (Figures 1-3), in seconds.
+
+Source: Luo et al., "Scalable Linear Algebra on a Relational Database
+System", section 5 (SIGMOD Record 47(1) version). ``None`` encodes the
+"Fail" entries; a trailing ``*`` in the paper (local-mode runs) is noted
+in LOCAL_MODE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+PLATFORMS = (
+    "Tuple SimSQL",
+    "Vector SimSQL",
+    "Block SimSQL",
+    "SystemML",
+    "Spark mllib",
+    "SciDB",
+)
+
+DIMENSIONS = (10, 100, 1000)
+
+
+def _hms(text: Optional[str]) -> Optional[int]:
+    if text is None:
+        return None
+    hours, minutes, seconds = (int(part) for part in text.split(":"))
+    return hours * 3600 + minutes * 60 + seconds
+
+
+#: Figure 1 — Gram matrix computation, HH:MM:SS -> seconds
+GRAM: Dict[str, Tuple[Optional[int], ...]] = {
+    "Tuple SimSQL": (_hms("00:01:28"), _hms("00:03:19"), _hms("05:04:45")),
+    "Vector SimSQL": (_hms("00:00:37"), _hms("00:00:43"), _hms("00:05:43")),
+    "Block SimSQL": (_hms("00:01:18"), _hms("00:01:23"), _hms("00:02:53")),
+    "SystemML": (_hms("00:00:05"), _hms("00:00:51"), _hms("00:02:34")),
+    "Spark mllib": (_hms("00:00:20"), _hms("00:00:54"), _hms("00:17:31")),
+    "SciDB": (_hms("00:00:03"), _hms("00:00:17"), _hms("00:03:20")),
+}
+
+#: Figure 2 — Least squares linear regression
+REGRESSION: Dict[str, Tuple[Optional[int], ...]] = {
+    "Tuple SimSQL": (_hms("00:03:42"), _hms("00:05:46"), _hms("05:05:22")),
+    "Vector SimSQL": (_hms("00:00:45"), _hms("00:00:49"), _hms("00:06:35")),
+    "Block SimSQL": (_hms("00:02:23"), _hms("00:02:22"), _hms("00:04:22")),
+    "SystemML": (_hms("00:00:06"), _hms("00:00:53"), _hms("00:02:38")),
+    "Spark mllib": (_hms("00:00:35"), _hms("00:01:01"), _hms("00:17:42")),
+    "SciDB": (_hms("00:00:15"), _hms("00:00:33"), _hms("00:06:04")),
+}
+
+#: Figure 3 — Distance computation ("Fail" -> None)
+DISTANCE: Dict[str, Tuple[Optional[int], ...]] = {
+    "Tuple SimSQL": (None, None, None),
+    "Vector SimSQL": (_hms("00:10:14"), _hms("00:11:49"), _hms("00:13:53")),
+    "Block SimSQL": (_hms("00:03:14"), _hms("00:04:43"), _hms("00:10:36")),
+    "SystemML": (_hms("00:13:29"), _hms("00:22:38"), _hms("00:33:22")),
+    "Spark mllib": (_hms("01:22:59"), _hms("01:15:06"), _hms("01:13:06")),
+    "SciDB": (_hms("00:03:46"), _hms("00:04:54"), _hms("00:05:06")),
+}
+
+PAPER_TABLES = {"gram": GRAM, "regression": REGRESSION, "distance": DISTANCE}
+
+#: (platform, computation, dim) cells the paper marks with a star: run in
+#: local (single machine, in-memory) mode.
+LOCAL_MODE = {("SystemML", "gram", 10), ("SystemML", "regression", 10)}
+
+#: geometric means the paper quotes over the three 1000-dim computations
+PAPER_GEOMEANS_1000D = {
+    "SimSQL": 5 * 60 + 7,
+    "SystemML": 6 * 60 + 5,
+    "SciDB": 4 * 60 + 41,
+}
+
+
+def format_hms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "Fail"
+    total = int(round(seconds))
+    return f"{total // 3600:02d}:{total % 3600 // 60:02d}:{total % 60:02d}"

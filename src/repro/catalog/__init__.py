@@ -1,0 +1,16 @@
+"""System catalog: schemas, tables, views and statistics."""
+
+from .catalog import Catalog, TableEntry, ViewEntry
+from .schema import Column, Schema
+from .statistics import ColumnStats, TableStats, collect_stats
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "Schema",
+    "TableEntry",
+    "TableStats",
+    "ViewEntry",
+    "collect_stats",
+]

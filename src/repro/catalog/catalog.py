@@ -1,0 +1,100 @@
+"""The system catalog: tables, views, and their statistics.
+
+Table payloads (partitioned tuple storage) live in the engine; the catalog
+holds schemas and metadata and maps names to storage. Views are stored as
+parsed query ASTs and expanded during binding, exactly like traditional
+SQL views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CatalogError
+from .schema import Schema
+from .statistics import TableStats
+
+
+@dataclass
+class TableEntry:
+    """A base table: schema plus a reference to partitioned storage."""
+
+    name: str
+    schema: Schema
+    storage: object = None  # engine.storage.PartitionedTable once loaded
+    stats: TableStats = field(default_factory=TableStats)
+
+
+@dataclass
+class ViewEntry:
+    """A view: the defining query's AST plus optional renamed columns."""
+
+    name: str
+    query: object  # sql.ast.SelectStatement
+    column_names: Optional[List[str]] = None
+
+
+class Catalog:
+    """Name-to-object mapping with case-insensitive SQL semantics."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableEntry] = {}
+        self._views: Dict[str, ViewEntry] = {}
+
+    # -- tables -----------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> TableEntry:
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {name!r} already exists")
+        entry = TableEntry(name=name, schema=schema)
+        self._tables[key] = entry
+        return entry
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> TableEntry:
+        entry = self._tables.get(name.lower())
+        if entry is None:
+            raise CatalogError(f"no table named {name!r}")
+        return entry
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[TableEntry]:
+        return list(self._tables.values())
+
+    # -- views ------------------------------------------------------------
+
+    def create_view(
+        self, name: str, query, column_names: Optional[List[str]] = None
+    ) -> ViewEntry:
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"relation {name!r} already exists")
+        entry = ViewEntry(name=name, query=query, column_names=column_names)
+        self._views[key] = entry
+        return entry
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return
+            raise CatalogError(f"no view named {name!r}")
+        del self._views[key]
+
+    def view(self, name: str) -> Optional[ViewEntry]:
+        return self._views.get(name.lower())
+
+    def has_relation(self, name: str) -> bool:
+        key = name.lower()
+        return key in self._tables or key in self._views

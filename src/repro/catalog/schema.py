@@ -1,0 +1,102 @@
+"""Relational schemas: columns with (possibly tensor-typed) attributes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CatalogError
+from ..types import DataType, parse_type
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a relation."""
+
+    name: str
+    data_type: DataType
+
+    def __repr__(self) -> str:
+        return f"{self.name} {self.data_type!r}"
+
+
+class Schema:
+    """An ordered list of named, typed columns.
+
+    Column lookup is case-insensitive, as in SQL. Schemas are immutable;
+    operations that change the column list return new schemas.
+    """
+
+    def __init__(self, columns: Iterable[Union[Column, Tuple[str, object]]]):
+        normalized: List[Column] = []
+        for item in columns:
+            if isinstance(item, Column):
+                normalized.append(item)
+            else:
+                name, data_type = item
+                if isinstance(data_type, str):
+                    data_type = parse_type(data_type)
+                normalized.append(Column(name, data_type))
+        seen = set()
+        for column in normalized:
+            key = column.name.lower()
+            if key in seen:
+                raise CatalogError(f"duplicate column name {column.name!r}")
+            seen.add(key)
+        self._columns = tuple(normalized)
+        self._index = {column.name.lower(): i for i, column in enumerate(self._columns)}
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> List[str]:
+        return [column.name for column in self._columns]
+
+    @property
+    def types(self) -> List[DataType]:
+        return [column.data_type for column in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def index_of(self, name: str) -> Optional[int]:
+        """Position of a column by case-insensitive name, or None."""
+        return self._index.get(name.lower())
+
+    def column(self, name: str) -> Column:
+        index = self.index_of(name)
+        if index is None:
+            raise CatalogError(f"no column named {name!r} in schema {self!r}")
+        return self._columns[index]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def rename(self, names: Sequence[str]) -> "Schema":
+        """A copy of this schema with new column names (for CREATE VIEW
+        column lists and AS aliases)."""
+        if len(names) != len(self._columns):
+            raise CatalogError(
+                f"expected {len(self._columns)} column name(s), got {len(names)}"
+            )
+        return Schema(
+            [Column(name, column.data_type) for name, column in zip(names, self._columns)]
+        )
+
+    def row_width_bytes(self) -> float:
+        """Estimated width of one tuple, the quantity that makes a
+        MATRIX[100000][100] attribute dominate plan cost (section 4.1)."""
+        overhead = 16.0  # per-tuple header, as in a record-oriented store
+        return overhead + sum(column.data_type.size_bytes() for column in self._columns)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(column) for column in self._columns)
+        return f"Schema({inner})"

@@ -1,0 +1,18 @@
+"""Behavioural simulators of the paper's comparison platforms."""
+
+from .base import COMPUTATIONS, FAIL, Comparator, Rates, SimTime, data_bytes
+from .scidb import SciDB
+from .sparkml import SparkMllib
+from .systemml import SystemML
+
+__all__ = [
+    "COMPUTATIONS",
+    "Comparator",
+    "FAIL",
+    "Rates",
+    "SciDB",
+    "SimTime",
+    "SparkMllib",
+    "SystemML",
+    "data_bytes",
+]

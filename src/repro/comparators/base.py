@@ -1,0 +1,89 @@
+"""Common machinery for the comparison-platform simulators.
+
+The paper benchmarks SimSQL against SystemML V0.9, SciDB V14.8 and Spark
+mllib.linalg V1.6 on a 10-machine/80-core cluster. Those systems cannot
+be run offline, so each comparator here is a **behavioural simulator**:
+
+* ``compute(computation, workload)`` carries out the computation with
+  real numpy arrays following that platform's *execution strategy* as the
+  paper describes it (blocked fused ops for SystemML, chunked gemm
+  pipelines for SciDB, RDD map/reduce for Spark), so results can be
+  checked against ground truth;
+* ``simulate(computation, n, d)`` prices the same strategy at any scale
+  with explicit cost formulas over (n, d) and the platform's rate profile
+  — aggregate FLOP/s, streaming, disk, network, startup overheads. The
+  formulas are documented inline; the rate constants are calibrated
+  against the 2016-era systems (see EXPERIMENTS.md for
+  predicted-vs-paper tables).
+
+Simulated times are returned as :class:`SimTime` with a labelled
+breakdown, so benchmark output can show *why* a platform wins or loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import ClusterConfig
+from ..bench.workloads import Workload
+
+COMPUTATIONS = ("gram", "regression", "distance")
+
+
+@dataclass
+class SimTime:
+    """A simulated duration with a labelled breakdown."""
+
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, seconds: float) -> "SimTime":
+        self.breakdown[label] = self.breakdown.get(label, 0.0) + seconds
+        return self
+
+    @property
+    def total(self) -> float:
+        return sum(self.breakdown.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{label}={seconds:.1f}s" for label, seconds in self.breakdown.items()
+        )
+        return f"SimTime({self.total:.1f}s: {parts})"
+
+
+FAIL = None  # sentinel simulated time for runs the platform cannot finish
+
+
+@dataclass
+class Rates:
+    """Aggregate cluster-wide rates for one platform."""
+
+    flops: float  # dense-kernel FLOP/s across the cluster
+    stream: float  # bytes/s of element churn (allocation, boxed adds, ...)
+    disk: float  # bytes/s sequential storage bandwidth
+    network: float  # bytes/s bisection bandwidth
+    tuple_s: float  # seconds per tuple/record of fixed overhead (aggregate)
+    startup_s: float  # fixed startup per distributed job/query
+
+
+class Comparator:
+    """Base class for platform simulators."""
+
+    name = "platform"
+
+    def __init__(self, config: ClusterConfig = None):
+        self.config = config or ClusterConfig()
+
+    # subclasses implement per-computation methods
+
+    def simulate(self, computation: str, n: int, d: int) -> SimTime:
+        return getattr(self, f"simulate_{computation}")(n, d)
+
+    def compute(self, computation: str, workload: Workload):
+        return getattr(self, f"compute_{computation}")(workload)
+
+
+def data_bytes(n: int, d: int) -> float:
+    """Raw size of an n x d dense double matrix."""
+    return 8.0 * n * d

@@ -1,0 +1,120 @@
+"""Spark V1.6 mllib.linalg behavioural simulator.
+
+Strategy, per the paper's section 5 listings:
+
+* gram / regression — the **vector-based** implementation: an RDD map
+  producing a dense d x d outer product *per data point* (the paper's
+  ``x.transpose.multiply(x)``), reduced with boxed ``zipped.map(_+_)``
+  array additions. The per-point d x d materialization plus the boxed
+  reduce is why Spark falls off a cliff at 1000 dimensions in Figures
+  1-2 while staying competitive at 10-100.
+* distance — the **BlockMatrix** implementation: ``X * m * X^T``
+  materializes the n x n distance matrix across shuffles. With 80 GB of
+  blocks flowing through Spark 1.6's shuffle/spill/GC machinery the
+  pipeline runs at a very low effective throughput, which is why the
+  paper's Figure 3 shows Spark at 75-80 minutes nearly independent of d.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..bench.workloads import Workload
+from .base import Comparator, Rates, SimTime, data_bytes
+
+RATES = Rates(
+    flops=4.0e10,  # 0.5 GFLOP/s/core JVM Breeze without native BLAS
+    stream=1.6e10,  # 0.2 GB/s/core allocation + GC churn
+    disk=1.0e9,
+    network=1.25e9,
+    tuple_s=0.0,
+    startup_s=4.0,  # app/job startup in standalone mode
+)
+
+#: scheduling overhead per stage (task launch, serialization)
+STAGE_S = 5.0
+
+#: effective aggregate throughput of the Spark 1.6 BlockMatrix
+#: multiply-shuffle-spill pipeline over n x n data (calibrated; the paper
+#: observed ~75 min regardless of d)
+BLOCKMATRIX_RATE = 1.7e7
+
+BLOCK = 1024
+
+
+class SparkMllib(Comparator):
+    name = "Spark mllib"
+
+    # -- simulation ----------------------------------------------------------
+
+    def simulate_gram(self, n: int, d: int) -> SimTime:
+        time = SimTime()
+        time.add("startup", RATES.startup_s)
+        time.add("stages", 3 * STAGE_S)
+        time.add("read", data_bytes(n, d) / RATES.disk)
+        outer_bytes = 8.0 * n * d * d
+        time.add("outer-flops", (2.0 * n * d * d) / RATES.flops)
+        time.add("alloc-churn", outer_bytes / RATES.stream)
+        time.add("boxed-reduce", outer_bytes / RATES.stream)
+        partitions = 2 * self.config.slots
+        time.add("driver-collect", partitions * 8.0 * d * d / RATES.network)
+        return time
+
+    def simulate_regression(self, n: int, d: int) -> SimTime:
+        time = self.simulate_gram(n, d)
+        # the y join adds a stage; the final solve is driver-side and tiny
+        time.add("stages", STAGE_S)
+        time.add("xty", 2.0 * n * d / RATES.flops)
+        time.add("solve", (2.0 / 3.0) * d**3 / (RATES.flops / self.config.slots))
+        return time
+
+    def simulate_distance(self, n: int, d: int) -> SimTime:
+        time = SimTime()
+        dist_bytes = 8.0 * float(n) * float(n)
+        time.add("startup", RATES.startup_s)
+        time.add("stages", 6 * STAGE_S)
+        time.add("read", data_bytes(n, d) / RATES.disk)
+        time.add(
+            "gemm-flops",
+            (2.0 * n * d * d + 2.0 * float(n) * float(n) * d) / RATES.flops,
+        )
+        # bigger d means bigger, fewer shuffle records for the same n x n
+        # payload, which marginally helps the pipeline (the paper's times
+        # mildly *decrease* with d)
+        efficiency = 1.0 + 0.12 * math.log10(max(d / 10.0, 1.0))
+        time.add("blockmatrix-pipeline", dist_bytes / (BLOCKMATRIX_RATE * efficiency))
+        return time
+
+    # -- real computation --------------------------------------------------------
+
+    def compute_gram(self, workload: Workload) -> np.ndarray:
+        # RDD map to per-point outer products, reduced pairwise
+        partials = None
+        for point in workload.X:
+            outer = np.outer(point, point)  # x.transpose.multiply(x)
+            partials = outer if partials is None else partials + outer
+        return partials
+
+    def compute_regression(self, workload: Workload) -> np.ndarray:
+        gram = self.compute_gram(workload)
+        xty = None
+        for point, outcome in zip(workload.X, workload.y):
+            term = point * outcome
+            xty = term if xty is None else xty + term
+        return np.linalg.solve(gram, xty)
+
+    def compute_distance(self, workload: Workload) -> int:
+        # BlockMatrix multiply X * m * X^T, then the paper's row-wise
+        # min/max scan with the diagonal patched out
+        X, metric = workload.X, workload.A
+        n = workload.n
+        blocks = range(0, n, BLOCK)
+        xm = np.vstack([X[s : s + BLOCK] @ metric for s in blocks])
+        dist = np.vstack([xm[s : s + BLOCK] @ X.T for s in blocks])
+        # the paper's Scala patches dist(i)(i) with another entry before
+        # taking the row min; masking with +inf is equivalent
+        np.fill_diagonal(dist, np.inf)
+        mins = dist.min(axis=1)
+        return int(np.argmax(mins)) + 1

@@ -1,0 +1,143 @@
+"""SystemML V0.9 behavioural simulator.
+
+Strategy, per the paper's section 5: data is stored and processed as
+square blocks; DML scripts compile to Hadoop MR jobs, except that small
+inputs run in **local (in-memory, single node) mode** — the paper's
+star-marked cells. The three computations:
+
+* gram — ``t(X) %*% X``: one pass over the blocks, each contributing
+  ``t(Xb) %*% Xb``, partials combined in a reduce;
+* regression — gram plus ``t(X) %*% y`` and a tiny local solve;
+* distance — ``X %*% m %*% t(X)`` materializes the n x n distance matrix
+  through the MR shuffle (80 GB at the paper's scale), then
+  ``rowMins``/``rowIndexMax`` passes.
+
+Rate constants model a 2016 Java-on-Hadoop stack; see EXPERIMENTS.md for
+predicted-vs-paper numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bench.workloads import Workload
+from .base import Comparator, Rates, SimTime, data_bytes
+
+#: aggregate rates for SystemML on the paper's 10x8 cluster
+RATES = Rates(
+    flops=3.0e10,  # ~0.4 GFLOP/s/core Java block kernels
+    stream=2.0e10,  # block allocation / copy churn
+    disk=1.0e9,  # 10 machines x 100 MB/s HDFS
+    network=1.25e9,  # 10 machines x 1 Gbit/s
+    tuple_s=0.0,  # SystemML never goes tuple-at-a-time
+    startup_s=30.0,  # Hadoop MR job submission + task ramp-up
+)
+
+#: Hadoop map-task scheduling/launch overhead (one task per 1000-row
+#: block stripe; these add up on big inputs)
+TASK_S = 0.02
+
+#: inputs below this size run in local in-memory mode (single machine)
+LOCAL_MODE_BYTES = 500e6
+LOCAL_STARTUP_S = 4.0
+LOCAL_FLOPS = 3.0e9  # one machine, 8 cores
+LOCAL_DISK = 1.0e8
+
+#: HDFS write replication: every MR job output is written 3x
+HDFS_REPLICATION = 3.0
+
+BLOCK = 1000
+
+
+class SystemML(Comparator):
+    name = "SystemML"
+
+    # -- simulation -------------------------------------------------------------
+
+    def _local(self, time: SimTime, read_bytes: float, flops: float) -> SimTime:
+        time.add("startup", LOCAL_STARTUP_S)
+        time.add("read", read_bytes / LOCAL_DISK)
+        time.add("compute", flops / LOCAL_FLOPS)
+        return time
+
+    def simulate_gram(self, n: int, d: int) -> SimTime:
+        time = SimTime()
+        size = data_bytes(n, d)
+        flops = 2.0 * n * d * d
+        if size <= LOCAL_MODE_BYTES:
+            return self._local(time, size, flops)
+        time.add("startup", RATES.startup_s)
+        time.add("tasks", max(n // BLOCK, 1) * TASK_S)
+        time.add("read", size / RATES.disk)
+        time.add("compute", flops / RATES.flops)
+        # every block contributes a d x d partial into the shuffle
+        partials = max(n // BLOCK, 1) * 8.0 * d * d
+        time.add("shuffle", partials / RATES.network)
+        time.add("write", 8.0 * d * d * HDFS_REPLICATION / RATES.disk)
+        return time
+
+    def simulate_regression(self, n: int, d: int) -> SimTime:
+        time = SimTime()
+        size = data_bytes(n, d) + 8.0 * n
+        flops = 2.0 * n * d * d + 2.0 * n * d + (2.0 / 3.0) * d**3
+        if size <= LOCAL_MODE_BYTES:
+            return self._local(time, size, flops)
+        # gram and X^T y fuse into one MR pass; the solve is trivial
+        time.add("startup", RATES.startup_s)
+        time.add("tasks", max(n // BLOCK, 1) * TASK_S)
+        time.add("read", size / RATES.disk)
+        time.add("compute", flops / RATES.flops)
+        partials = max(n // BLOCK, 1) * 8.0 * (d * d + d)
+        time.add("shuffle", partials / RATES.network)
+        time.add("write", 8.0 * (d * d + d) * HDFS_REPLICATION / RATES.disk)
+        return time
+
+    def simulate_distance(self, n: int, d: int) -> SimTime:
+        time = SimTime()
+        dist_bytes = 8.0 * float(n) * float(n)
+        flops = 2.0 * n * d * d + 2.0 * float(n) * float(n) * d
+        time.add("startup", 4 * RATES.startup_s)  # multi-job DAG
+        # the n x n result has (n/1000)^2 blocks; each is a task somewhere
+        time.add("tasks", max(n // BLOCK, 1) ** 2 * TASK_S)
+        time.add("read", data_bytes(n, d) / RATES.disk)
+        time.add("compute", flops / RATES.flops)
+        # the n x n all-distances matrix crosses the MR boundary: map
+        # output spill, shuffle, reduce read, replicated HDFS write, and a
+        # final rowMins/rowIndexMax scan
+        time.add("spill", dist_bytes / RATES.disk)
+        time.add("shuffle", dist_bytes / RATES.network)
+        time.add("write", dist_bytes * HDFS_REPLICATION / RATES.disk)
+        time.add("scan", dist_bytes / RATES.disk)
+        time.add("churn", 2.0 * dist_bytes / RATES.stream)
+        return time
+
+    # -- real computation (strategy-faithful, numpy-backed) -----------------------
+
+    @staticmethod
+    def _blocks(X: np.ndarray):
+        for start in range(0, X.shape[0], BLOCK):
+            yield X[start : start + BLOCK]
+
+    def compute_gram(self, workload: Workload) -> np.ndarray:
+        total = np.zeros((workload.d, workload.d))
+        for block in self._blocks(workload.X):
+            total += block.T @ block
+        return total
+
+    def compute_regression(self, workload: Workload) -> np.ndarray:
+        gram = np.zeros((workload.d, workload.d))
+        xty = np.zeros(workload.d)
+        offset = 0
+        for block in self._blocks(workload.X):
+            gram += block.T @ block
+            xty += block.T @ workload.y[offset : offset + block.shape[0]]
+            offset += block.shape[0]
+        return np.linalg.solve(gram, xty)
+
+    def compute_distance(self, workload: Workload) -> int:
+        # all_dist = X %*% m %*% t(X); diag masked; rowMins; rowIndexMax
+        X, metric = workload.X, workload.A
+        all_dist = X @ metric @ X.T
+        np.fill_diagonal(all_dist, np.inf)
+        min_dist = all_dist.min(axis=1)
+        return int(np.argmax(min_dist)) + 1

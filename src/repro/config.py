@@ -1,0 +1,80 @@
+"""Cluster and cost-model configuration.
+
+The paper's experiments ran on 10 Amazon EC2 m2.4xlarge machines (8 cores
+each) under Hadoop. We reproduce that setting with a simulated
+shared-nothing cluster: real tuples flow through the operators, and each
+operator charges simulated time to virtual workers using the rates below.
+The defaults are calibrated to a Java-on-Hadoop system of the 2016 era
+(SimSQL); the comparator simulators override individual rates (e.g. SciDB
+is a compiled C++ engine, so its per-tuple and streaming costs are lower).
+
+All rates are per *core* unless stated otherwise; a "slot" is one core of
+one machine, and partitions are placed on slots, which is what makes the
+paper's 100-blocks-on-80-cores skew effect reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and speed of the simulated cluster."""
+
+    machines: int = 10
+    cores_per_machine: int = 8
+
+    #: BLAS-3 floating point rate (matrix multiply, inverse, solve):
+    #: large gemms reuse cache and run fast even in Java
+    flop_rate: float = 2.0e9
+    #: BLAS-1/2 rate (dot products, outer products, matrix-vector):
+    #: memory-bound, roughly half the BLAS-3 rate
+    blas1_rate: float = 1.0e9
+    #: memory-streaming rate for element-wise work and aggregation
+    stream_rate: float = 0.35e9
+    #: fixed CPU cost per tuple per operator (the iterator-model overhead
+    #: at the heart of the paper's tuple-vs-vector experiment)
+    tuple_cpu_s: float = 0.5e-6
+    #: network bandwidth per machine (1 Gbit/s)
+    network_rate: float = 125.0e6
+    #: sequential scan bandwidth per machine
+    disk_rate: float = 100.0e6
+    #: fixed startup overhead charged per MapReduce-style job (a shuffle
+    #: boundary); this is why SimSQL trails SciDB at low dimensionality
+    job_startup_s: float = 12.0
+    #: RAM available per machine (m2.4xlarge has ~68 GB)
+    worker_memory: float = 60.0e9
+    #: when True, partitions are placed round-robin (ideal balance); when
+    #: False, hash placement is used and skew emerges naturally
+    balanced_placement: bool = False
+    #: seed for any randomized placement decisions
+    seed: int = 0
+
+    @property
+    def slots(self) -> int:
+        """Total parallel execution slots (cores) in the cluster."""
+        return self.machines * self.cores_per_machine
+
+    @property
+    def network_rate_per_slot(self) -> float:
+        return self.network_rate / self.cores_per_machine
+
+    @property
+    def disk_rate_per_slot(self) -> float:
+        return self.disk_rate / self.cores_per_machine
+
+    @property
+    def memory_per_slot(self) -> float:
+        return self.worker_memory / self.cores_per_machine
+
+    def with_updates(self, **kwargs) -> "ClusterConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's experimental cluster.
+PAPER_CLUSTER = ClusterConfig()
+
+#: A small configuration suitable for unit tests and examples.
+TEST_CLUSTER = ClusterConfig(machines=2, cores_per_machine=2, job_startup_s=1.0)

@@ -1,0 +1,370 @@
+"""The public database API.
+
+:class:`Database` glues everything together: SQL text goes through the
+parser, the binder (type checking, templated-signature binding), the
+cost-based optimizer, the physical planner, and finally the simulated
+cluster executor. Results come back as :class:`Result` objects carrying
+both the rows and the execution metrics (simulated seconds, per-operator
+breakdown).
+
+Quickstart::
+
+    from repro import Database
+    import numpy as np
+
+    db = Database()
+    db.execute("CREATE TABLE v (vec VECTOR[])")
+    db.load("v", [[np.random.randn(10)] for _ in range(100)])
+    gram = db.execute("SELECT SUM(outer_product(vec, vec)) FROM v")
+    print(gram.scalar())          # a 10x10 Matrix
+    print(gram.metrics.total_seconds)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .catalog import Catalog, Schema, TableEntry, collect_stats
+from .config import ClusterConfig
+from .engine import Cluster, Executor, PartitionedTable, QueryMetrics
+from .errors import CompileError, ExecutionError
+from .plan import Binder, CostModel, Optimizer, PhysicalPlanner
+from .sql import ast, parse_script, parse_statement
+from .types import Matrix, Vector
+
+
+class Result:
+    """Rows plus metadata from executing one statement."""
+
+    def __init__(
+        self,
+        columns: List[str],
+        rows: List[tuple],
+        metrics: Optional[QueryMetrics] = None,
+    ):
+        self.columns = columns
+        self.rows = rows
+        self.metrics = metrics or QueryMetrics()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self):
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} row(s) x "
+                f"{len(self.columns)} column(s)"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List:
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"no result column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def profile(self) -> str:
+        """Per-operator execution profile of this statement (simulated
+        wall time, rows, network bytes, skew)."""
+        return self.metrics.report()
+
+    def __repr__(self) -> str:
+        return f"Result({self.columns}, {len(self.rows)} row(s))"
+
+
+def _convert_value(value):
+    """Accept convenient Python/numpy values when loading data."""
+    if isinstance(value, np.ndarray):
+        if value.ndim == 1:
+            return Vector(value)
+        if value.ndim == 2:
+            return Matrix(value)
+        raise ExecutionError(f"cannot store a {value.ndim}-d array")
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list,)):
+        array = np.asarray(value, dtype=np.float64)
+        return _convert_value(array)
+    return value
+
+
+class Database:
+    """An in-process, simulated-distributed database with the paper's
+    linear algebra extensions."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        size_blind_optimizer: bool = False,
+    ):
+        self.cluster = Cluster(config)
+        self.config = self.cluster.config
+        self.catalog = Catalog()
+        self.cost_model = CostModel(self.config, size_blind=size_blind_optimizer)
+        self._executor = Executor(self.cluster)
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize schemas, data, and views to a single file; restore
+        with :meth:`Database.restore`."""
+        from .persist import save_database
+
+        save_database(self, path)
+
+    @classmethod
+    def restore(cls, path: str, config: Optional[ClusterConfig] = None) -> "Database":
+        """Recreate a saved database (optionally onto a different
+        cluster shape; data is re-partitioned)."""
+        from .persist import restore_database
+
+        return restore_database(path, config)
+
+    # -- schema and loading ----------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence,
+        partition_by: Optional[Sequence[str]] = None,
+    ) -> TableEntry:
+        """Create a table from ``(name, type)`` pairs (types may be
+        strings like ``"MATRIX[10][]"``); optionally hash-partitioned on
+        some columns at load time."""
+        schema = Schema(columns)
+        entry = self.catalog.create_table(name, schema)
+        entry.storage = PartitionedTable(
+            schema, self.config.slots, partition_by=partition_by
+        )
+        return entry
+
+    def load(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-load rows (each a sequence of values; numpy arrays become
+        vectors/matrices) and refresh the table's statistics."""
+        entry = self.catalog.table(name)
+        converted = [
+            tuple(_convert_value(value) for value in row) for row in rows
+        ]
+        count = entry.storage.insert_many(converted)
+        self._refresh_stats(entry)
+        return count
+
+    def _refresh_stats(self, entry: TableEntry) -> None:
+        entry.stats = collect_stats(entry.schema, entry.storage.all_rows())
+
+    # -- SQL ----------------------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: Optional[Dict[str, object]] = None
+    ) -> Result:
+        """Parse, plan and execute a single SQL statement."""
+        statement = parse_statement(sql)
+        return self._execute_statement(statement, params)
+
+    def execute_script(
+        self, sql: str, params: Optional[Dict[str, object]] = None
+    ) -> List[Result]:
+        """Execute a semicolon-separated script; returns one Result per
+        statement."""
+        return [
+            self._execute_statement(statement, params)
+            for statement in parse_script(sql)
+        ]
+
+    def explain(
+        self,
+        sql: str,
+        params: Optional[Dict[str, object]] = None,
+        verbose: bool = False,
+    ) -> str:
+        """The optimized logical and physical plans for a SELECT; with
+        ``verbose=True`` every logical node is annotated with its
+        estimated cardinality and row width — the size information the
+        LA-aware optimizer plans with (section 4)."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise CompileError("EXPLAIN supports SELECT statements only")
+        logical = self._plan_select(statement, params)
+        physical = PhysicalPlanner(self.cost_model).plan(logical)
+        cost_model = self.cost_model if verbose else None
+        text = (
+            "== logical ==\n"
+            + logical.pretty(cost_model=cost_model)
+            + "\n== physical ==\n"
+            + physical.pretty()
+        )
+        if verbose:
+            text += f"\n== estimated cost ==\n{self.cost_model.plan_cost(logical):.2f}s"
+        return text
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def _execute_statement(
+        self, statement: ast.Statement, params: Optional[Dict[str, object]]
+    ) -> Result:
+        if isinstance(statement, ast.SelectStatement):
+            return self._run_select(statement, params)
+        if isinstance(statement, ast.CreateTable):
+            self.create_table(statement.name, statement.columns)
+            return Result([], [])
+        if isinstance(statement, ast.CreateTableAs):
+            result = self._run_select(statement.query, params)
+            logical = self._plan_select(statement.query, params)
+            columns = [
+                (column.name, column.data_type) for column in logical.columns
+            ]
+            self.create_table(statement.name, columns)
+            entry = self.catalog.table(statement.name)
+            entry.storage.insert_many(result.rows)
+            self._refresh_stats(entry)
+            return result
+        if isinstance(statement, ast.CreateView):
+            # bind once against the current catalog so errors surface now;
+            # parameters may stay unbound until the view is queried
+            binder = Binder(self.catalog, params, defer_params=True)
+            plan = binder.bind_select(statement.query)
+            if statement.column_names is not None and len(
+                statement.column_names
+            ) != len(plan.columns):
+                raise CompileError(
+                    f"view {statement.name!r}: {len(statement.column_names)} "
+                    f"column name(s) for {len(plan.columns)} column(s)"
+                )
+            self.catalog.create_view(
+                statement.name, statement.query, statement.column_names
+            )
+            return Result([], [])
+        if isinstance(statement, ast.InsertValues):
+            entry = self.catalog.table(statement.table)
+            binder = Binder(self.catalog, params)
+            rows = binder.bind_insert_rows(entry.schema.types, statement.rows)
+            entry.storage.insert_many([tuple(row) for row in rows])
+            self._refresh_stats(entry)
+            return Result([], [])
+        if isinstance(statement, ast.InsertSelect):
+            return self._run_insert_select(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._run_delete(statement, params)
+        if isinstance(statement, ast.UnionStatement):
+            return self._run_union(statement, params)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name, if_exists=statement.if_exists)
+            return Result([], [])
+        if isinstance(statement, ast.DropView):
+            self.catalog.drop_view(statement.name, if_exists=statement.if_exists)
+            return Result([], [])
+        raise ExecutionError(f"cannot execute {type(statement).__name__}")
+
+    # -- writes beyond INSERT ... VALUES -----------------------------------------
+
+    def _run_insert_select(
+        self, statement: ast.InsertSelect, params: Optional[Dict[str, object]]
+    ) -> Result:
+        entry = self.catalog.table(statement.table)
+        result = self._run_select(statement.query, params)
+        expected = entry.schema.types
+        if result.rows and len(result.rows[0]) != len(expected):
+            raise CompileError(
+                f"INSERT INTO {statement.table}: query produces "
+                f"{len(result.rows[0])} column(s), table has {len(expected)}"
+            )
+        from .types import DoubleType
+
+        coerced = []
+        for row in result.rows:
+            coerced.append(
+                tuple(
+                    float(value)
+                    if isinstance(expected[i], DoubleType) and isinstance(value, int)
+                    else value
+                    for i, value in enumerate(row)
+                )
+            )
+        entry.storage.insert_many(coerced)
+        self._refresh_stats(entry)
+        return Result([], [], result.metrics)
+
+    def _run_delete(
+        self, statement: ast.Delete, params: Optional[Dict[str, object]]
+    ) -> Result:
+        """DELETE FROM t [WHERE ...]: filters the stored partitions in
+        place (deletes rewrite partition files locally; no shuffle)."""
+        entry = self.catalog.table(statement.table)
+        if statement.where is None:
+            entry.storage.truncate()
+            self._refresh_stats(entry)
+            return Result([], [])
+        converted = {
+            key: _convert_value(value) for key, value in (params or {}).items()
+        }
+        binder = Binder(self.catalog, converted)
+        predicate, columns = binder.bind_table_predicate(
+            entry, statement.table, statement.where
+        )
+        index = {
+            column.column_id: position for position, column in enumerate(columns)
+        }
+        from .engine.storage import RowView
+
+        for slot, rows in enumerate(entry.storage.partitions):
+            entry.storage.partitions[slot] = [
+                row for row in rows if not predicate.evaluate(RowView(row, index))
+            ]
+        self._refresh_stats(entry)
+        return Result([], [])
+
+    def _run_union(
+        self, statement: ast.UnionStatement, params: Optional[Dict[str, object]]
+    ) -> Result:
+        results = [self._run_select(select, params) for select in statement.selects]
+        width = len(results[0].columns)
+        for result in results[1:]:
+            if len(result.columns) != width:
+                raise CompileError(
+                    "UNION branches produce different column counts: "
+                    f"{width} vs {len(result.columns)}"
+                )
+        rows: List[tuple] = []
+        for result in results:
+            rows.extend(result.rows)
+        if not statement.all:
+            seen = {}
+            for row in rows:
+                seen.setdefault(row, row)
+            rows = list(seen.values())
+        metrics = results[0].metrics
+        for result in results[1:]:
+            metrics = metrics.merge(result.metrics)
+        return Result(results[0].columns, rows, metrics)
+
+    # -- SELECT pipeline -------------------------------------------------------------
+
+    def _plan_select(
+        self, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
+    ):
+        converted = {
+            key: _convert_value(value) for key, value in (params or {}).items()
+        }
+        binder = Binder(self.catalog, converted)
+        plan = binder.bind_select(statement)
+        optimizer = Optimizer(self.cost_model)
+        return optimizer.optimize(plan)
+
+    def _run_select(
+        self, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
+    ) -> Result:
+        logical = self._plan_select(statement, params)
+        physical = PhysicalPlanner(self.cost_model).plan(logical)
+        rows, metrics = self._executor.run(physical)
+        columns = [column.name for column in logical.columns]
+        return Result(columns, rows, metrics)

@@ -1,0 +1,29 @@
+"""A math-like API on top of the extended-SQL engine.
+
+The paper's suggested direction (section 1): a DSL or TensorFlow-style
+binding that translates linear algebra programs into database
+computations. ``Session.matrix`` stores numpy arrays as distributed
+tiles; expressions (``@``, ``+``, ``.T``, ``.gram()``, ...) build a lazy
+graph that compiles to the paper's section 3.4 SQL.
+
+    from repro.dsl import Session
+
+    sess = Session(tile=64)
+    X = sess.matrix(data)
+    beta_lhs = X.gram()          # X.T @ X, lazily
+    print(beta_lhs.to_numpy())
+    print(sess.last_metrics.total_seconds)
+"""
+
+from .expr import ElementWise, Input, MatExpr, MatMul, Scale, Transpose
+from .session import Session
+
+__all__ = [
+    "ElementWise",
+    "Input",
+    "MatExpr",
+    "MatMul",
+    "Scale",
+    "Session",
+    "Transpose",
+]

@@ -1,0 +1,158 @@
+"""Lazy distributed-matrix expressions.
+
+The paper's introduction argues that a math-like DSL or a
+TensorFlow-style API "could itself exploit high-level linear algebra
+transformations, and translate the computation to a database
+computation — with the key benefit provided by a relational backend,
+there is no need to implement a distributed linear algebra execution
+engine from scratch."  This module is that layer: expressions over
+distributed (tiled) matrices that compile to the extended SQL of
+section 3.4 and execute on :class:`repro.Database`.
+
+Shape checking happens at *graph construction* time, mirroring the SQL
+layer's compile-time dimension checks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import TypeCheckError
+
+Shape = Tuple[int, int]
+
+
+class MatExpr:
+    """Base class of the lazy matrix expression graph."""
+
+    shape: Shape
+
+    def __init__(self, session, shape: Shape):
+        self.session = session
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    # -- operators ---------------------------------------------------------
+
+    def __matmul__(self, other: "MatExpr") -> "MatExpr":
+        other = self._coerce(other)
+        if self.shape[1] != other.shape[0]:
+            raise TypeCheckError(
+                f"matmul: inner dimensions differ "
+                f"({self.shape} @ {other.shape})"
+            )
+        return MatMul(self.session, self, other)
+
+    def __add__(self, other) -> "MatExpr":
+        return self._elementwise(other, "+")
+
+    def __sub__(self, other) -> "MatExpr":
+        return self._elementwise(other, "-")
+
+    def __mul__(self, other) -> "MatExpr":
+        if isinstance(other, (int, float)):
+            return Scale(self.session, self, float(other))
+        return self._elementwise(other, "*")
+
+    def __rmul__(self, scalar) -> "MatExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return Scale(self.session, self, float(scalar))
+
+    def __neg__(self) -> "MatExpr":
+        return Scale(self.session, self, -1.0)
+
+    def _elementwise(self, other, op: str) -> "MatExpr":
+        other = self._coerce(other)
+        if self.shape != other.shape:
+            raise TypeCheckError(
+                f"element-wise {op}: shapes differ ({self.shape} vs {other.shape})"
+            )
+        return ElementWise(self.session, self, other, op)
+
+    def _coerce(self, other) -> "MatExpr":
+        if isinstance(other, MatExpr):
+            if other.session is not self.session:
+                raise TypeCheckError("cannot mix matrices from different sessions")
+            return other
+        raise TypeCheckError(f"expected a matrix expression, got {type(other).__name__}")
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def T(self) -> "MatExpr":
+        return Transpose(self.session, self)
+
+    def gram(self) -> "MatExpr":
+        """X.T @ X — the paper's Gram computation as one node."""
+        return self.T @ self
+
+    # -- reductions (eager scalars) -------------------------------------------
+
+    def sum(self) -> float:
+        return self.session.reduce_sum(self)
+
+    def frobenius_norm(self) -> float:
+        return self.session.reduce_frobenius(self)
+
+    # -- execution ---------------------------------------------------------------
+
+    def to_numpy(self):
+        """Compile to SQL, execute on the database, assemble the result."""
+        return self.session.collect(self)
+
+    def children(self) -> Tuple["MatExpr", ...]:
+        return ()
+
+    def __repr__(self):
+        return f"{type(self).__name__}{self.shape}"
+
+
+class Input(MatExpr):
+    """A matrix already stored as a tiled table."""
+
+    def __init__(self, session, shape: Shape, table: str):
+        super().__init__(session, shape)
+        self.table = table
+
+    def __repr__(self):
+        return f"Input{self.shape}({self.table})"
+
+
+class MatMul(MatExpr):
+    def __init__(self, session, left: MatExpr, right: MatExpr):
+        super().__init__(session, (left.shape[0], right.shape[1]))
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class Transpose(MatExpr):
+    def __init__(self, session, operand: MatExpr):
+        super().__init__(session, (operand.shape[1], operand.shape[0]))
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+
+class ElementWise(MatExpr):
+    def __init__(self, session, left: MatExpr, right: MatExpr, op: str):
+        super().__init__(session, left.shape)
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class Scale(MatExpr):
+    def __init__(self, session, operand: MatExpr, factor: float):
+        super().__init__(session, operand.shape)
+        self.operand = operand
+        self.factor = factor
+
+    def children(self):
+        return (self.operand,)

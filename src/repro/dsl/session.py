@@ -1,0 +1,186 @@
+"""The DSL session: stores matrices as tiled tables, compiles expression
+graphs to extended SQL, executes them on :class:`repro.Database`.
+
+Every matrix is stored as the paper's section 3.4 representation::
+
+    name (tileRow INTEGER, tileCol INTEGER, mat MATRIX[t][t])
+
+Matrices are zero-padded up to a multiple of the tile size (the logical
+shape is tracked on the expression and the padding is sliced away on
+collect; zero padding is invariant under +, -, scaling, transpose and
+matrix multiplication, so no result is affected).
+
+Compilation materializes one intermediate table per operator with
+``CREATE TABLE AS`` — exactly how a SQL programmer would stage the
+paper's queries — and accumulates the simulated cluster time of every
+statement into :attr:`Session.last_metrics`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..db import Database
+from ..engine import QueryMetrics
+from ..errors import TypeCheckError
+from .expr import ElementWise, Input, MatExpr, MatMul, Scale, Transpose
+
+
+class Session:
+    """Owns a database and a namespace of tiled matrices."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        tile: int = 64,
+        database: Optional[Database] = None,
+    ):
+        if tile <= 0:
+            raise ValueError(f"tile size must be positive, got {tile}")
+        self.db = database or Database(config)
+        self.tile = tile
+        self.last_metrics = QueryMetrics()
+        self._names = itertools.count(1)
+        #: id(node) -> (node, table); the node reference keeps ids stable
+        self._cache: Dict[int, tuple] = {}
+
+    # -- data in ------------------------------------------------------------
+
+    def matrix(self, array, name: Optional[str] = None) -> Input:
+        """Store a dense numpy matrix as a tiled table and return the
+        Input expression referencing it."""
+        data = np.asarray(array, dtype=np.float64)
+        if data.ndim != 2:
+            raise TypeCheckError(f"expected a 2-d array, got {data.ndim}-d")
+        table = name or f"_dsl_m{next(self._names)}"
+        rows, cols = data.shape
+        tile = self.tile
+        padded = np.zeros(
+            (-(-rows // tile) * tile, -(-cols // tile) * tile)
+        )
+        padded[:rows, :cols] = data
+        self.db.execute(
+            f"CREATE TABLE {table} (tileRow INTEGER, tileCol INTEGER, "
+            f"mat MATRIX[{tile}][{tile}])"
+        )
+        tiles = []
+        for ti in range(padded.shape[0] // tile):
+            for tj in range(padded.shape[1] // tile):
+                block = padded[ti * tile : (ti + 1) * tile, tj * tile : (tj + 1) * tile]
+                tiles.append((ti + 1, tj + 1, block))
+        self.db.load(table, tiles)
+        return Input(self, (rows, cols), table)
+
+    # -- compilation --------------------------------------------------------------
+
+    def _fresh(self) -> str:
+        return f"_dsl_t{next(self._names)}"
+
+    def _execute(self, sql: str) -> None:
+        result = self.db.execute(sql)
+        self.last_metrics = self.last_metrics.merge(result.metrics)
+
+    def _compile(self, node: MatExpr) -> str:
+        """Materialize ``node`` as a tiled table; memoized per node so a
+        shared subexpression runs once. The node itself is kept in the
+        cache entry so its id() cannot be recycled by the allocator."""
+        cached = self._cache.get(id(node))
+        if cached is not None:
+            return cached[1]
+        table = self._lower(node)
+        self._cache[id(node)] = (node, table)
+        return table
+
+    def _lower(self, node: MatExpr) -> str:
+        if isinstance(node, Input):
+            return node.table
+        if isinstance(node, MatMul):
+            left = self._compile(node.left)
+            right = self._compile(node.right)
+            out = self._fresh()
+            self._execute(
+                f"""CREATE TABLE {out} AS
+                SELECT lhs.tileRow AS tileRow, rhs.tileCol AS tileCol,
+                       SUM(matrix_multiply(lhs.mat, rhs.mat)) AS mat
+                FROM {left} AS lhs, {right} AS rhs
+                WHERE lhs.tileCol = rhs.tileRow
+                GROUP BY lhs.tileRow, rhs.tileCol"""
+            )
+            return out
+        if isinstance(node, Transpose):
+            source = self._compile(node.operand)
+            out = self._fresh()
+            self._execute(
+                f"""CREATE TABLE {out} AS
+                SELECT s.tileCol AS tileRow, s.tileRow AS tileCol,
+                       trans_matrix(s.mat) AS mat
+                FROM {source} AS s"""
+            )
+            return out
+        if isinstance(node, ElementWise):
+            left = self._compile(node.left)
+            right = self._compile(node.right)
+            out = self._fresh()
+            self._execute(
+                f"""CREATE TABLE {out} AS
+                SELECT a.tileRow AS tileRow, a.tileCol AS tileCol,
+                       a.mat {node.op} b.mat AS mat
+                FROM {left} AS a, {right} AS b
+                WHERE a.tileRow = b.tileRow AND a.tileCol = b.tileCol"""
+            )
+            return out
+        if isinstance(node, Scale):
+            source = self._compile(node.operand)
+            out = self._fresh()
+            self._execute(
+                f"""CREATE TABLE {out} AS
+                SELECT s.tileRow AS tileRow, s.tileCol AS tileCol,
+                       s.mat * {node.factor!r} AS mat
+                FROM {source} AS s"""
+            )
+            return out
+        raise TypeCheckError(f"cannot lower {type(node).__name__}")
+
+    # -- execution -----------------------------------------------------------------
+
+    def collect(self, node: MatExpr) -> np.ndarray:
+        """Run the expression and assemble the (unpadded) numpy result."""
+        table = self._compile(node)
+        result = self.db.execute(
+            f"SELECT tileRow, tileCol, mat FROM {table}"
+        )
+        self.last_metrics = self.last_metrics.merge(result.metrics)
+        tile = self.tile
+        rows, cols = node.shape
+        padded = np.zeros((-(-rows // tile) * tile, -(-cols // tile) * tile))
+        for tile_row, tile_col, block in result.rows:
+            padded[
+                (tile_row - 1) * tile : tile_row * tile,
+                (tile_col - 1) * tile : tile_col * tile,
+            ] = block.data
+        return padded[:rows, :cols]
+
+    def reduce_sum(self, node: MatExpr) -> float:
+        table = self._compile(node)
+        result = self.db.execute(f"SELECT SUM(sum_matrix(t.mat)) FROM {table} AS t")
+        self.last_metrics = self.last_metrics.merge(result.metrics)
+        value = result.scalar()
+        return 0.0 if value is None else float(value)
+
+    def reduce_frobenius(self, node: MatExpr) -> float:
+        table = self._compile(node)
+        result = self.db.execute(
+            f"SELECT SUM(sum_matrix(t.mat * t.mat)) FROM {table} AS t"
+        )
+        self.last_metrics = self.last_metrics.merge(result.metrics)
+        value = result.scalar()
+        return float(value) ** 0.5 if value is not None else 0.0
+
+    def reset_metrics(self) -> QueryMetrics:
+        previous = self.last_metrics
+        self.last_metrics = QueryMetrics()
+        return previous

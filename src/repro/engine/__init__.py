@@ -1,0 +1,33 @@
+"""Simulated-cluster execution engine."""
+
+from .cluster import Cluster, OperatorRun, row_bytes, stable_hash, value_bytes
+from .executor import Executor, count_job_boundaries
+from .metrics import OperatorMetrics, QueryMetrics
+from .storage import (
+    BROADCAST,
+    ROUND_ROBIN,
+    SINGLE,
+    DistributedRelation,
+    PartitionedTable,
+    Partitioning,
+    RowView,
+)
+
+__all__ = [
+    "BROADCAST",
+    "Cluster",
+    "DistributedRelation",
+    "Executor",
+    "OperatorMetrics",
+    "OperatorRun",
+    "PartitionedTable",
+    "Partitioning",
+    "QueryMetrics",
+    "ROUND_ROBIN",
+    "RowView",
+    "SINGLE",
+    "count_job_boundaries",
+    "row_bytes",
+    "stable_hash",
+    "value_bytes",
+]

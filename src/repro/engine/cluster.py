@@ -1,0 +1,211 @@
+"""The simulated shared-nothing cluster.
+
+Physical operators process *real* tuples but charge their work to virtual
+workers ("slots" — one per core, 80 of them in the paper's 10x8 setup).
+An operator's simulated wall time is::
+
+    max over slots of (per-slot CPU seconds)  +  network seconds
+
+CPU seconds per slot combine three rates from :class:`ClusterConfig`:
+
+* ``tuple_cpu_s`` — fixed per-tuple iterator overhead (the cost that blows
+  up the tuple-based implementations in the paper's Figure 1-3);
+* ``flop_rate`` — dense kernels (matrix multiply, inverse, ...);
+* ``stream_rate`` — element-wise arithmetic and aggregation traffic.
+
+Because partitions are placed on slots by *hashing*, a computation with
+only 100 blocks on 80 slots develops exactly the load imbalance the paper
+reports for its blocked distance computation; setting
+``balanced_placement=True`` in the config removes it (the ablation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Optional
+
+from ..config import ClusterConfig
+from ..errors import ResourceExhaustedError
+from ..types import LabeledScalar, Matrix, Vector
+from .metrics import OperatorMetrics, QueryMetrics
+
+
+def stable_hash(values) -> int:
+    """A deterministic, platform-independent hash of a tuple of SQL
+    values. Python's builtin ``hash`` is salted per process for strings,
+    which would make benchmark placement non-reproducible."""
+    hasher = hashlib.blake2b(digest_size=8)
+    for value in values:
+        if value is None:
+            hasher.update(b"\x00N")
+        elif isinstance(value, bool):
+            hasher.update(b"\x01" + (b"1" if value else b"0"))
+        elif isinstance(value, int):
+            if -(2**63) <= value < 2**63:
+                hasher.update(b"\x02" + struct.pack("<q", value))
+            else:  # arbitrary-precision integers
+                hasher.update(b"\x08" + str(value).encode("ascii"))
+        elif isinstance(value, float):
+            # integral floats hash like ints so 1 and 1.0 co-locate
+            if value.is_integer() and -(2**63) <= value < 2**63:
+                hasher.update(b"\x02" + struct.pack("<q", int(value)))
+            else:
+                hasher.update(b"\x03" + struct.pack("<d", value))
+        elif isinstance(value, str):
+            hasher.update(b"\x04" + value.encode("utf-8"))
+        elif isinstance(value, LabeledScalar):
+            hasher.update(b"\x03" + struct.pack("<d", value.value))
+        elif isinstance(value, Vector):
+            hasher.update(b"\x05" + value.data.tobytes())
+        elif isinstance(value, Matrix):
+            hasher.update(b"\x06" + struct.pack("<q", value.rows))
+            hasher.update(value.data.tobytes())
+        else:
+            hasher.update(b"\x07" + repr(value).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "little")
+
+
+def value_bytes(value) -> float:
+    """Serialized size of one SQL value, for memory and network charges."""
+    if value is None:
+        return 1.0
+    if isinstance(value, (bool,)):
+        return 1.0
+    if isinstance(value, (int, float)):
+        return 8.0
+    if isinstance(value, str):
+        return float(len(value)) + 4.0
+    if isinstance(value, LabeledScalar):
+        return 16.0
+    if isinstance(value, Vector):
+        return float(value.size_bytes())
+    if isinstance(value, Matrix):
+        return float(value.size_bytes())
+    return 64.0
+
+
+def row_bytes(row) -> float:
+    overhead = 16.0
+    return overhead + sum(value_bytes(value) for value in row)
+
+
+class OperatorRun:
+    """Cost accumulator for one operator execution; closed by the
+    cluster, which converts charges into an OperatorMetrics record."""
+
+    def __init__(self, name: str, config: ClusterConfig):
+        self.name = name
+        self._config = config
+        self._slot_seconds: List[float] = [0.0] * config.slots
+        self.network_bytes = 0.0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.bytes_out = 0.0
+
+    # -- charging ---------------------------------------------------------
+
+    def charge_cpu(
+        self,
+        slot: int,
+        tuples: float = 0.0,
+        flops: float = 0.0,
+        blas1_flops: float = 0.0,
+        stream_bytes: float = 0.0,
+    ) -> None:
+        config = self._config
+        self._slot_seconds[slot % config.slots] += (
+            tuples * config.tuple_cpu_s
+            + flops / config.flop_rate
+            + blas1_flops / config.blas1_rate
+            + stream_bytes / config.stream_rate
+        )
+
+    def charge_eval(self, slot: int, tuples: float, cost) -> None:
+        """Charge one partition's worth of tuples plus the measured
+        expression-evaluation work (an EvalCost); each built-in function
+        call costs one extra tuple overhead, like a UDF invocation."""
+        self.charge_cpu(
+            slot,
+            tuples=tuples + cost.calls,
+            flops=cost.flops,
+            blas1_flops=cost.blas1_flops,
+            stream_bytes=cost.stream_bytes,
+        )
+
+    def charge_disk(self, slot: int, scan_bytes: float) -> None:
+        config = self._config
+        self._slot_seconds[slot % config.slots] += (
+            scan_bytes / config.disk_rate_per_slot
+        )
+
+    def charge_network(self, transfer_bytes: float) -> None:
+        self.network_bytes += transfer_bytes
+
+    # -- results -----------------------------------------------------------
+
+    def finish(self) -> OperatorMetrics:
+        config = self._config
+        busiest = max(self._slot_seconds)
+        mean = sum(self._slot_seconds) / len(self._slot_seconds)
+        network_seconds = self.network_bytes / (
+            config.network_rate * config.machines
+        )
+        return OperatorMetrics(
+            name=self.name,
+            rows_in=self.rows_in,
+            rows_out=self.rows_out,
+            bytes_out=self.bytes_out,
+            wall_seconds=busiest + network_seconds,
+            max_worker_seconds=busiest,
+            mean_worker_seconds=mean,
+            network_bytes=self.network_bytes,
+        )
+
+
+class Cluster:
+    """A simulated cluster accumulating per-query metrics."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        self.metrics = QueryMetrics()
+
+    def reset_metrics(self) -> QueryMetrics:
+        """Start a fresh metrics record, returning the previous one."""
+        previous = self.metrics
+        self.metrics = QueryMetrics()
+        return previous
+
+    def operator(self, name: str) -> OperatorRun:
+        return OperatorRun(name, self.config)
+
+    def record(self, run: OperatorRun) -> OperatorMetrics:
+        metrics = run.finish()
+        self.metrics.operators.append(metrics)
+        return metrics
+
+    def record_job(self) -> None:
+        """Charge one MapReduce-style job startup."""
+        self.metrics.jobs += 1
+        self.metrics.startup_seconds += self.config.job_startup_s
+
+    def check_memory(self, name: str, partitions) -> None:
+        """Raise ResourceExhaustedError when any slot's materialized
+        partition exceeds its RAM share — the engine-level behaviour
+        behind the 'Fail' entries in the paper's Figure 3."""
+        limit = self.config.memory_per_slot
+        for slot, rows in enumerate(partitions):
+            used = sum(row_bytes(row) for row in rows)
+            if used > limit:
+                raise ResourceExhaustedError(
+                    f"operator {name}: partition on slot {slot} needs "
+                    f"{used / 1e9:.2f} GB but slots have "
+                    f"{limit / 1e9:.2f} GB"
+                )
+
+    def placement_slot(self, key_hash: int, index_hint: int = 0) -> int:
+        """Map a hash value to a slot; with balanced placement the hint
+        (a running counter) is used instead, giving round-robin layout."""
+        if self.config.balanced_placement:
+            return index_hint % self.config.slots
+        return key_hash % self.config.slots

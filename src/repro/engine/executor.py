@@ -1,0 +1,510 @@
+"""Physical plan execution on the simulated cluster.
+
+Operators materialize their outputs partition by partition (the
+MapReduce-style execution model SimSQL inherits from Hadoop), processing
+**real tuples** — results are exact — while charging simulated time:
+
+* per-tuple iterator overhead on the slot that owns the partition;
+* actual FLOPs / streamed bytes measured while evaluating expressions
+  over the real values (``EvalCost``);
+* network seconds for every exchange;
+* one job-startup charge per hash/gather exchange (job boundaries).
+
+Per-operator wall clocks land in :class:`QueryMetrics`, giving the
+Figure 4 breakdown for free; per-slot busy times expose skew.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..errors import ExecutionError
+from ..plan.expressions import EvalCost
+from ..plan.physical import (
+    PDistinct,
+    PExchange,
+    PFilter,
+    PFinalAggregate,
+    PHashJoin,
+    PNestedLoopJoin,
+    PPartialAggregate,
+    PProject,
+    PScan,
+    PhysicalNode,
+    PSortLimit,
+)
+from .cluster import Cluster, row_bytes, stable_hash, value_bytes
+from .metrics import QueryMetrics
+from .storage import BROADCAST, ROUND_ROBIN, SINGLE, DistributedRelation, Partitioning
+
+
+def count_job_boundaries(node: PhysicalNode) -> int:
+    count = 0
+    if isinstance(node, PExchange) and node.is_job_boundary:
+        count += 1
+    for child in node.children():
+        count += count_job_boundaries(child)
+    return count
+
+
+class Executor:
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.slots = cluster.config.slots
+
+    def run(self, plan: PhysicalNode) -> Tuple[List[tuple], QueryMetrics]:
+        """Execute a plan; returns (all result rows, metrics for this
+        statement). The cluster's running metrics are reset first."""
+        self.cluster.reset_metrics()
+        for _ in range(max(1, count_job_boundaries(plan))):
+            self.cluster.record_job()
+        relation = self.execute(plan)
+        metrics = self.cluster.reset_metrics()
+        return relation.all_rows(), metrics
+
+    # -- dispatch ------------------------------------------------------------
+
+    def execute(self, node: PhysicalNode) -> DistributedRelation:
+        handler = {
+            PScan: self._scan,
+            PFilter: self._filter,
+            PProject: self._project,
+            PExchange: self._exchange,
+            PHashJoin: self._hash_join,
+            PNestedLoopJoin: self._nested_loop_join,
+            PPartialAggregate: self._partial_aggregate,
+            PFinalAggregate: self._final_aggregate,
+            PDistinct: self._distinct,
+            PSortLimit: self._sort_limit,
+        }.get(type(node))
+        if handler is None:
+            raise ExecutionError(f"no executor for {type(node).__name__}")
+        relation = handler(node)
+        self.cluster.check_memory(node.describe(), relation.partitions)
+        return relation
+
+    # -- helpers ------------------------------------------------------------
+
+    def _effective_partitions(
+        self, relation: DistributedRelation
+    ) -> Tuple[List[List[tuple]], bool]:
+        """For row-wise operators: the partitions to process and whether
+        the input was broadcast (process one copy, stay broadcast)."""
+        if relation.partitioning.kind == "broadcast":
+            return [relation.partitions[0]], True
+        return relation.partitions, False
+
+    def _wrap_output(
+        self,
+        column_ids,
+        parts: List[List[tuple]],
+        was_broadcast: bool,
+        partitioning: Partitioning,
+    ) -> DistributedRelation:
+        if was_broadcast:
+            return DistributedRelation(column_ids, [parts[0]] * self.slots, BROADCAST)
+        return DistributedRelation(column_ids, parts, partitioning)
+
+    # -- operators ------------------------------------------------------------
+
+    def _scan(self, node: PScan) -> DistributedRelation:
+        storage = node.table.storage
+        if storage is None:
+            raise ExecutionError(f"table {node.table.name!r} has no data loaded")
+        run = self.cluster.operator(f"Scan({node.table.name})")
+        parts: List[List[tuple]] = []
+        for slot in range(self.slots):
+            rows = (
+                list(storage.partitions[slot]) if slot < len(storage.partitions) else []
+            )
+            scanned = sum(row_bytes(row) for row in rows)
+            run.charge_disk(slot, scanned)
+            run.charge_cpu(slot, tuples=len(rows))
+            run.rows_out += len(rows)
+            run.bytes_out += scanned
+            parts.append(rows)
+        run.rows_in = run.rows_out
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return DistributedRelation(column_ids, parts, node.partitioning)
+
+    def _filter(self, node: PFilter) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("Filter")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[List[tuple]] = []
+        for slot, rows in enumerate(parts_in):
+            cost = EvalCost()
+            kept = []
+            for row in rows:
+                view = child.view(row)
+                if node.predicate.evaluate(view, cost):
+                    kept.append(row)
+            run.charge_eval(slot, len(rows), cost)
+            run.rows_in += len(rows)
+            run.rows_out += len(kept)
+            parts_out.append(kept)
+        self.cluster.record(run)
+        return self._wrap_output(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+    def _project(self, node: PProject) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("Project")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[List[tuple]] = []
+        for slot, rows in enumerate(parts_in):
+            cost = EvalCost()
+            out = []
+            for row in rows:
+                view = child.view(row)
+                out.append(tuple(expr.evaluate(view, cost) for expr in node.exprs))
+            run.charge_eval(slot, len(rows), cost)
+            run.rows_in += len(rows)
+            run.rows_out += len(out)
+            run.bytes_out += sum(row_bytes(row) for row in out)
+            parts_out.append(out)
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return self._wrap_output(column_ids, parts_out, was_broadcast, node.partitioning)
+
+    def _exchange(self, node: PExchange) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"Exchange({node.kind})")
+        source_parts, _ = self._effective_partitions(child)
+
+        if node.kind == "broadcast":
+            rows = []
+            for part in source_parts:
+                rows.extend(part)
+            total = sum(row_bytes(row) for row in rows)
+            run.charge_network(total * self.cluster.config.machines)
+            cores = self.cluster.config.cores_per_machine
+            for machine in range(self.cluster.config.machines):
+                run.charge_cpu(machine * cores, tuples=len(rows))
+            run.rows_in = run.rows_out = len(rows)
+            run.bytes_out = total * self.cluster.config.machines
+            self.cluster.record(run)
+            return DistributedRelation(
+                child.column_ids, [rows] * self.slots, BROADCAST
+            )
+
+        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
+        if node.kind == "gather":
+            gathered = 0.0
+            for slot, rows in enumerate(source_parts):
+                moved = sum(row_bytes(row) for row in rows)
+                run.charge_cpu(slot, tuples=len(rows))
+                run.charge_disk(slot, moved)  # map output spill
+                run.charge_network(moved)
+                gathered += moved
+                parts_out[0].extend(rows)
+                run.rows_in += len(rows)
+            # the single reducer owns the whole machine's disk bandwidth
+            cores = self.cluster.config.cores_per_machine
+            run.charge_disk(0, gathered / cores)
+            run.charge_cpu(0, tuples=len(parts_out[0]))
+            run.rows_out = len(parts_out[0])
+            self.cluster.record(run)
+            return DistributedRelation(child.column_ids, parts_out, SINGLE)
+
+        # hash repartition
+        balanced_assignment: Dict[tuple, int] = {}
+        for slot, rows in enumerate(source_parts):
+            cost = EvalCost()
+            moved = 0.0
+            for row in rows:
+                view = child.view(row)
+                key = tuple(expr.evaluate(view, cost) for expr in node.keys)
+                if self.cluster.config.balanced_placement:
+                    target = balanced_assignment.setdefault(
+                        key, len(balanced_assignment) % self.slots
+                    )
+                else:
+                    target = stable_hash(key) % self.slots
+                parts_out[target].append(row)
+                moved += row_bytes(row)
+            run.charge_eval(slot, len(rows), cost)
+            run.charge_disk(slot, moved)  # map output spill
+            run.charge_network(moved)
+            run.rows_in += len(rows)
+        for slot, rows in enumerate(parts_out):
+            received = sum(row_bytes(row) for row in rows)
+            run.charge_disk(slot, received)  # reduce-side read
+            run.charge_cpu(slot, tuples=len(rows))
+            run.rows_out += len(rows)
+            run.bytes_out += received
+        self.cluster.record(run)
+        return DistributedRelation(child.column_ids, parts_out, node.partitioning)
+
+    def _hash_join(self, node: PHashJoin) -> DistributedRelation:
+        probe_rel = self.execute(node.probe)
+        build_rel = self.execute(node.build)
+        run = self.cluster.operator("HashJoin")
+
+        build_broadcast = build_rel.partitioning.kind == "broadcast"
+        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
+        probe_parts, probe_was_broadcast = self._effective_partitions(probe_rel)
+        if probe_was_broadcast:
+            raise ExecutionError("hash join probe side cannot be broadcast")
+
+        # build per-slot hash tables
+        tables: List[Dict[tuple, List[tuple]]] = []
+        for slot in range(self.slots):
+            build_rows = (
+                build_rel.partitions[0] if build_broadcast else build_rel.partitions[slot]
+            )
+            cost = EvalCost()
+            table: Dict[tuple, List[tuple]] = {}
+            for row in build_rows:
+                view = build_rel.view(row)
+                key = tuple(expr.evaluate(view, cost) for expr in node.build_keys)
+                if any(value is None for value in key):
+                    continue
+                table.setdefault(_hashable(key), []).append(row)
+            run.charge_eval(slot, len(build_rows), cost)
+            tables.append(table)
+            run.rows_in += len(build_rows)
+
+        out_index = {
+            column.column_id: i for i, column in enumerate(node.columns)
+        }
+        for slot, rows in enumerate(probe_parts):
+            cost = EvalCost()
+            table = tables[slot]
+            out = parts_out[slot]
+            emitted = 0
+            for row in rows:
+                view = probe_rel.view(row)
+                key = tuple(expr.evaluate(view, cost) for expr in node.probe_keys)
+                if any(value is None for value in key):
+                    continue
+                matches = table.get(_hashable(key))
+                if not matches:
+                    continue
+                for build_row in matches:
+                    joined = (
+                        row + build_row if node.probe_is_left else build_row + row
+                    )
+                    if node.residual is not None:
+                        joined_view = RowJoinView(joined, out_index)
+                        if not node.residual.evaluate(joined_view, cost):
+                            continue
+                    out.append(joined)
+                    emitted += 1
+            run.charge_eval(slot, len(rows) + emitted, cost)
+            run.rows_in += len(rows)
+            run.rows_out += emitted
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return DistributedRelation(column_ids, parts_out, node.partitioning)
+
+    def _nested_loop_join(self, node: PNestedLoopJoin) -> DistributedRelation:
+        probe_rel = self.execute(node.probe)
+        build_rel = self.execute(node.build)
+        if build_rel.partitioning.kind != "broadcast":
+            raise ExecutionError("nested-loop build side must be broadcast")
+        run = self.cluster.operator("NestedLoopJoin")
+        build_rows = build_rel.partitions[0]
+        probe_parts, probe_was_broadcast = self._effective_partitions(probe_rel)
+        if probe_was_broadcast:
+            raise ExecutionError("nested-loop probe side cannot be broadcast")
+        out_index = {column.column_id: i for i, column in enumerate(node.columns)}
+        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
+        for slot, rows in enumerate(probe_parts):
+            cost = EvalCost()
+            out = parts_out[slot]
+            emitted = 0
+            for row in rows:
+                for build_row in build_rows:
+                    joined = (
+                        row + build_row if node.probe_is_left else build_row + row
+                    )
+                    if node.residual is not None:
+                        joined_view = RowJoinView(joined, out_index)
+                        if not node.residual.evaluate(joined_view, cost):
+                            continue
+                    out.append(joined)
+                    emitted += 1
+            run.charge_eval(slot, len(rows) * max(len(build_rows), 1) + emitted, cost)
+            run.rows_in += len(rows)
+            run.rows_out += emitted
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return DistributedRelation(column_ids, parts_out, node.partitioning)
+
+    def _partial_aggregate(self, node: PPartialAggregate) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("PartialAggregate")
+        parts_in, _ = self._effective_partitions(child)
+        if child.partitioning.kind == "broadcast":
+            raise ExecutionError("aggregating a broadcast relation")
+        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
+        for slot, rows in enumerate(parts_in):
+            cost = EvalCost()
+            groups: Dict[tuple, list] = {}
+            for row in rows:
+                view = child.view(row)
+                key = tuple(expr.evaluate(view, cost) for expr in node.group_exprs)
+                bucket = groups.get(_hashable(key))
+                if bucket is None:
+                    states = [
+                        set() if spec.distinct else spec.aggregate.create()
+                        for spec in node.aggregates
+                    ]
+                    bucket = [key, states]
+                    groups[_hashable(key)] = bucket
+                states = bucket[1]
+                for i, spec in enumerate(node.aggregates):
+                    value = (
+                        spec.arg.evaluate(view, cost) if spec.arg is not None else 1
+                    )
+                    if spec.distinct:
+                        if value is not None:
+                            states[i].add(value)
+                            cost.stream_bytes += value_bytes(value)
+                    else:
+                        states[i] = spec.aggregate.add(states[i], value)
+                        if value is not None:
+                            cost.stream_bytes += value_bytes(value)
+            out = parts_out[slot]
+            for key, states in groups.values():
+                out.append(tuple(key) + tuple(states))
+            # hash aggregation costs ~2x a plain per-tuple pass: hash the
+            # key, probe the table, update the state (this is why the
+            # paper's Figure 4 shows aggregation dominating the join)
+            run.charge_eval(slot, 2 * len(rows) + len(out), cost)
+            run.rows_in += len(rows)
+            run.rows_out += len(out)
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return DistributedRelation(column_ids, parts_out, ROUND_ROBIN)
+
+    def _final_aggregate(self, node: PFinalAggregate) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("FinalAggregate")
+        key_count = len(node.group_columns)
+        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
+        saw_rows = False
+        for slot, rows in enumerate(child.partitions):
+            cost = EvalCost()
+            merged: Dict[tuple, list] = {}
+            for row in rows:
+                saw_rows = True
+                key = row[:key_count]
+                states = row[key_count:]
+                bucket = merged.get(_hashable(key))
+                if bucket is None:
+                    merged[_hashable(key)] = [key, list(states)]
+                else:
+                    existing = bucket[1]
+                    for i, spec in enumerate(node.aggregates):
+                        if spec.distinct:
+                            existing[i] |= states[i]
+                        else:
+                            existing[i] = spec.aggregate.merge(existing[i], states[i])
+                for state in states:
+                    cost.stream_bytes += value_bytes(state) if state is not None else 1.0
+            out = parts_out[slot]
+            for key, states in merged.values():
+                finished = []
+                for spec, state in zip(node.aggregates, states):
+                    if spec.distinct:
+                        fold = spec.aggregate.create()
+                        for value in state:
+                            fold = spec.aggregate.add(fold, value)
+                        state = fold
+                    finished.append(spec.aggregate.finish(state))
+                out.append(tuple(key) + tuple(finished))
+            run.charge_eval(slot, len(rows), cost)
+            run.rows_in += len(rows)
+            run.rows_out += len(out)
+        if key_count == 0 and not saw_rows:
+            # SQL scalar aggregates yield exactly one row on empty input
+            finished = []
+            for spec in node.aggregates:
+                state = set() if spec.distinct else spec.aggregate.create()
+                if spec.distinct:
+                    state = spec.aggregate.create()
+                finished.append(spec.aggregate.finish(state))
+            parts_out[0].append(tuple(finished))
+            run.rows_out += 1
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return DistributedRelation(column_ids, parts_out, node.partitioning)
+
+    def _distinct(self, node: PDistinct) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"Distinct({'local' if node.local else 'final'})")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[List[tuple]] = []
+        for slot, rows in enumerate(parts_in):
+            seen = {}
+            for row in rows:
+                seen.setdefault(_hashable(row), row)
+            out = list(seen.values())
+            run.charge_cpu(
+                slot,
+                tuples=len(rows),
+                stream_bytes=sum(row_bytes(row) for row in rows),
+            )
+            run.rows_in += len(rows)
+            run.rows_out += len(out)
+            parts_out.append(out)
+        self.cluster.record(run)
+        return self._wrap_output(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+    def _sort_limit(self, node: PSortLimit) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"Sort({'final' if node.final else 'local'})")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[List[tuple]] = []
+        for slot, rows in enumerate(parts_in):
+            ordered = list(rows)
+            for expr, ascending in reversed(node.keys):
+                cost = EvalCost()
+                ordered.sort(
+                    key=lambda row: _sort_key(expr.evaluate(child.view(row), cost)),
+                    reverse=not ascending,
+                )
+                run.charge_eval(slot, 0, cost)
+            if node.limit is not None:
+                ordered = ordered[: node.limit]
+            comparisons = len(rows) * max(1.0, math.log2(len(rows) + 1))
+            run.charge_cpu(slot, tuples=comparisons)
+            run.rows_in += len(rows)
+            run.rows_out += len(ordered)
+            parts_out.append(ordered)
+        self.cluster.record(run)
+        return self._wrap_output(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+
+class RowJoinView:
+    """Column-id lookup over a freshly joined row."""
+
+    __slots__ = ("values", "index")
+
+    def __init__(self, values, index: Dict[int, int]):
+        self.values = values
+        self.index = index
+
+    def __getitem__(self, column_id: int):
+        return self.values[self.index[column_id]]
+
+
+def _hashable(key: tuple) -> tuple:
+    """SQL NULL keys are kept distinct per Python None semantics; values
+    (including Vector/Matrix) are hashable already."""
+    return key
+
+
+def _sort_key(value):
+    if value is None:
+        return (0, 0)
+    return (1, value)

@@ -1,0 +1,148 @@
+"""Partitioned tuple storage and in-flight distributed relations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..catalog import Schema
+from ..errors import ExecutionError
+from .cluster import stable_hash
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """How a distributed relation is spread over the cluster's slots.
+
+    ``kind`` is one of:
+
+    * ``roundrobin`` — rows dealt out in arrival order;
+    * ``hash`` — co-located by ``stable_hash`` of the key expressions
+      (``keys`` holds the structural keys of those expressions);
+    * ``broadcast`` — every slot holds a full copy;
+    * ``single`` — everything on slot 0 (gathered).
+    """
+
+    kind: str
+    keys: Tuple = ()
+
+    def co_partitioned_with(self, key_signature: Tuple) -> bool:
+        return self.kind == "hash" and self.keys == tuple(key_signature)
+
+
+ROUND_ROBIN = Partitioning("roundrobin")
+BROADCAST = Partitioning("broadcast")
+SINGLE = Partitioning("single")
+
+
+class RowView:
+    """Adapts a positional row tuple to the column-id lookups that
+    :class:`~repro.plan.expressions.TypedExpr` evaluation performs."""
+
+    __slots__ = ("values", "index")
+
+    def __init__(self, values: Sequence, index: Dict[int, int]):
+        self.values = values
+        self.index = index
+
+    def __getitem__(self, column_id: int):
+        return self.values[self.index[column_id]]
+
+
+class DistributedRelation:
+    """Rows spread across the cluster's slots.
+
+    ``column_ids`` gives the positional layout: value ``j`` of every row
+    belongs to plan column ``column_ids[j]``.
+    """
+
+    def __init__(
+        self,
+        column_ids: Sequence[int],
+        partitions: List[List[tuple]],
+        partitioning: Partitioning,
+    ):
+        self.column_ids = tuple(column_ids)
+        self.partitions = partitions
+        self.partitioning = partitioning
+        self.index = {column_id: i for i, column_id in enumerate(self.column_ids)}
+
+    @property
+    def row_count(self) -> int:
+        if self.partitioning.kind == "broadcast":
+            return len(self.partitions[0]) if self.partitions else 0
+        return sum(len(part) for part in self.partitions)
+
+    def view(self, values: Sequence) -> RowView:
+        return RowView(values, self.index)
+
+    def all_rows(self) -> List[tuple]:
+        if self.partitioning.kind == "broadcast":
+            return list(self.partitions[0]) if self.partitions else []
+        out: List[tuple] = []
+        for part in self.partitions:
+            out.extend(part)
+        return out
+
+
+class PartitionedTable:
+    """Base-table storage: rows partitioned across slots at load time."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        slots: int,
+        partition_by: Optional[Sequence[str]] = None,
+    ):
+        self.schema = schema
+        self.slots = slots
+        #: column names the table is hash-partitioned on (None = round robin)
+        self.partition_by = list(partition_by) if partition_by else None
+        self._key_positions: Optional[List[int]] = None
+        if self.partition_by:
+            self._key_positions = []
+            for name in self.partition_by:
+                position = schema.index_of(name)
+                if position is None:
+                    raise ExecutionError(
+                        f"cannot partition on unknown column {name!r}"
+                    )
+                self._key_positions.append(position)
+        self.partitions: List[List[tuple]] = [[] for _ in range(slots)]
+        self._next = 0
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(part) for part in self.partitions)
+
+    def insert(self, row: Sequence) -> None:
+        values = tuple(row)
+        if self._key_positions is None:
+            slot = self._next % self.slots
+            self._next += 1
+        else:
+            key = tuple(values[i] for i in self._key_positions)
+            slot = stable_hash(key) % self.slots
+        self.partitions[slot].append(values)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        self.partitions = [[] for _ in range(self.slots)]
+        self._next = 0
+
+    def all_rows(self) -> List[tuple]:
+        out: List[tuple] = []
+        for part in self.partitions:
+            out.extend(part)
+        return out
+
+    def total_bytes(self) -> float:
+        from .cluster import row_bytes
+
+        return sum(row_bytes(row) for part in self.partitions for row in part)

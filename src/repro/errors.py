@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro database system.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch a single base class. The split between compile-time and
+run-time errors mirrors the paper: size mismatches between *declared*
+MATRIX/VECTOR dimensions are compile errors (section 4.2), while mismatches
+that involve dimensions left unspecified in the schema only surface at run
+time (section 3.1).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro system."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class CompileError(ReproError):
+    """Semantic analysis failed: unknown name, bad types, arity, etc."""
+
+
+class TypeCheckError(CompileError):
+    """A type or declared vector/matrix dimension mismatch found at
+    compile time."""
+
+
+class NameResolutionError(CompileError):
+    """A table, column, or function name could not be resolved."""
+
+
+class CatalogError(ReproError):
+    """Catalog-level problem: duplicate table, missing table, etc."""
+
+
+class ExecutionError(ReproError):
+    """A query failed while executing."""
+
+
+class RuntimeTypeError(ExecutionError):
+    """A dimension mismatch involving dimensions that were unspecified in
+    the schema, discovered only when the offending tuples flowed through
+    the plan (section 3.1 of the paper)."""
+
+
+class ResourceExhaustedError(ExecutionError):
+    """The simulated cluster ran out of a resource (e.g. per-worker RAM),
+    corresponding to the 'Fail' entries in the paper's Figure 3."""

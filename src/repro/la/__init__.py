@@ -1,0 +1,28 @@
+"""Linear algebra kernel: built-in functions, overloaded arithmetic and
+aggregates (paper sections 3.1-3.3)."""
+
+from .aggregates import Aggregate, is_aggregate_name, lookup_aggregate
+from .arithmetic import (
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    arithmetic_flops,
+    arithmetic_result_type,
+    comparison_result_type,
+    python_operator,
+)
+from .functions import BuiltinFunction, all_builtins, lookup
+
+__all__ = [
+    "ARITHMETIC_OPS",
+    "Aggregate",
+    "BuiltinFunction",
+    "COMPARISON_OPS",
+    "all_builtins",
+    "arithmetic_flops",
+    "arithmetic_result_type",
+    "comparison_result_type",
+    "is_aggregate_name",
+    "lookup",
+    "lookup_aggregate",
+    "python_operator",
+]

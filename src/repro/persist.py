@@ -1,0 +1,111 @@
+"""Saving and restoring a database to/from a single file.
+
+The on-disk format is a versioned pickle of plain data: schemas as
+``(name, type-string)`` pairs, table rows (vectors/matrices as numpy
+arrays), partitioning metadata, statistics-relevant row data, and view
+definitions as their original ASTs. It is an *internal* format — the
+paper's system keeps its data on HDFS; this is the laptop equivalent so
+a loaded workload can be reused across sessions.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+from .config import ClusterConfig
+from .errors import ReproError
+from .types import LabeledScalar, Matrix, Vector
+
+FORMAT_VERSION = 1
+MAGIC = "repro-database"
+
+
+def _freeze_value(value):
+    """Convert engine values to plain picklable data."""
+    if isinstance(value, Vector):
+        return ("vec", value.data, value.label)
+    if isinstance(value, Matrix):
+        return ("mat", value.data)
+    if isinstance(value, LabeledScalar):
+        return ("ls", value.value, value.label)
+    return ("raw", value)
+
+
+def _thaw_value(frozen):
+    kind = frozen[0]
+    if kind == "vec":
+        return Vector(frozen[1], label=frozen[2])
+    if kind == "mat":
+        return Matrix(frozen[1])
+    if kind == "ls":
+        return LabeledScalar(frozen[1], frozen[2])
+    return frozen[1]
+
+
+def save_database(db, path: str) -> None:
+    """Serialize a :class:`repro.Database` (schemas, data, views) to
+    ``path``."""
+    tables = []
+    for entry in db.catalog.tables():
+        tables.append(
+            {
+                "name": entry.name,
+                "columns": [
+                    (column.name, repr(column.data_type))
+                    for column in entry.schema
+                ],
+                "partition_by": entry.storage.partition_by,
+                "rows": [
+                    tuple(_freeze_value(value) for value in row)
+                    for row in entry.storage.all_rows()
+                ],
+            }
+        )
+    views = [
+        {
+            "name": view.name,
+            "query": view.query,  # plain-dataclass AST, picklable
+            "column_names": view.column_names,
+        }
+        for view in db.catalog._views.values()
+    ]
+    payload = {
+        "magic": MAGIC,
+        "version": FORMAT_VERSION,
+        "config": db.config,
+        "tables": tables,
+        "views": views,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_database(path: str, config: Optional[ClusterConfig] = None):
+    """Recreate a :class:`repro.Database` saved with
+    :func:`save_database`; ``config`` overrides the saved cluster shape
+    (data is re-partitioned for the new slot count)."""
+    from .db import Database
+
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
+        raise ReproError(f"{path!r} is not a repro database file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported database file version {payload.get('version')!r}"
+        )
+    db = Database(config or payload["config"])
+    for table in payload["tables"]:
+        db.create_table(
+            table["name"], table["columns"], partition_by=table["partition_by"]
+        )
+        rows = [
+            tuple(_thaw_value(value) for value in row) for row in table["rows"]
+        ]
+        entry = db.catalog.table(table["name"])
+        entry.storage.insert_many(rows)
+        db._refresh_stats(entry)
+    for view in payload["views"]:
+        db.catalog.create_view(view["name"], view["query"], view["column_names"])
+    return db

@@ -1,0 +1,65 @@
+"""Query planning: binding, optimization, physical planning."""
+
+from .binder import Binder
+from .cost import CostModel, Estimate
+from .expressions import (
+    BinaryExpr,
+    BoolExpr,
+    ColumnVar,
+    EvalCost,
+    FuncExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NegExpr,
+    NotExpr,
+    TypedExpr,
+    and_together,
+    conjuncts,
+)
+from .logical import (
+    AggregateNode,
+    AggSpec,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LogicalNode,
+    OutputColumn,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from .optimizer import Optimizer, optimize_plan, substitute
+from .physical import PhysicalNode, PhysicalPlanner
+
+__all__ = [
+    "AggSpec",
+    "AggregateNode",
+    "BinaryExpr",
+    "Binder",
+    "BoolExpr",
+    "ColumnVar",
+    "CostModel",
+    "DistinctNode",
+    "Estimate",
+    "EvalCost",
+    "FilterNode",
+    "FuncExpr",
+    "IsNullExpr",
+    "JoinNode",
+    "LiteralExpr",
+    "LogicalNode",
+    "NegExpr",
+    "NotExpr",
+    "Optimizer",
+    "OutputColumn",
+    "PhysicalNode",
+    "PhysicalPlanner",
+    "ProjectNode",
+    "ScanNode",
+    "SortNode",
+    "TypedExpr",
+    "and_together",
+    "conjuncts",
+    "optimize_plan",
+    "substitute",
+]

@@ -1,0 +1,329 @@
+"""Size-aware cost estimation (paper section 4).
+
+The estimator walks a logical plan bottom-up producing an
+:class:`Estimate` per node: row count, per-column distinct counts, and the
+row width in bytes. Widths come from the *types* — and since templated
+signatures give the optimizer the exact dimensions of every vector/matrix
+intermediate, an 80 MB ``MATRIX[100000][100]`` attribute is costed as
+80 MB, which is precisely what lets the optimizer find the
+``(pi(S x R)) |x| T`` plan in the paper's section 4.1 example.
+
+Costs are expressed in estimated *seconds* on the configured cluster so
+that data movement (bytes / bandwidth) and compute (FLOPs / rate) share a
+currency.
+
+A **size-blind** mode is provided for the ablation benchmark: it prices
+every attribute at a constant width, which is how an optimizer without LA
+type information would behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import ClusterConfig
+from ..types import DataType
+from .expressions import (
+    BinaryExpr,
+    BoolExpr,
+    ColumnVar,
+    IsNullExpr,
+    LiteralExpr,
+    NotExpr,
+    TypedExpr,
+)
+from .logical import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+#: Selectivity guesses when statistics are missing.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_NEQ_SELECTIVITY = 0.9
+
+
+@dataclass
+class Estimate:
+    """Estimated properties of one plan node's output."""
+
+    rows: float
+    width_bytes: float
+    distinct: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.rows * self.width_bytes
+
+
+class CostModel:
+    """Estimates cardinalities and execution cost in seconds."""
+
+    def __init__(self, config: ClusterConfig, size_blind: bool = False):
+        self.config = config
+        self.size_blind = size_blind
+
+    # -- widths ---------------------------------------------------------------
+
+    def type_width(self, data_type: DataType) -> float:
+        if self.size_blind:
+            return 8.0
+        return data_type.size_bytes()
+
+    def row_width(self, node: LogicalNode) -> float:
+        overhead = 16.0
+        return overhead + sum(
+            self.type_width(column.data_type) for column in node.columns
+        )
+
+    # -- cardinality ------------------------------------------------------------
+
+    def estimate(self, node: LogicalNode) -> Estimate:
+        if isinstance(node, ScanNode):
+            return self._estimate_scan(node)
+        if isinstance(node, FilterNode):
+            child = self.estimate(node.child)
+            selectivity = self.selectivity(node.predicate, child)
+            return Estimate(
+                max(child.rows * selectivity, 1.0),
+                self.row_width(node),
+                {
+                    key: min(value, max(child.rows * selectivity, 1.0))
+                    for key, value in child.distinct.items()
+                },
+            )
+        if isinstance(node, ProjectNode):
+            child = self.estimate(node.child)
+            distinct = {}
+            for expr, column in zip(node.exprs, node.columns):
+                if isinstance(expr, ColumnVar) and expr.column_id in child.distinct:
+                    distinct[column.column_id] = child.distinct[expr.column_id]
+            # pass-through ids keep their stats too (identity projections)
+            for key, value in child.distinct.items():
+                if any(
+                    isinstance(expr, ColumnVar) and expr.column_id == key
+                    for expr in node.exprs
+                ):
+                    distinct.setdefault(key, value)
+            return Estimate(child.rows, self.row_width(node), distinct)
+        if isinstance(node, JoinNode):
+            return self._estimate_join(node)
+        if isinstance(node, AggregateNode):
+            return self._estimate_aggregate(node)
+        if isinstance(node, DistinctNode):
+            child = self.estimate(node.child)
+            return Estimate(
+                max(child.rows * 0.9, 1.0), self.row_width(node), dict(child.distinct)
+            )
+        if isinstance(node, SortNode):
+            child = self.estimate(node.child)
+            rows = child.rows
+            if node.limit is not None:
+                rows = min(rows, float(node.limit))
+            return Estimate(rows, child.width_bytes, dict(child.distinct))
+        raise TypeError(f"cannot estimate {type(node).__name__}")
+
+    def _estimate_scan(self, node: ScanNode) -> Estimate:
+        rows = float(max(node.table.stats.row_count, 1))
+        distinct = {}
+        for column in node.columns:
+            stat = node.table.stats.distinct(column.name)
+            if stat is not None:
+                distinct[column.column_id] = float(stat)
+        return Estimate(rows, self.row_width(node), distinct)
+
+    def _estimate_join(self, node: JoinNode) -> Estimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        rows = left.rows * right.rows
+        for left_key, right_key in node.equi:
+            left_distinct = self._expr_distinct(left_key, left)
+            right_distinct = self._expr_distinct(right_key, right)
+            rows /= max(left_distinct, right_distinct, 1.0)
+        combined = Estimate(max(rows, 1.0), self.row_width(node))
+        combined.distinct = {**left.distinct, **right.distinct}
+        if node.residual is not None:
+            combined.rows = max(
+                combined.rows * self.selectivity(node.residual, combined), 1.0
+            )
+        return combined
+
+    def _estimate_aggregate(self, node: AggregateNode) -> Estimate:
+        child = self.estimate(node.child)
+        if not node.group_exprs:
+            groups = 1.0
+        else:
+            groups = 1.0
+            for expr in node.group_exprs:
+                groups *= self._expr_distinct(expr, child)
+            groups = min(groups, child.rows)
+        distinct = {}
+        for expr, column in zip(node.group_exprs, node.group_columns):
+            distinct[column.column_id] = min(self._expr_distinct(expr, child), groups)
+        return Estimate(max(groups, 1.0), self.row_width(node), distinct)
+
+    def _expr_distinct(self, expr: TypedExpr, estimate: Estimate) -> float:
+        if isinstance(expr, ColumnVar):
+            known = estimate.distinct.get(expr.column_id)
+            if known is not None:
+                return known
+        return max(estimate.rows / 10.0, 1.0)
+
+    # -- selectivity ------------------------------------------------------------
+
+    def selectivity(self, predicate: TypedExpr, input_est: Estimate) -> float:
+        if isinstance(predicate, BoolExpr):
+            left = self.selectivity(predicate.left, input_est)
+            right = self.selectivity(predicate.right, input_est)
+            if predicate.op == "AND":
+                return left * right
+            return min(left + right, 1.0)
+        if isinstance(predicate, NotExpr):
+            return 1.0 - self.selectivity(predicate.operand, input_est)
+        if isinstance(predicate, IsNullExpr):
+            return 0.95 if predicate.negated else 0.05
+        if isinstance(predicate, BinaryExpr):
+            if predicate.op == "=":
+                for side, other in (
+                    (predicate.left, predicate.right),
+                    (predicate.right, predicate.left),
+                ):
+                    if isinstance(side, ColumnVar) and isinstance(other, LiteralExpr):
+                        distinct = input_est.distinct.get(side.column_id)
+                        if distinct:
+                            return 1.0 / distinct
+                        return DEFAULT_EQ_SELECTIVITY
+                left_d = self._expr_distinct(predicate.left, input_est)
+                right_d = self._expr_distinct(predicate.right, input_est)
+                return 1.0 / max(left_d, right_d, 1.0)
+            if predicate.op in ("<>", "!="):
+                return DEFAULT_NEQ_SELECTIVITY
+            if predicate.op in ("<", ">", "<=", ">="):
+                return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(predicate, LiteralExpr):
+            return 1.0 if predicate.value else 0.0
+        return 0.5
+
+    # -- costs (seconds) ----------------------------------------------------------
+
+    def _cpu_seconds(self, rows: float, expr_flops: float, expr_bytes: float) -> float:
+        config = self.config
+        per_row = (
+            config.tuple_cpu_s
+            + expr_flops / config.flop_rate
+            + expr_bytes / config.stream_rate
+        )
+        return rows * per_row / config.slots
+
+    def _shuffle_seconds(self, total_bytes: float, rows: float) -> float:
+        """A hash/gather exchange in the MapReduce execution model: map
+        output spilled to disk, moved over the network, read back by the
+        reduce side."""
+        config = self.config
+        transfer = total_bytes / config.network_rate / config.machines
+        materialize = 2.0 * total_bytes / config.disk_rate / config.machines
+        serialization = rows * config.tuple_cpu_s / config.slots
+        return transfer + materialize + serialization
+
+    def _broadcast_seconds(self, side_bytes: float, rows: float) -> float:
+        """Replicating one side to every machine (a map-side join): pure
+        network plus deserialization, no reduce materialization."""
+        config = self.config
+        transfer = side_bytes / config.network_rate  # machines copies / machines
+        deserialize = rows * config.tuple_cpu_s / config.cores_per_machine
+        return transfer + deserialize
+
+    def scan_cost(self, estimate: Estimate) -> float:
+        config = self.config
+        return (
+            estimate.total_bytes / config.disk_rate / config.machines
+            + estimate.rows * config.tuple_cpu_s / config.slots
+        )
+
+    def filter_cost(self, input_est: Estimate, predicate: TypedExpr) -> float:
+        return self._cpu_seconds(
+            input_est.rows, predicate.total_flops(), predicate.total_bytes_touched()
+        )
+
+    def project_cost(self, input_rows: float, exprs) -> float:
+        flops = sum(expr.total_flops() for expr in exprs)
+        stream = sum(expr.total_bytes_touched() for expr in exprs)
+        return self._cpu_seconds(input_rows, flops, stream)
+
+    def join_cost(
+        self, left: Estimate, right: Estimate, output: Estimate, is_cross: bool
+    ) -> float:
+        """Cost of a distributed join: the cheaper of broadcasting the
+        smaller input (map-side, output pipelined) or repartitioning both
+        (reduce-side, output materialized to disk), plus probe/emit CPU."""
+        smaller_bytes = min(left.total_bytes, right.total_bytes)
+        smaller_rows = min(left.rows, right.rows)
+        broadcast = self._broadcast_seconds(smaller_bytes, smaller_rows)
+        if is_cross:
+            movement = broadcast
+        else:
+            repartition = self._shuffle_seconds(
+                left.total_bytes + right.total_bytes, left.rows + right.rows
+            ) + 2.0 * output.total_bytes / self.config.disk_rate / self.config.machines
+            movement = min(broadcast, repartition)
+        build_probe = self._cpu_seconds(left.rows + right.rows, 0.0, 8.0)
+        emit = self._cpu_seconds(output.rows, 0.0, 8.0)
+        return movement + build_probe + emit
+
+    def aggregate_cost(self, input_est: Estimate, node: AggregateNode, output: Estimate) -> float:
+        arg_flops = sum(
+            spec.arg.total_flops() for spec in node.aggregates if spec.arg is not None
+        )
+        arg_bytes = sum(
+            spec.arg.total_bytes_touched()
+            for spec in node.aggregates
+            if spec.arg is not None
+        )
+        accumulate_bytes = sum(
+            spec.aggregate.add_flops(spec.arg.data_type) * 8.0
+            for spec in node.aggregates
+            if spec.arg is not None
+        )
+        consume = self._cpu_seconds(
+            input_est.rows, arg_flops, arg_bytes + accumulate_bytes
+        )
+        shuffle = self._shuffle_seconds(output.total_bytes, output.rows)
+        return consume + shuffle
+
+    def plan_cost(self, node: LogicalNode) -> float:
+        """Total estimated cost of a plan, in seconds."""
+        estimate = self.estimate(node)
+        if isinstance(node, ScanNode):
+            return self.scan_cost(estimate)
+        child_cost = sum(self.plan_cost(child) for child in node.children())
+        if isinstance(node, FilterNode):
+            child_est = self.estimate(node.child)
+            return child_cost + self.filter_cost(child_est, node.predicate)
+        if isinstance(node, ProjectNode):
+            child_est = self.estimate(node.child)
+            return child_cost + self.project_cost(child_est.rows, node.exprs)
+        if isinstance(node, JoinNode):
+            left = self.estimate(node.left)
+            right = self.estimate(node.right)
+            return child_cost + self.join_cost(left, right, estimate, node.is_cross)
+        if isinstance(node, AggregateNode):
+            child_est = self.estimate(node.child)
+            return child_cost + self.aggregate_cost(child_est, node, estimate)
+        if isinstance(node, DistinctNode):
+            child_est = self.estimate(node.child)
+            return child_cost + self._shuffle_seconds(
+                child_est.total_bytes, child_est.rows
+            )
+        if isinstance(node, SortNode):
+            child_est = self.estimate(node.child)
+            return child_cost + self._shuffle_seconds(
+                child_est.total_bytes, child_est.rows
+            )
+        raise TypeError(f"cannot cost {type(node).__name__}")

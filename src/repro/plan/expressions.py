@@ -1,0 +1,472 @@
+"""Typed, executable expression trees.
+
+The binder converts AST expressions into these nodes. Every node knows:
+
+* its result :class:`~repro.types.DataType` (with vector/matrix dimensions
+  inferred through templated signatures, section 4.2);
+* how to evaluate itself against a row (a dict from column id to value);
+* its estimated **compute cost per evaluation**, split into ``flops``
+  (dense kernels such as ``matrix_multiply`` that run at the machine's
+  floating-point rate) and ``bytes_touched`` (element-wise arithmetic and
+  data movement that run at memory-streaming rate).
+
+Columns are referenced by **column id** — a plan-wide unique integer
+assigned at bind time — so that join reordering never has to renumber
+expression slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, TypeCheckError
+from ..la import (
+    arithmetic_flops,
+    arithmetic_result_type,
+    comparison_result_type,
+    python_operator,
+)
+from ..la.functions import BuiltinFunction
+from ..types import BOOLEAN, DOUBLE, DataType, LabeledScalar
+from ..types.scalar import DoubleType, IntegerType
+
+Row = Dict[int, object]
+
+
+class EvalCost:
+    """Accumulator for the *actual* work done while evaluating
+    expressions over real values; the simulated cluster charges time from
+    these numbers, so mispriced static estimates (unknown dimensions) never
+    distort the simulation.
+
+    Work is split into BLAS-3 flops (big cache-friendly kernels), BLAS-1/2
+    flops (memory-bound dots/outers), streamed bytes (element-wise
+    arithmetic and aggregation), and built-in function invocations (each
+    costs one tuple-overhead, like a UDF call)."""
+
+    __slots__ = ("flops", "blas1_flops", "stream_bytes", "calls")
+
+    def __init__(self):
+        self.flops = 0.0
+        self.blas1_flops = 0.0
+        self.stream_bytes = 0.0
+        self.calls = 0
+
+
+def _value_elements(value) -> float:
+    """Number of scalar elements in a runtime value."""
+    from ..types import Matrix, Vector  # local import avoids a cycle
+
+    if isinstance(value, Vector):
+        return float(value.length)
+    if isinstance(value, Matrix):
+        return float(value.rows * value.cols)
+    return 1.0
+
+
+class TypedExpr:
+    """Base class for bound expressions."""
+
+    data_type: DataType
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        raise NotImplementedError
+
+    def children(self) -> Sequence["TypedExpr"]:
+        return ()
+
+    @property
+    def column_ids(self) -> FrozenSet[int]:
+        """All column ids this expression reads."""
+        ids: set = set()
+        stack: List[TypedExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ColumnVar):
+                ids.add(node.column_id)
+            stack.extend(node.children())
+        return frozenset(ids)
+
+    def flops(self) -> float:
+        """Dense-kernel FLOPs per evaluation (this node only)."""
+        return 0.0
+
+    def bytes_touched(self) -> float:
+        """Streaming bytes per evaluation (this node only)."""
+        return 0.0
+
+    def total_flops(self) -> float:
+        return self.flops() + sum(child.total_flops() for child in self.children())
+
+    def total_bytes_touched(self) -> float:
+        return self.bytes_touched() + sum(
+            child.total_bytes_touched() for child in self.children()
+        )
+
+    def key(self) -> Tuple:
+        """A structural identity used to match GROUP BY expressions with
+        select-list expressions."""
+        raise NotImplementedError
+
+
+class LiteralExpr(TypedExpr):
+    def __init__(self, value, data_type: DataType):
+        self.value = value
+        self.data_type = data_type
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        return self.value
+
+    def key(self):
+        return ("lit", repr(self.value))
+
+    def __repr__(self):
+        return f"Literal({self.value!r})"
+
+
+class ColumnVar(TypedExpr):
+    def __init__(self, column_id: int, data_type: DataType, name: str = ""):
+        self.column_id = column_id
+        self.data_type = data_type
+        self.name = name
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        return row[self.column_id]
+
+    def key(self):
+        return ("col", self.column_id)
+
+    def __repr__(self):
+        return f"Col#{self.column_id}({self.name})"
+
+
+class BinaryExpr(TypedExpr):
+    """Arithmetic or comparison over two operands."""
+
+    def __init__(self, op: str, left: TypedExpr, right: TypedExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+        if op in ("+", "-", "*", "/"):
+            self.data_type = arithmetic_result_type(op, left.data_type, right.data_type)
+            self._bytes = 8.0 * arithmetic_flops(op, left.data_type, right.data_type)
+        else:
+            self.data_type = comparison_result_type(op, left.data_type, right.data_type)
+            self._bytes = 8.0
+        self._fn = python_operator(op)
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        left = self.left.evaluate(row, cost)
+        right = self.right.evaluate(row, cost)
+        if left is None or right is None:
+            return None
+        if cost is not None:
+            cost.stream_bytes += 8.0 * max(
+                _value_elements(left), _value_elements(right)
+            )
+        if self.op in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            left = _plain(left)
+            right = _plain(right)
+        return self._fn(left, right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def bytes_touched(self) -> float:
+        return self._bytes
+
+    def key(self):
+        return ("bin", self.op, self.left.key(), self.right.key())
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _plain(value):
+    """Strip labels before comparing."""
+    if isinstance(value, LabeledScalar):
+        return value.value
+    return value
+
+
+class BoolExpr(TypedExpr):
+    """AND / OR with SQL three-valued logic reduced to two-valued by
+    treating NULL as false (sufficient for this dialect)."""
+
+    data_type = BOOLEAN
+
+    def __init__(self, op: str, left: TypedExpr, right: TypedExpr):
+        if op not in ("AND", "OR"):
+            raise ValueError(op)
+        for side in (left, right):
+            if side.data_type != BOOLEAN:
+                raise TypeCheckError(f"{op} requires boolean operands, got {side!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        left = bool(self.left.evaluate(row, cost))
+        if self.op == "AND":
+            return left and bool(self.right.evaluate(row, cost))
+        return left or bool(self.right.evaluate(row, cost))
+
+    def children(self):
+        return (self.left, self.right)
+
+    def key(self):
+        return ("bool", self.op, self.left.key(), self.right.key())
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class NotExpr(TypedExpr):
+    data_type = BOOLEAN
+
+    def __init__(self, operand: TypedExpr):
+        if operand.data_type != BOOLEAN:
+            raise TypeCheckError(f"NOT requires a boolean operand, got {operand!r}")
+        self.operand = operand
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        return not bool(self.operand.evaluate(row, cost))
+
+    def children(self):
+        return (self.operand,)
+
+    def key(self):
+        return ("not", self.operand.key())
+
+    def __repr__(self):
+        return f"NOT {self.operand!r}"
+
+
+class NegExpr(TypedExpr):
+    """Unary minus."""
+
+    def __init__(self, operand: TypedExpr):
+        if not operand.data_type.is_numeric():
+            raise TypeCheckError(f"unary minus on non-numeric {operand!r}")
+        self.operand = operand
+        data_type = operand.data_type
+        if isinstance(data_type, IntegerType):
+            self.data_type = data_type
+        elif data_type.is_tensor():
+            self.data_type = data_type
+        else:
+            self.data_type = DOUBLE
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        value = self.operand.evaluate(row, cost)
+        if cost is not None and value is not None:
+            cost.stream_bytes += 8.0 * _value_elements(value)
+        return None if value is None else -value
+
+    def children(self):
+        return (self.operand,)
+
+    def bytes_touched(self) -> float:
+        return 8.0
+
+    def key(self):
+        return ("neg", self.operand.key())
+
+    def __repr__(self):
+        return f"-{self.operand!r}"
+
+
+class IsNullExpr(TypedExpr):
+    data_type = BOOLEAN
+
+    def __init__(self, operand: TypedExpr, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        is_null = self.operand.evaluate(row, cost) is None
+        return not is_null if self.negated else is_null
+
+    def children(self):
+        return (self.operand,)
+
+    def key(self):
+        return ("isnull", self.negated, self.operand.key())
+
+    def __repr__(self):
+        negation = " NOT" if self.negated else ""
+        return f"{self.operand!r} IS{negation} NULL"
+
+
+class CaseExpr(TypedExpr):
+    """``CASE WHEN ... THEN ... [ELSE ...] END`` with typed branches.
+
+    All branch values must share a type, except that plain numeric
+    scalars promote to DOUBLE; a missing ELSE yields NULL.
+    """
+
+    def __init__(
+        self,
+        whens: List[Tuple[TypedExpr, TypedExpr]],
+        otherwise: Optional[TypedExpr] = None,
+    ):
+        if not whens:
+            raise TypeCheckError("CASE requires at least one WHEN branch")
+        for condition, _ in whens:
+            if condition.data_type != BOOLEAN:
+                raise TypeCheckError(
+                    f"CASE conditions must be boolean, got {condition!r}"
+                )
+        self.whens = list(whens)
+        self.otherwise = otherwise
+        branch_types = [value.data_type for _, value in whens]
+        if otherwise is not None:
+            branch_types.append(otherwise.data_type)
+        self.data_type = _common_branch_type(branch_types)
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        for condition, value in self.whens:
+            if condition.evaluate(row, cost):
+                return value.evaluate(row, cost)
+        if self.otherwise is not None:
+            return self.otherwise.evaluate(row, cost)
+        return None
+
+    def children(self):
+        out: List[TypedExpr] = []
+        for condition, value in self.whens:
+            out.append(condition)
+            out.append(value)
+        if self.otherwise is not None:
+            out.append(self.otherwise)
+        return tuple(out)
+
+    def key(self):
+        parts = tuple(
+            (condition.key(), value.key()) for condition, value in self.whens
+        )
+        tail = self.otherwise.key() if self.otherwise is not None else None
+        return ("case", parts, tail)
+
+    def __repr__(self):
+        inner = " ".join(
+            f"WHEN {condition!r} THEN {value!r}" for condition, value in self.whens
+        )
+        if self.otherwise is not None:
+            inner += f" ELSE {self.otherwise!r}"
+        return f"CASE {inner} END"
+
+
+def _common_branch_type(branch_types: List[DataType]) -> DataType:
+    from ..types import common_numeric_type
+
+    result = branch_types[0]
+    for other in branch_types[1:]:
+        if other == result:
+            continue
+        promoted = common_numeric_type(result, other)
+        if promoted is None:
+            raise TypeCheckError(
+                f"CASE branches have incompatible types {result!r} and {other!r}"
+            )
+        result = promoted
+    return result
+
+
+class FuncExpr(TypedExpr):
+    """A call to a built-in LA function; the result type was inferred by
+    binding the templated signature against the argument types."""
+
+    def __init__(self, builtin: BuiltinFunction, args: List[TypedExpr]):
+        self.builtin = builtin
+        self.args = list(args)
+        self.data_type = builtin.bind([arg.data_type for arg in self.args])
+        self._flops = builtin.estimate_flops([arg.data_type for arg in self.args])
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        values = [arg.evaluate(row, cost) for arg in self.args]
+        if any(value is None for value in values):
+            return None
+        if cost is not None:
+            cost.calls += 1
+            if self.builtin.kind == "blas3":
+                cost.flops += self.builtin.runtime_flops(values)
+            else:
+                cost.blas1_flops += self.builtin.runtime_flops(values)
+        return self.builtin(*values)
+
+    def children(self):
+        return tuple(self.args)
+
+    def flops(self) -> float:
+        return self._flops
+
+    def key(self):
+        return ("fn", self.builtin.name, tuple(arg.key() for arg in self.args))
+
+    def __repr__(self):
+        inner = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.builtin.name}({inner})"
+
+
+def conjuncts(expr: Optional[TypedExpr]) -> List[TypedExpr]:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BoolExpr) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def and_together(parts: Sequence[TypedExpr]) -> Optional[TypedExpr]:
+    """Combine conjuncts back into one predicate (None when empty)."""
+    result: Optional[TypedExpr] = None
+    for part in parts:
+        result = part if result is None else BoolExpr("AND", result, part)
+    return result
+
+
+def remap_columns(expr: TypedExpr, mapping: Dict[int, TypedExpr]) -> TypedExpr:
+    """Rewrite an expression, substituting column vars via ``mapping``.
+
+    Used when inlining views and pre-projections. Columns not in the
+    mapping are left as-is.
+    """
+    if isinstance(expr, ColumnVar):
+        replacement = mapping.get(expr.column_id)
+        return replacement if replacement is not None else expr
+    if isinstance(expr, LiteralExpr):
+        return expr
+    if isinstance(expr, BinaryExpr):
+        return BinaryExpr(
+            expr.op,
+            remap_columns(expr.left, mapping),
+            remap_columns(expr.right, mapping),
+        )
+    if isinstance(expr, BoolExpr):
+        return BoolExpr(
+            expr.op,
+            remap_columns(expr.left, mapping),
+            remap_columns(expr.right, mapping),
+        )
+    if isinstance(expr, NotExpr):
+        return NotExpr(remap_columns(expr.operand, mapping))
+    if isinstance(expr, NegExpr):
+        return NegExpr(remap_columns(expr.operand, mapping))
+    if isinstance(expr, IsNullExpr):
+        return IsNullExpr(remap_columns(expr.operand, mapping), expr.negated)
+    if isinstance(expr, FuncExpr):
+        return FuncExpr(
+            expr.builtin, [remap_columns(arg, mapping) for arg in expr.args]
+        )
+    if isinstance(expr, CaseExpr):
+        return CaseExpr(
+            [
+                (remap_columns(condition, mapping), remap_columns(value, mapping))
+                for condition, value in expr.whens
+            ],
+            remap_columns(expr.otherwise, mapping)
+            if expr.otherwise is not None
+            else None,
+        )
+    raise ExecutionError(f"cannot remap expression {expr!r}")

@@ -1,0 +1,491 @@
+"""Cost-based plan optimization (paper section 4).
+
+The optimizer works on *query regions*: a tree of Filter/Join nodes over
+relation leaves (scans, view plans, subquery plans, aggregates). Within a
+region it
+
+1. splits the predicates into conjuncts and classifies them
+   (single-relation filters are pushed down; cross-relation equalities
+   become hash-join keys — including expression keys like the paper's
+   ``x.id/1000 = ind.mi``; everything else becomes a residual predicate);
+2. enumerates join orders with Selinger-style dynamic programming,
+   **including cross products**, costing each candidate with the
+   size-aware :class:`~repro.plan.cost.CostModel`;
+3. applies **early projection**: as soon as all inputs of a pending
+   projection expression are available and evaluating it would shrink the
+   intermediate rows, the expression is computed and its (possibly huge)
+   inputs are dropped. This is exactly how the section 4.1 example plan
+   ``(pi(S x R)) |x| T`` beats ``pi((S |x| T) |x| R)``: the 80 MB matrices
+   are multiplied away into 8 KB results before anything is joined with T;
+4. prunes columns nothing downstream needs.
+
+With a size-blind cost model (the ablation), every attribute looks 8
+bytes wide, early projection never looks beneficial, and the optimizer
+degenerates to a classical join-graph-following planner — reproducing the
+"bad" plan of section 4.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .cost import CostModel
+from .expressions import (
+    BinaryExpr,
+    BoolExpr,
+    CaseExpr,
+    ColumnVar,
+    FuncExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NegExpr,
+    NotExpr,
+    TypedExpr,
+    and_together,
+    conjuncts,
+)
+from .logical import (
+    AggregateNode,
+    AggSpec,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LogicalNode,
+    OutputColumn,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+#: Above this many relations in one region, fall back from exhaustive DP to
+#: a greedy pairing heuristic.
+DP_RELATION_LIMIT = 10
+
+Subst = Dict[tuple, ColumnVar]
+
+
+def substitute(expr: TypedExpr, subst: Subst) -> TypedExpr:
+    """Replace any subtree whose structural key appears in ``subst`` with
+    the corresponding column reference (largest subtrees win)."""
+    if not subst:
+        return expr
+    replacement = subst.get(expr.key())
+    if replacement is not None:
+        return replacement
+    if isinstance(expr, (ColumnVar, LiteralExpr)):
+        return expr
+    if isinstance(expr, BinaryExpr):
+        return BinaryExpr(
+            expr.op, substitute(expr.left, subst), substitute(expr.right, subst)
+        )
+    if isinstance(expr, BoolExpr):
+        return BoolExpr(
+            expr.op, substitute(expr.left, subst), substitute(expr.right, subst)
+        )
+    if isinstance(expr, NotExpr):
+        return NotExpr(substitute(expr.operand, subst))
+    if isinstance(expr, NegExpr):
+        return NegExpr(substitute(expr.operand, subst))
+    if isinstance(expr, IsNullExpr):
+        return IsNullExpr(substitute(expr.operand, subst), expr.negated)
+    if isinstance(expr, FuncExpr):
+        return FuncExpr(expr.builtin, [substitute(arg, subst) for arg in expr.args])
+    if isinstance(expr, CaseExpr):
+        return CaseExpr(
+            [
+                (substitute(condition, subst), substitute(value, subst))
+                for condition, value in expr.whens
+            ],
+            substitute(expr.otherwise, subst)
+            if expr.otherwise is not None
+            else None,
+        )
+    return expr
+
+
+def _max_column_id(node: LogicalNode) -> int:
+    highest = max((column.column_id for column in node.columns), default=0)
+    for child in node.children():
+        highest = max(highest, _max_column_id(child))
+    if isinstance(node, AggregateNode):
+        for column in node.group_columns:
+            highest = max(highest, column.column_id)
+        for spec in node.aggregates:
+            highest = max(highest, spec.output.column_id)
+    return highest
+
+
+@dataclass
+class _Pending:
+    """A projection expression waiting to be computed early."""
+
+    expr: TypedExpr
+    output: OutputColumn
+
+    @property
+    def key(self):
+        return self.expr.key()
+
+    @property
+    def cols(self) -> FrozenSet[int]:
+        return self.expr.column_ids
+
+
+@dataclass
+class _Conjunct:
+    expr: TypedExpr
+    rel_mask: int
+
+    @property
+    def cols(self) -> FrozenSet[int]:
+        return self.expr.column_ids
+
+
+@dataclass
+class _Candidate:
+    """A DP table entry."""
+
+    plan: LogicalNode
+    computed: FrozenSet[tuple]
+    cost: float
+
+
+class Optimizer:
+    def __init__(self, cost_model: CostModel):
+        self.cost = cost_model
+        self._ids = None  # set in optimize()
+
+    def optimize(self, plan: LogicalNode) -> LogicalNode:
+        self._ids = itertools.count(_max_column_id(plan) + 1)
+        optimized, _ = self._optimize(plan, None)
+        return optimized
+
+    # -- recursive dispatch ---------------------------------------------------
+
+    def _optimize(
+        self, node: LogicalNode, consumers: Optional[List[TypedExpr]]
+    ) -> Tuple[LogicalNode, Subst]:
+        if isinstance(node, ProjectNode):
+            child, subst = self._optimize(node.child, list(node.exprs))
+            exprs = [substitute(expr, subst) for expr in node.exprs]
+            return ProjectNode(child, exprs, node.columns), {}
+        if isinstance(node, AggregateNode):
+            inner_consumers = list(node.group_exprs) + [
+                spec.arg for spec in node.aggregates if spec.arg is not None
+            ]
+            child, subst = self._optimize(node.child, inner_consumers)
+            group_exprs = [substitute(expr, subst) for expr in node.group_exprs]
+            aggregates = [
+                AggSpec(
+                    spec.aggregate,
+                    substitute(spec.arg, subst) if spec.arg is not None else None,
+                    spec.output,
+                    spec.distinct,
+                )
+                for spec in node.aggregates
+            ]
+            return (
+                AggregateNode(child, group_exprs, node.group_columns, aggregates),
+                {},
+            )
+        if isinstance(node, SortNode):
+            child, _ = self._optimize(node.child, None)
+            return SortNode(child, node.keys, node.limit), {}
+        if isinstance(node, DistinctNode):
+            child, _ = self._optimize(node.child, None)
+            return DistinctNode(child), {}
+        if isinstance(node, (FilterNode, JoinNode, ScanNode)):
+            return self._optimize_region(node, consumers)
+        return node, {}
+
+    # -- region optimization -----------------------------------------------------
+
+    def _collect_region(
+        self, node: LogicalNode, relations: List[LogicalNode], preds: List[TypedExpr]
+    ) -> None:
+        if isinstance(node, FilterNode):
+            preds.extend(conjuncts(node.predicate))
+            self._collect_region(node.child, relations, preds)
+            return
+        if isinstance(node, JoinNode):
+            for left_key, right_key in node.equi:
+                preds.append(BinaryExpr("=", left_key, right_key))
+            if node.residual is not None:
+                preds.extend(conjuncts(node.residual))
+            self._collect_region(node.left, relations, preds)
+            self._collect_region(node.right, relations, preds)
+            return
+        relations.append(node)
+
+    def _optimize_region(
+        self, root: LogicalNode, consumers: Optional[List[TypedExpr]]
+    ) -> Tuple[LogicalNode, Subst]:
+        relations: List[LogicalNode] = []
+        predicates: List[TypedExpr] = []
+        self._collect_region(root, relations, predicates)
+
+        # recursively optimize relation leaves (views, subqueries, ...)
+        relations = [
+            rel if isinstance(rel, ScanNode) else self._optimize(rel, None)[0]
+            for rel in relations
+        ]
+
+        rel_cols = [rel.column_ids for rel in relations]
+
+        def mask_of(cols: FrozenSet[int]) -> int:
+            mask = 0
+            for index, owned in enumerate(rel_cols):
+                if cols & owned:
+                    mask |= 1 << index
+            return mask
+
+        conjunct_infos = [_Conjunct(expr, mask_of(expr.column_ids)) for expr in predicates]
+
+        pending: List[_Pending] = []
+        bare_consumer_cols: set = set()
+        if consumers is not None:
+            seen = set()
+            for expr in consumers:
+                if isinstance(expr, ColumnVar):
+                    bare_consumer_cols.add(expr.column_id)
+                    continue
+                if not expr.column_ids:
+                    continue
+                key = expr.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                pending.append(
+                    _Pending(
+                        expr,
+                        OutputColumn(next(self._ids), "_early", expr.data_type),
+                    )
+                )
+
+        context = _RegionContext(
+            cost=self.cost,
+            relations=relations,
+            conjuncts=conjunct_infos,
+            pending=pending,
+            bare_cols=frozenset(bare_consumer_cols),
+            prune=consumers is not None,
+            ids=self._ids,
+        )
+        best = context.solve()
+
+        # constant predicates (no column references) apply at the very top
+        floating = [c.expr for c in conjunct_infos if c.rel_mask == 0]
+        plan = best.plan
+        predicate = and_together(floating)
+        if predicate is not None:
+            plan = FilterNode(plan, predicate)
+
+        subst: Subst = {
+            item.key: item.output.var() for item in pending if item.key in best.computed
+        }
+        return plan, subst
+
+
+@dataclass
+class _RegionContext:
+    cost: CostModel
+    relations: List[LogicalNode]
+    conjuncts: List[_Conjunct]
+    pending: List[_Pending]
+    bare_cols: FrozenSet[int]
+    prune: bool
+    ids: object
+
+    def solve(self) -> _Candidate:
+        count = len(self.relations)
+        self.full_mask = (1 << count) - 1
+        if count > DP_RELATION_LIMIT:
+            return self._greedy()
+        return self._dynamic_programming()
+
+    # -- shared machinery -------------------------------------------------------
+
+    def _base_candidate(self, index: int) -> _Candidate:
+        mask = 1 << index
+        plan: LogicalNode = self.relations[index]
+        local = [c.expr for c in self.conjuncts if c.rel_mask == mask]
+        predicate = and_together(local)
+        if predicate is not None:
+            plan = FilterNode(plan, predicate)
+        plan, computed = self._shrink(plan, mask, frozenset())
+        return _Candidate(plan, computed, self.cost.plan_cost(plan))
+
+    def _combine(self, left: _Candidate, right: _Candidate, left_mask: int, right_mask: int) -> _Candidate:
+        mask = left_mask | right_mask
+        connecting = [
+            c
+            for c in self.conjuncts
+            if c.rel_mask
+            and c.rel_mask & left_mask
+            and c.rel_mask & right_mask
+            and (c.rel_mask | mask) == mask
+        ]
+        left_cols = left.plan.column_ids
+        right_cols = right.plan.column_ids
+        equi: List[Tuple[TypedExpr, TypedExpr]] = []
+        residual: List[TypedExpr] = []
+        for conjunct in connecting:
+            pair = self._as_equi(conjunct.expr, left_cols, right_cols)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct.expr)
+        plan: LogicalNode = JoinNode(
+            left.plan, right.plan, equi, and_together(residual)
+        )
+        computed = left.computed | right.computed
+        plan, computed = self._shrink(plan, mask, computed)
+        return _Candidate(plan, computed, self.cost.plan_cost(plan))
+
+    @staticmethod
+    def _as_equi(
+        expr: TypedExpr, left_cols: FrozenSet[int], right_cols: FrozenSet[int]
+    ) -> Optional[Tuple[TypedExpr, TypedExpr]]:
+        if not (isinstance(expr, BinaryExpr) and expr.op == "="):
+            return None
+        lhs_cols = expr.left.column_ids
+        rhs_cols = expr.right.column_ids
+        if lhs_cols and rhs_cols:
+            if lhs_cols <= left_cols and rhs_cols <= right_cols:
+                return (expr.left, expr.right)
+            if lhs_cols <= right_cols and rhs_cols <= left_cols:
+                return (expr.right, expr.left)
+        return None
+
+    def _needed_elsewhere(
+        self, mask: int, computed: FrozenSet[tuple], extra_computed: FrozenSet[tuple]
+    ) -> Optional[FrozenSet[int]]:
+        """Columns that must survive past this point, or None meaning
+        'everything' (when the region's consumers are unknown)."""
+        if not self.prune:
+            return None
+        needed = set(self.bare_cols)
+        done = computed | extra_computed
+        for conjunct in self.conjuncts:
+            if conjunct.rel_mask and (conjunct.rel_mask | mask) != mask:
+                needed |= conjunct.cols
+        for item in self.pending:
+            if item.key not in done:
+                needed |= item.cols
+            else:
+                # a computed early-projection result must survive so the
+                # consumer can reference it
+                needed.add(item.output.column_id)
+        return frozenset(needed)
+
+    def _shrink(
+        self, plan: LogicalNode, mask: int, computed: FrozenSet[tuple]
+    ) -> Tuple[LogicalNode, FrozenSet[tuple]]:
+        """Early-project pending expressions and prune dead columns."""
+        if not self.prune:
+            return plan, computed
+        available = plan.column_ids
+        to_compute: List[_Pending] = []
+        for item in self.pending:
+            if item.key in computed or not item.cols or not (item.cols <= available):
+                continue
+            tentative = frozenset(
+                {item.key} | {other.key for other in to_compute}
+            )
+            needed = self._needed_elsewhere(mask, computed, tentative)
+            droppable = [
+                column
+                for column in plan.columns
+                if column.column_id in item.cols and column.column_id not in needed
+            ]
+            saved = sum(self.cost.type_width(column.data_type) for column in droppable)
+            added = self.cost.type_width(item.expr.data_type)
+            if added < saved:
+                to_compute.append(item)
+
+        new_computed = computed | frozenset(item.key for item in to_compute)
+        needed = self._needed_elsewhere(mask, new_computed, frozenset())
+        assert needed is not None
+        keep = [
+            column
+            for column in plan.columns
+            if column.column_id in needed or column.column_id in self.bare_cols
+        ]
+        if not to_compute and len(keep) == len(plan.columns):
+            return plan, computed
+        exprs: List[TypedExpr] = [column.var() for column in keep]
+        outputs: List[OutputColumn] = list(keep)
+        for item in to_compute:
+            exprs.append(item.expr)
+            outputs.append(item.output)
+        if not outputs:
+            # keep at least one column so rows remain countable
+            fallback = plan.columns[0]
+            exprs, outputs = [fallback.var()], [fallback]
+        return ProjectNode(plan, exprs, outputs), new_computed
+
+    # -- enumeration strategies ----------------------------------------------------
+
+    def _dynamic_programming(self) -> _Candidate:
+        count = len(self.relations)
+        table: Dict[int, _Candidate] = {}
+        for index in range(count):
+            table[1 << index] = self._base_candidate(index)
+        for size in range(2, count + 1):
+            for mask in _masks_of_size(count, size):
+                best: Optional[_Candidate] = None
+                submask = (mask - 1) & mask
+                while submask:
+                    other = mask ^ submask
+                    if submask < other:  # consider each split once
+                        left, right = table.get(submask), table.get(other)
+                        if left is not None and right is not None:
+                            for a, b, am, bm in (
+                                (left, right, submask, other),
+                                (right, left, other, submask),
+                            ):
+                                candidate = self._combine(a, b, am, bm)
+                                if best is None or candidate.cost < best.cost:
+                                    best = candidate
+                    submask = (submask - 1) & mask
+                assert best is not None
+                table[mask] = best
+        return table[self.full_mask]
+
+    def _greedy(self) -> _Candidate:
+        entries: Dict[int, _Candidate] = {
+            1 << index: self._base_candidate(index)
+            for index in range(len(self.relations))
+        }
+        while len(entries) > 1:
+            best_pair = None
+            best_candidate = None
+            masks = list(entries)
+            for i, left_mask in enumerate(masks):
+                for right_mask in masks[i + 1 :]:
+                    candidate = self._combine(
+                        entries[left_mask], entries[right_mask], left_mask, right_mask
+                    )
+                    if best_candidate is None or candidate.cost < best_candidate.cost:
+                        best_candidate = candidate
+                        best_pair = (left_mask, right_mask)
+            left_mask, right_mask = best_pair
+            del entries[left_mask]
+            del entries[right_mask]
+            entries[left_mask | right_mask] = best_candidate
+        return next(iter(entries.values()))
+
+
+def _masks_of_size(count: int, size: int):
+    for bits in itertools.combinations(range(count), size):
+        mask = 0
+        for bit in bits:
+            mask |= 1 << bit
+        yield mask
+
+
+def optimize_plan(plan: LogicalNode, cost_model: CostModel) -> LogicalNode:
+    """Convenience wrapper: optimize a bound logical plan."""
+    return Optimizer(cost_model).optimize(plan)

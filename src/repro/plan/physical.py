@@ -1,0 +1,420 @@
+"""Physical plans and the physical planner.
+
+The physical planner lowers an optimized logical plan onto the simulated
+cluster:
+
+* joins pick **broadcast** vs. **repartition** strategies by comparing
+  estimated data movement (sizes again come from the LA-aware type
+  widths);
+* exchanges are elided when a side is already co-partitioned on the join
+  keys (base tables can be hash-partitioned at load time);
+* aggregation is split into a partial (pre-shuffle) and final phase,
+  which is what makes ``SUM(outer_product(...))`` scale: each slot
+  accumulates one local Gram matrix and only those partials cross the
+  network;
+* DISTINCT and ORDER BY/LIMIT get local pre-passes before their shuffle.
+
+Every ``hash``/``gather`` exchange is a MapReduce-style job boundary and
+is charged the per-job startup overhead during execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..catalog import TableEntry
+from ..engine.storage import BROADCAST, ROUND_ROBIN, SINGLE, Partitioning
+from .cost import CostModel
+from .expressions import ColumnVar, TypedExpr
+from .logical import (
+    AggregateNode,
+    AggSpec,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LogicalNode,
+    OutputColumn,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+
+class PhysicalNode:
+    columns: List[OutputColumn]
+    partitioning: Partitioning
+
+    def children(self) -> Sequence["PhysicalNode"]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class PScan(PhysicalNode):
+    def __init__(self, table: TableEntry, columns: List[OutputColumn]):
+        self.table = table
+        self.columns = list(columns)
+        storage = table.storage
+        if storage is not None and storage.partition_by:
+            positions = {
+                column.name.lower(): column for column in columns
+            }
+            keys = tuple(
+                ("col", positions[name.lower()].column_id)
+                for name in storage.partition_by
+            )
+            self.partitioning = Partitioning("hash", keys)
+        else:
+            self.partitioning = ROUND_ROBIN
+
+    def describe(self) -> str:
+        return f"Scan {self.table.name}"
+
+
+class PFilter(PhysicalNode):
+    def __init__(self, child: PhysicalNode, predicate: TypedExpr):
+        self.child = child
+        self.predicate = predicate
+        self.columns = list(child.columns)
+        self.partitioning = child.partitioning
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate!r}"
+
+
+class PProject(PhysicalNode):
+    def __init__(
+        self, child: PhysicalNode, exprs: List[TypedExpr], columns: List[OutputColumn]
+    ):
+        self.child = child
+        self.exprs = list(exprs)
+        self.columns = list(columns)
+        passthrough = {
+            column.column_id for column in columns
+        } & {
+            expr.column_id
+            for expr, column in zip(exprs, columns)
+            if isinstance(expr, ColumnVar) and expr.column_id == column.column_id
+        }
+        keys_preserved = child.partitioning.kind == "hash" and all(
+            key[0] == "col" and key[1] in passthrough
+            for key in child.partitioning.keys
+        )
+        self.partitioning = child.partitioning if keys_preserved else ROUND_ROBIN
+        if child.partitioning.kind in ("broadcast", "single"):
+            self.partitioning = child.partitioning
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        names = ", ".join(column.name for column in self.columns)
+        return f"Project [{names}]"
+
+
+class PExchange(PhysicalNode):
+    """A shuffle: ``hash`` repartitions on key expressions, ``gather``
+    collects everything on one slot, ``broadcast`` replicates."""
+
+    def __init__(self, child: PhysicalNode, kind: str, keys: List[TypedExpr] = ()):
+        assert kind in ("hash", "gather", "broadcast")
+        self.child = child
+        self.kind = kind
+        self.keys = list(keys)
+        self.columns = list(child.columns)
+        if kind == "hash":
+            self.partitioning = Partitioning(
+                "hash", tuple(key.key() for key in self.keys)
+            )
+        elif kind == "gather":
+            self.partitioning = SINGLE
+        else:
+            self.partitioning = BROADCAST
+
+    def children(self):
+        return (self.child,)
+
+    @property
+    def is_job_boundary(self) -> bool:
+        return self.kind in ("hash", "gather")
+
+    def describe(self) -> str:
+        if self.kind == "hash":
+            keys = ", ".join(repr(key) for key in self.keys)
+            return f"Exchange hash [{keys}]"
+        return f"Exchange {self.kind}"
+
+
+class PHashJoin(PhysicalNode):
+    """Hash join; the build side is either broadcast or co-partitioned
+    with the probe side."""
+
+    def __init__(
+        self,
+        probe: PhysicalNode,
+        build: PhysicalNode,
+        probe_keys: List[TypedExpr],
+        build_keys: List[TypedExpr],
+        residual: Optional[TypedExpr],
+        probe_is_left: bool,
+    ):
+        self.probe = probe
+        self.build = build
+        self.probe_keys = list(probe_keys)
+        self.build_keys = list(build_keys)
+        self.residual = residual
+        self.probe_is_left = probe_is_left
+        left, right = (probe, build) if probe_is_left else (build, probe)
+        self.columns = list(left.columns) + list(right.columns)
+        self.partitioning = probe.partitioning
+
+    def children(self):
+        return (self.probe, self.build)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{p!r}={b!r}" for p, b in zip(self.probe_keys, self.build_keys)
+        )
+        mode = "broadcast" if self.build.partitioning.kind == "broadcast" else "partitioned"
+        suffix = f" residual {self.residual!r}" if self.residual is not None else ""
+        return f"HashJoin({mode}) [{keys}]{suffix}"
+
+
+class PNestedLoopJoin(PhysicalNode):
+    """Cross product (with optional residual predicate); the build side
+    is broadcast."""
+
+    def __init__(
+        self,
+        probe: PhysicalNode,
+        build: PhysicalNode,
+        residual: Optional[TypedExpr],
+        probe_is_left: bool,
+    ):
+        self.probe = probe
+        self.build = build
+        self.residual = residual
+        self.probe_is_left = probe_is_left
+        left, right = (probe, build) if probe_is_left else (build, probe)
+        self.columns = list(left.columns) + list(right.columns)
+        self.partitioning = probe.partitioning
+
+    def children(self):
+        return (self.probe, self.build)
+
+    def describe(self) -> str:
+        suffix = f" residual {self.residual!r}" if self.residual is not None else ""
+        return f"NestedLoopJoin(broadcast){suffix}"
+
+
+class PPartialAggregate(PhysicalNode):
+    """Slot-local accumulation; emits (group values..., states...)."""
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        group_exprs: List[TypedExpr],
+        group_columns: List[OutputColumn],
+        aggregates: List[AggSpec],
+    ):
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.group_columns = list(group_columns)
+        self.aggregates = list(aggregates)
+        self.columns = list(group_columns) + [spec.output for spec in aggregates]
+        self.partitioning = ROUND_ROBIN
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"PartialAggregate keys={len(self.group_exprs)} aggs={len(self.aggregates)}"
+
+
+class PFinalAggregate(PhysicalNode):
+    """Merges partial states after the shuffle."""
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        group_columns: List[OutputColumn],
+        aggregates: List[AggSpec],
+    ):
+        self.child = child
+        self.group_columns = list(group_columns)
+        self.aggregates = list(aggregates)
+        self.columns = list(group_columns) + [spec.output for spec in aggregates]
+        if group_columns:
+            self.partitioning = Partitioning(
+                "hash", tuple(("col", column.column_id) for column in group_columns)
+            )
+        else:
+            self.partitioning = SINGLE
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"FinalAggregate keys={len(self.group_columns)} aggs={len(self.aggregates)}"
+
+
+class PDistinct(PhysicalNode):
+    def __init__(self, child: PhysicalNode, local: bool):
+        self.child = child
+        self.local = local
+        self.columns = list(child.columns)
+        self.partitioning = child.partitioning
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Distinct({'local' if self.local else 'final'})"
+
+
+class PSortLimit(PhysicalNode):
+    def __init__(
+        self,
+        child: PhysicalNode,
+        keys: List[Tuple[TypedExpr, bool]],
+        limit: Optional[int],
+        final: bool,
+    ):
+        self.child = child
+        self.keys = list(keys)
+        self.limit = limit
+        self.final = final
+        self.columns = list(child.columns)
+        self.partitioning = child.partitioning
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        suffix = f" LIMIT {self.limit}" if self.limit is not None else ""
+        return f"Sort({'final' if self.final else 'local'}){suffix}"
+
+
+class PhysicalPlanner:
+    def __init__(self, cost_model: CostModel):
+        self.cost = cost_model
+
+    def plan(self, node: LogicalNode) -> PhysicalNode:
+        if isinstance(node, ScanNode):
+            return PScan(node.table, node.columns)
+        if isinstance(node, FilterNode):
+            return PFilter(self.plan(node.child), node.predicate)
+        if isinstance(node, ProjectNode):
+            return PProject(self.plan(node.child), node.exprs, node.columns)
+        if isinstance(node, JoinNode):
+            return self._plan_join(node)
+        if isinstance(node, AggregateNode):
+            return self._plan_aggregate(node)
+        if isinstance(node, DistinctNode):
+            child = self.plan(node.child)
+            local = PDistinct(child, local=True)
+            keys = [column.var() for column in node.columns]
+            shuffled = PExchange(local, "hash", keys)
+            return PDistinct(shuffled, local=False)
+        if isinstance(node, SortNode):
+            child = self.plan(node.child)
+            local = PSortLimit(child, node.keys, node.limit, final=False)
+            if child.partitioning.kind == "single":
+                return PSortLimit(child, node.keys, node.limit, final=True)
+            gathered = PExchange(local, "gather")
+            return PSortLimit(gathered, node.keys, node.limit, final=True)
+        raise TypeError(f"cannot lower {type(node).__name__}")
+
+    # -- joins -----------------------------------------------------------------
+
+    def _plan_join(self, node: JoinNode) -> PhysicalNode:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        left_est = self.cost.estimate(node.left)
+        right_est = self.cost.estimate(node.right)
+
+        if node.is_cross:
+            # broadcast the (estimated) smaller side
+            if right_est.total_bytes <= left_est.total_bytes:
+                build, probe, probe_is_left = right, left, True
+            else:
+                build, probe, probe_is_left = left, right, False
+            build = PExchange(build, "broadcast")
+            return PNestedLoopJoin(probe, build, node.residual, probe_is_left)
+
+        left_keys = [pair[0] for pair in node.equi]
+        right_keys = [pair[1] for pair in node.equi]
+        left_sig = tuple(key.key() for key in left_keys)
+        right_sig = tuple(key.key() for key in right_keys)
+        left_ready = left.partitioning.co_partitioned_with(left_sig)
+        right_ready = right.partitioning.co_partitioned_with(right_sig)
+
+        # A repartition join is a reduce-side MR join: both unready sides
+        # are shuffled and the output is materialized; a broadcast join is
+        # map-side and pipelines its output. Compare bytes moved/written.
+        output_est = self.cost.estimate(node)
+        repartition_bytes = (
+            (0.0 if left_ready else left_est.total_bytes)
+            + (0.0 if right_ready else right_est.total_bytes)
+            + output_est.total_bytes
+        )
+        smaller_bytes = min(left_est.total_bytes, right_est.total_bytes)
+        broadcast_bytes = smaller_bytes * self.cost.config.machines
+
+        if broadcast_bytes < repartition_bytes:
+            if left_est.total_bytes <= right_est.total_bytes:
+                build, probe = left, right
+                build_keys, probe_keys = left_keys, right_keys
+                probe_is_left = False
+            else:
+                build, probe = right, left
+                build_keys, probe_keys = right_keys, left_keys
+                probe_is_left = True
+            build = PExchange(build, "broadcast")
+            return PHashJoin(
+                probe, build, probe_keys, build_keys, node.residual, probe_is_left
+            )
+
+        if not left_ready:
+            left = PExchange(left, "hash", left_keys)
+        if not right_ready:
+            right = PExchange(right, "hash", right_keys)
+        # build on the smaller side
+        if left_est.total_bytes <= right_est.total_bytes:
+            return PHashJoin(
+                right, left, right_keys, left_keys, node.residual, probe_is_left=False
+            )
+        return PHashJoin(
+            left, right, left_keys, right_keys, node.residual, probe_is_left=True
+        )
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def _plan_aggregate(self, node: AggregateNode) -> PhysicalNode:
+        child = self.plan(node.child)
+        partial = PPartialAggregate(
+            child, node.group_exprs, node.group_columns, node.aggregates
+        )
+        if node.group_columns:
+            group_sig = tuple(expr.key() for expr in node.group_exprs)
+            if child.partitioning.kind == "single" or (
+                child.partitioning.co_partitioned_with(group_sig)
+            ):
+                # rows are already co-located by group: no shuffle needed
+                shuffled: PhysicalNode = partial
+            else:
+                keys = [column.var() for column in node.group_columns]
+                shuffled = PExchange(partial, "hash", keys)
+        else:
+            shuffled = PExchange(partial, "gather")
+        return PFinalAggregate(shuffled, node.group_columns, node.aggregates)

@@ -1,0 +1,7 @@
+"""Extended-SQL front end: lexer, AST, parser."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import Parser, parse_script, parse_statement
+
+__all__ = ["Parser", "Token", "ast", "parse_script", "parse_statement", "tokenize"]

@@ -1,0 +1,285 @@
+"""Abstract syntax tree for the extended SQL dialect.
+
+The dialect covers everything the paper's code listings use:
+
+* ``CREATE TABLE`` with MATRIX/VECTOR/LABELED_SCALAR column types;
+* ``CREATE VIEW ... AS SELECT`` (optionally with a column list);
+* ``CREATE TABLE ... AS SELECT``;
+* ``INSERT INTO ... VALUES``;
+* ``SELECT``-``FROM``-``WHERE``-``GROUP BY``-``HAVING``-``ORDER BY``-
+  ``LIMIT`` with comma joins, subqueries in FROM, aggregates (including
+  ``VECTORIZE``/``ROWMATRIX``/``COLMATRIX``) and the built-in LA function
+  library;
+* named parameters written ``:name`` (the paper's ``WHERE x1.pointID = i``
+  becomes ``WHERE x1.pointID = :i``).
+
+Nodes are plain dataclasses; semantic analysis lives in
+:mod:`repro.plan.binder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..types import DataType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expression):
+    """A numeric, string, boolean or NULL literal."""
+
+    value: object
+
+    def __repr__(self):
+        return f"Literal({self.value!r})"
+
+
+@dataclass
+class Parameter(Expression):
+    """A named query parameter, ``:name``."""
+
+    name: str
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A possibly qualified column reference, ``t.c`` or ``c``."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __repr__(self):
+        if self.table:
+            return f"ColumnRef({self.table}.{self.column})"
+        return f"ColumnRef({self.column})"
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``t.*`` in a select list, and the argument of COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Arithmetic, comparison, or boolean binary operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Unary minus or NOT."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A call to a built-in (non-aggregate) function."""
+
+    name: str
+    args: List[Expression]
+
+
+@dataclass
+class AggregateCall(Expression):
+    """A call to an aggregate function (SUM, VECTORIZE, ROWMATRIX, ...)."""
+
+    name: str
+    arg: Expression  # Star() for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class Case(Expression):
+    """``CASE WHEN cond THEN value [...] [ELSE value] END``."""
+
+    whens: List[Tuple[Expression, Expression]]
+    otherwise: Optional[Expression] = None
+
+
+@dataclass
+class InList(Expression):
+    """``expr [NOT] IN (item, item, ...)``."""
+
+    operand: Expression
+    items: List[Expression]
+    negated: bool = False
+
+
+# -- relations ---------------------------------------------------------------
+
+
+class TableExpression(Node):
+    """Base class for FROM-clause items."""
+
+
+@dataclass
+class TableName(TableExpression):
+    """A named table or view with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef(TableExpression):
+    """A parenthesized SELECT in FROM; the alias is mandatory."""
+
+    query: "SelectStatement"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+
+# -- statements --------------------------------------------------------------
+
+
+class Statement(Node):
+    """Base class for executable statements."""
+
+
+@dataclass
+class SelectItem(Node):
+    expr: Expression
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem(Node):
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement(Statement):
+    items: List[SelectItem]
+    from_items: List[TableExpression]
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class UnionStatement(Statement):
+    """``select UNION [ALL] select [...]``; plain UNION deduplicates."""
+
+    selects: List[SelectStatement]
+    all: bool = True
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[Tuple[str, DataType]]
+
+
+@dataclass
+class CreateTableAs(Statement):
+    name: str
+    query: SelectStatement
+
+
+@dataclass
+class CreateView(Statement):
+    name: str
+    query: SelectStatement
+    column_names: Optional[List[str]] = None
+
+
+@dataclass
+class InsertValues(Statement):
+    table: str
+    rows: List[List[Expression]]
+
+
+@dataclass
+class InsertSelect(Statement):
+    """``INSERT INTO table SELECT ...``."""
+
+    table: str
+    query: SelectStatement
+
+
+@dataclass
+class Delete(Statement):
+    """``DELETE FROM table [WHERE predicate]``."""
+
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class DropView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+def walk_expressions(expr: Expression):
+    """Yield ``expr`` and every expression nested inside it, depth-first."""
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expressions(arg)
+    elif isinstance(expr, AggregateCall):
+        if isinstance(expr.arg, Expression):
+            yield from walk_expressions(expr.arg)
+    elif isinstance(expr, IsNull):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, Case):
+        for condition, value in expr.whens:
+            yield from walk_expressions(condition)
+            yield from walk_expressions(value)
+        if expr.otherwise is not None:
+            yield from walk_expressions(expr.otherwise)
+    elif isinstance(expr, InList):
+        yield from walk_expressions(expr.operand)
+        for item in expr.items:
+            yield from walk_expressions(item)
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True when the expression contains an aggregate call anywhere."""
+    return any(isinstance(node, AggregateCall) for node in walk_expressions(expr))

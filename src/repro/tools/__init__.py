@@ -1,0 +1,1 @@
+"""Developer tooling: documentation generators."""

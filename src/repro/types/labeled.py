@@ -1,0 +1,69 @@
+"""The LABELED_SCALAR value: a double carrying an integer label.
+
+``label_scalar(y_i, i)`` attaches the label ``i`` to the double ``y_i``;
+the ``VECTORIZE`` aggregate then places each value at the position named
+by its label (paper section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Label used when a label was never explicitly set.
+DEFAULT_LABEL = -1
+
+
+@dataclass(frozen=True)
+class LabeledScalar:
+    """An immutable (value, label) pair.
+
+    Arithmetic behaves like arithmetic on the underlying double; the label
+    of the labeled operand is preserved (left operand wins when both sides
+    are labeled), so expressions like ``label_scalar(v, i) * 2`` keep their
+    position for a later ``VECTORIZE``.
+    """
+
+    value: float
+    label: int = DEFAULT_LABEL
+
+    def __post_init__(self):
+        if self.label < DEFAULT_LABEL:
+            raise ValueError(f"label must be >= {DEFAULT_LABEL}, got {self.label}")
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def _coerce(self, other) -> float:
+        if isinstance(other, LabeledScalar):
+            return other.value
+        return float(other)
+
+    def __add__(self, other):
+        return LabeledScalar(self.value + self._coerce(other), self.label)
+
+    def __radd__(self, other):
+        return LabeledScalar(self._coerce(other) + self.value, self.label)
+
+    def __sub__(self, other):
+        return LabeledScalar(self.value - self._coerce(other), self.label)
+
+    def __rsub__(self, other):
+        return LabeledScalar(self._coerce(other) - self.value, self.label)
+
+    def __mul__(self, other):
+        return LabeledScalar(self.value * self._coerce(other), self.label)
+
+    def __rmul__(self, other):
+        return LabeledScalar(self._coerce(other) * self.value, self.label)
+
+    def __truediv__(self, other):
+        return LabeledScalar(self.value / self._coerce(other), self.label)
+
+    def __rtruediv__(self, other):
+        return LabeledScalar(self._coerce(other) / self.value, self.label)
+
+    def __neg__(self):
+        return LabeledScalar(-self.value, self.label)
+
+    def __repr__(self) -> str:
+        return f"LabeledScalar({self.value!r}, label={self.label})"

@@ -1,0 +1,194 @@
+"""Data types for the extended relational model.
+
+The paper adds three attribute types to SQL -- ``LABELED_SCALAR``,
+``VECTOR`` and ``MATRIX`` -- alongside the usual scalar types. Types are
+value objects: two ``MATRIX[10][20]`` instances compare equal.
+
+Vector and matrix types carry *optional* dimensions. ``VECTOR[100]`` has a
+known length; ``VECTOR[]`` leaves it unspecified and defers size checks to
+run time (paper section 3.1). ``MATRIX[10][]`` fixes only the row count.
+
+Each type knows its size in bytes, which is what makes the optimizer
+"linear-algebra aware": the size of a ``MATRIX[100000][100]`` attribute
+(80 MB) utterly dominates the width of the tuple that carries it (paper
+section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Bytes per element; every vector/matrix element is a double (section 3.1).
+ELEMENT_SIZE = 8
+
+#: Fallback width used for a vector/matrix attribute whose dimensions are
+#: unspecified in the schema and for which the catalog has no statistics.
+DEFAULT_UNKNOWN_DIM = 100
+
+
+class DataType:
+    """Base class for all attribute types."""
+
+    #: short upper-case name used in error messages and EXPLAIN output
+    name = "UNKNOWN"
+
+    def size_bytes(self) -> float:
+        """Estimated width, in bytes, of one attribute of this type."""
+        raise NotImplementedError
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def is_tensor(self) -> bool:
+        """True for VECTOR and MATRIX types."""
+        return False
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class IntegerType(DataType):
+    name = "INTEGER"
+
+    def size_bytes(self) -> float:
+        return 8
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class DoubleType(DataType):
+    name = "DOUBLE"
+
+    def size_bytes(self) -> float:
+        return 8
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class BooleanType(DataType):
+    name = "BOOLEAN"
+
+    def size_bytes(self) -> float:
+        return 1
+
+
+class StringType(DataType):
+    name = "STRING"
+
+    def size_bytes(self) -> float:
+        return 16
+
+
+class LabeledScalarType(DataType):
+    """A DOUBLE carrying an integer label, used to build vectors with
+    ``VECTORIZE`` (paper section 3.3)."""
+
+    name = "LABELED_SCALAR"
+
+    def size_bytes(self) -> float:
+        return 16
+
+    def is_numeric(self) -> bool:
+        return True
+
+
+class VectorType(DataType):
+    """``VECTOR[n]`` or ``VECTOR[]`` (length unspecified)."""
+
+    name = "VECTOR"
+
+    def __init__(self, length: Optional[int] = None):
+        if length is not None and length <= 0:
+            raise ValueError(f"vector length must be positive, got {length}")
+        self.length = length
+
+    def size_bytes(self) -> float:
+        length = self.length if self.length is not None else DEFAULT_UNKNOWN_DIM
+        # +8 for the implicit integer label every VECTOR carries
+        return ELEMENT_SIZE * length + 8
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def is_tensor(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VectorType) and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash(("VECTOR", self.length))
+
+    def __repr__(self) -> str:
+        return f"VECTOR[{self.length if self.length is not None else ''}]"
+
+
+class MatrixType(DataType):
+    """``MATRIX[r][c]`` with either dimension optionally unspecified."""
+
+    name = "MATRIX"
+
+    def __init__(self, rows: Optional[int] = None, cols: Optional[int] = None):
+        for dim in (rows, cols):
+            if dim is not None and dim <= 0:
+                raise ValueError(f"matrix dimension must be positive, got {dim}")
+        self.rows = rows
+        self.cols = cols
+
+    def size_bytes(self) -> float:
+        rows = self.rows if self.rows is not None else DEFAULT_UNKNOWN_DIM
+        cols = self.cols if self.cols is not None else DEFAULT_UNKNOWN_DIM
+        return ELEMENT_SIZE * rows * cols + 8
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def is_tensor(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MatrixType)
+            and self.rows == other.rows
+            and self.cols == other.cols
+        )
+
+    def __hash__(self) -> int:
+        return hash(("MATRIX", self.rows, self.cols))
+
+    def __repr__(self) -> str:
+        rows = self.rows if self.rows is not None else ""
+        cols = self.cols if self.cols is not None else ""
+        return f"MATRIX[{rows}][{cols}]"
+
+
+#: Singleton instances for the fixed scalar types.
+INTEGER = IntegerType()
+DOUBLE = DoubleType()
+BOOLEAN = BooleanType()
+STRING = StringType()
+LABELED_SCALAR = LabeledScalarType()
+
+
+def common_numeric_type(left: DataType, right: DataType) -> Optional[DataType]:
+    """The result type of arithmetic between two plain numeric scalars,
+    or ``None`` if the pair is not a scalar/scalar combination.
+
+    INTEGER op INTEGER stays INTEGER (so ``x.id/1000`` is integer division,
+    as the paper's blocking query relies on); any DOUBLE or LABELED_SCALAR
+    operand promotes the result to DOUBLE.
+    """
+    scalars = (IntegerType, DoubleType, LabeledScalarType)
+    if not isinstance(left, scalars) or not isinstance(right, scalars):
+        return None
+    if isinstance(left, IntegerType) and isinstance(right, IntegerType):
+        return INTEGER
+    return DOUBLE

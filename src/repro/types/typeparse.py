@@ -1,0 +1,71 @@
+"""Parsing of type declarations such as ``MATRIX[10][]`` or ``VECTOR[100]``.
+
+Used by the SQL parser for ``CREATE TABLE`` column types and by the public
+API when declaring schemas from strings.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SqlSyntaxError
+from .scalar import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    LABELED_SCALAR,
+    STRING,
+    DataType,
+    MatrixType,
+    VectorType,
+)
+
+_SCALARS = {
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "BOOLEAN": BOOLEAN,
+    "STRING": STRING,
+    "VARCHAR": STRING,
+    "TEXT": STRING,
+    "LABELED_SCALAR": LABELED_SCALAR,
+}
+
+_VECTOR_RE = re.compile(r"^VECTOR\s*\[\s*(\d*)\s*\]$", re.IGNORECASE)
+_MATRIX_RE = re.compile(r"^MATRIX\s*\[\s*(\d*)\s*\]\s*\[\s*(\d*)\s*\]$", re.IGNORECASE)
+
+
+def parse_type(text: str) -> DataType:
+    """Parse a type declaration string into a :class:`DataType`.
+
+    >>> parse_type("MATRIX[10][]")
+    MATRIX[10][]
+    >>> parse_type("VECTOR[100]")
+    VECTOR[100]
+    >>> parse_type("double")
+    DOUBLE
+    """
+    stripped = text.strip()
+    scalar = _SCALARS.get(stripped.upper())
+    if scalar is not None:
+        return scalar
+    match = _VECTOR_RE.match(stripped)
+    if match:
+        length = int(match.group(1)) if match.group(1) else None
+        return VectorType(length)
+    match = _MATRIX_RE.match(stripped)
+    if match:
+        rows = int(match.group(1)) if match.group(1) else None
+        cols = int(match.group(2)) if match.group(2) else None
+        return MatrixType(rows, cols)
+    if stripped.upper().startswith("VECTOR"):
+        raise SqlSyntaxError(
+            f"malformed VECTOR type {text!r}; expected VECTOR[n] or VECTOR[]"
+        )
+    if stripped.upper().startswith("MATRIX"):
+        raise SqlSyntaxError(
+            f"malformed MATRIX type {text!r}; expected MATRIX[r][c] with "
+            f"either dimension optionally empty"
+        )
+    raise SqlSyntaxError(f"unknown type {text!r}")

@@ -1,0 +1,100 @@
+"""Tests for the paper-scale analytic SimSQL cost model."""
+
+import pytest
+
+from repro.bench.model import COMPILE_S, SimSQLModel
+from repro.config import PAPER_CLUSTER
+
+N_GRAM = 1_000_000
+N_DIST = 100_000
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SimSQLModel(PAPER_CLUSTER)
+
+
+class TestShapes:
+    def test_vector_beats_tuple_everywhere(self, model):
+        for computation, n in (("gram", N_GRAM), ("regression", N_GRAM)):
+            for d in (10, 100, 1000):
+                tup = model.simulate(computation, "tuple", n, d).total
+                vec = model.simulate(computation, "vector", n, d).total
+                assert vec < tup
+
+    def test_vector_block_crossover(self, model):
+        for d, winner in ((10, "vector"), (100, "vector"), (1000, "block")):
+            vec = model.simulate("gram", "vector", N_GRAM, d).total
+            blk = model.simulate("gram", "block", N_GRAM, d).total
+            fastest = "vector" if vec < blk else "block"
+            assert fastest == winner, d
+
+    def test_tuple_distance_fails(self, model):
+        for d in (10, 100, 1000):
+            assert model.simulate("distance", "tuple", N_DIST, d) is None
+
+    def test_tuple_distance_would_succeed_tiny(self, model):
+        # with few points the n^2 hash state fits and the model prices it
+        sim = model.simulate("distance", "tuple", 1000, 10)
+        assert sim is not None and sim.total > 0
+
+    def test_block_distance_beats_vector(self, model):
+        for d in (10, 100, 1000):
+            blk = model.simulate("distance", "block", N_DIST, d).total
+            vec = model.simulate("distance", "vector", N_DIST, d).total
+            assert blk < vec
+
+    def test_monotone_in_dimensionality(self, model):
+        for style in ("tuple", "vector", "block"):
+            times = [
+                model.simulate("gram", style, N_GRAM, d).total
+                for d in (10, 100, 1000)
+            ]
+            assert times[0] <= times[1] <= times[2]
+
+    def test_monotone_in_points(self, model):
+        small = model.simulate("gram", "vector", 100_000, 100).total
+        large = model.simulate("gram", "vector", 1_000_000, 100).total
+        assert small < large
+
+
+class TestMechanisms:
+    def test_fixed_overheads_floor(self, model):
+        """Even the smallest query pays compile + job startup — the
+        reason SimSQL trails SciDB at 10 dims."""
+        sim = model.simulate("gram", "vector", 1000, 10)
+        assert sim.total >= COMPILE_S + PAPER_CLUSTER.job_startup_s
+
+    def test_tuple_gram_dominated_by_per_tuple_work(self, model):
+        sim = model.simulate("gram", "tuple", N_GRAM, 1000)
+        hot = sim.breakdown["aggregation"] + sim.breakdown["join"]
+        assert hot > 0.9 * sim.total
+
+    def test_aggregation_beats_join_in_tuple_gram(self, model):
+        """Figure 4's headline."""
+        sim = model.simulate("gram", "tuple", N_GRAM, 1000)
+        assert sim.breakdown["aggregation"] > sim.breakdown["join"]
+
+    def test_skew_factor_matches_paper_anecdote(self, model):
+        """100 blocks hashed onto 80 cores: the paper saw 4-5 blocks on
+        the busiest core (mean 1.25 => skew 3.2-4)."""
+        assert 3.0 <= model._skew(100) <= 4.5
+
+    def test_balanced_placement_flattens_skew(self):
+        balanced = SimSQLModel(PAPER_CLUSTER.with_updates(balanced_placement=True))
+        assert balanced._skew(100) == pytest.approx(2 / 1.25)
+        assert balanced._skew(160) == pytest.approx(1.0)
+
+    def test_skew_shrinks_with_more_groups(self, model):
+        assert model._skew(10_000) < model._skew(100)
+
+    def test_breakdown_sums_to_total(self, model):
+        for style in ("tuple", "vector", "block"):
+            sim = model.simulate("regression", style, N_GRAM, 100)
+            assert sim.total == pytest.approx(sum(sim.breakdown.values()))
+
+    def test_unknown_style_or_computation_raises(self, model):
+        with pytest.raises(AttributeError):
+            model.simulate("gram", "chunky", N_GRAM, 10)
+        with pytest.raises(AttributeError):
+            model.simulate("sorting", "vector", N_GRAM, 10)

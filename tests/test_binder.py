@@ -1,0 +1,212 @@
+"""Tests for semantic analysis: name resolution, type checking (including
+the paper's compile-time dimension errors), views, grouping rules."""
+
+import pytest
+
+from repro import Database, TEST_CLUSTER
+from repro.errors import (
+    CompileError,
+    NameResolutionError,
+    TypeCheckError,
+)
+from repro.plan import AggregateNode, Binder, ProjectNode
+from repro.sql import parse_statement
+from repro.types import DOUBLE, INTEGER, MatrixType, VectorType
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE m (mat MATRIX[10][10], vec VECTOR[100])")
+    database.execute("CREATE TABLE ok (mat MATRIX[10][10], vec VECTOR[10])")
+    database.execute("CREATE TABLE pts (id INTEGER, val DOUBLE)")
+    database.execute("CREATE TABLE xs (i INTEGER, x_i VECTOR[])")
+    return database
+
+
+def bind(db, sql, params=None):
+    return Binder(db.catalog, params).bind_select(parse_statement(sql))
+
+
+class TestTypeChecking:
+    def test_paper_size_mismatch_rejected_at_compile_time(self, db):
+        """Section 3.1: MATRIX[10][10] x VECTOR[100] must not compile."""
+        with pytest.raises(TypeCheckError):
+            bind(db, "SELECT matrix_vector_multiply(m.mat, m.vec) AS res FROM m")
+
+    def test_matching_sizes_compile(self, db):
+        plan = bind(db, "SELECT matrix_vector_multiply(mat, vec) AS res FROM ok")
+        assert plan.columns[0].name == "res"
+        assert plan.columns[0].data_type == VectorType(10)
+
+    def test_unspecified_dims_compile_and_defer(self, db):
+        plan = bind(db, "SELECT matrix_vector_multiply(ok.mat, xs.x_i) FROM ok, xs")
+        assert plan.columns[0].data_type == VectorType(10)
+
+    def test_inferred_output_dims_flow_through(self, db):
+        plan = bind(db, "SELECT matrix_multiply(a.mat, b.mat) FROM ok a, ok b")
+        assert plan.columns[0].data_type == MatrixType(10, 10)
+
+    def test_where_must_be_boolean(self, db):
+        with pytest.raises(TypeCheckError):
+            bind(db, "SELECT id FROM pts WHERE id + 1")
+
+    def test_vector_matrix_arithmetic_rejected(self, db):
+        with pytest.raises(TypeCheckError):
+            bind(db, "SELECT mat + vec FROM ok")
+
+    def test_tensor_ordering_comparison_rejected(self, db):
+        with pytest.raises(TypeCheckError):
+            bind(db, "SELECT id FROM pts, ok WHERE ok.vec < ok.vec")
+
+    def test_integer_division_stays_integer(self, db):
+        plan = bind(db, "SELECT id/1000 FROM pts")
+        assert plan.columns[0].data_type == INTEGER
+
+    def test_mixed_division_is_double(self, db):
+        plan = bind(db, "SELECT val/2 FROM pts")
+        assert plan.columns[0].data_type == DOUBLE
+
+
+class TestNameResolution:
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            bind(db, "SELECT x FROM nothere")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(NameResolutionError):
+            bind(db, "SELECT nope FROM pts")
+
+    def test_unknown_qualified_column(self, db):
+        with pytest.raises(NameResolutionError):
+            bind(db, "SELECT pts.nope FROM pts")
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(NameResolutionError):
+            bind(db, "SELECT q.id FROM pts AS p")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(NameResolutionError, match="ambiguous"):
+            bind(db, "SELECT id FROM pts AS a, pts AS b")
+
+    def test_qualification_disambiguates(self, db):
+        plan = bind(db, "SELECT a.id FROM pts AS a, pts AS b")
+        assert plan.columns[0].name == "id"
+
+    def test_case_insensitive_names(self, db):
+        bind(db, "SELECT PTS.ID FROM pts")
+
+    def test_unknown_function(self, db):
+        with pytest.raises(NameResolutionError, match="unknown function"):
+            bind(db, "SELECT made_up(id) FROM pts")
+
+    def test_self_join_of_table_gets_distinct_columns(self, db):
+        plan = bind(db, "SELECT a.id, b.id FROM pts AS a, pts AS b")
+        ids = [column.column_id for column in plan.columns]
+        assert len(set(ids)) == 2
+
+
+class TestGroupingRules:
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(CompileError, match="GROUP BY"):
+            bind(db, "SELECT id, SUM(val) FROM pts")
+
+    def test_group_key_allowed(self, db):
+        plan = bind(db, "SELECT id, SUM(val) FROM pts GROUP BY id")
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, AggregateNode)
+
+    def test_group_expression_matched_structurally(self, db):
+        plan = bind(db, "SELECT id/10, COUNT(*) FROM pts GROUP BY id/10")
+        assert isinstance(plan.child, AggregateNode)
+
+    def test_expression_over_aggregates(self, db):
+        plan = bind(db, "SELECT SUM(val) / COUNT(val) FROM pts")
+        agg = plan.child
+        assert isinstance(agg, AggregateNode)
+        assert len(agg.aggregates) == 2
+
+    def test_duplicate_aggregates_computed_once(self, db):
+        plan = bind(db, "SELECT SUM(val), SUM(val) + 1 FROM pts")
+        assert len(plan.child.aggregates) == 1
+
+    def test_nested_aggregates_rejected(self, db):
+        with pytest.raises(CompileError, match="nested"):
+            bind(db, "SELECT SUM(COUNT(val)) FROM pts")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(CompileError):
+            bind(db, "SELECT id FROM pts WHERE SUM(val) > 3 GROUP BY id")
+
+    def test_having_requires_grouping(self, db):
+        with pytest.raises(CompileError):
+            bind(db, "SELECT id FROM pts HAVING id > 1")
+
+    def test_having_over_unselected_aggregate(self, db):
+        plan = bind(
+            db, "SELECT id FROM pts GROUP BY id HAVING COUNT(*) > 2"
+        )
+        # the COUNT lives in the aggregate even though it is not selected
+        agg = plan.child.child
+        assert isinstance(agg, AggregateNode)
+        assert agg.aggregates[0].aggregate.name == "COUNT"
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(CompileError):
+            bind(db, "SELECT * FROM pts GROUP BY id")
+
+    def test_count_star_only(self, db):
+        with pytest.raises(CompileError):
+            bind(db, "SELECT SUM(*) FROM pts")
+
+    def test_vectorize_requires_labeled_scalar(self, db):
+        with pytest.raises(TypeCheckError):
+            bind(db, "SELECT VECTORIZE(val) FROM pts")
+
+    def test_vectorize_of_label_scalar_binds(self, db):
+        plan = bind(db, "SELECT VECTORIZE(label_scalar(val, id)) FROM pts")
+        assert plan.columns[0].data_type == VectorType(None)
+
+
+class TestViewsAndParams:
+    def test_view_columns_renamed(self, db):
+        db.execute(
+            "CREATE VIEW twice (ident, doubled) AS SELECT id, val * 2 FROM pts"
+        )
+        plan = bind(db, "SELECT doubled FROM twice")
+        assert plan.columns[0].name == "doubled"
+
+    def test_view_column_count_mismatch(self, db):
+        with pytest.raises(CompileError):
+            db.execute("CREATE VIEW bad (a, b, c) AS SELECT id FROM pts")
+
+    def test_view_self_join_gets_fresh_columns(self, db):
+        db.execute("CREATE VIEW v AS SELECT id FROM pts")
+        plan = bind(db, "SELECT a.id, b.id FROM v AS a, v AS b")
+        ids = [column.column_id for column in plan.columns]
+        assert len(set(ids)) == 2
+
+    def test_missing_parameter(self, db):
+        with pytest.raises(CompileError, match="parameter"):
+            bind(db, "SELECT id FROM pts WHERE id = :i")
+
+    def test_parameter_bound(self, db):
+        plan = bind(db, "SELECT id FROM pts WHERE id = :i", params={"i": 3})
+        assert plan is not None
+
+    def test_subquery_scope_isolated(self, db):
+        with pytest.raises(NameResolutionError):
+            bind(
+                db,
+                "SELECT val FROM (SELECT id FROM pts) AS q",
+            )
+
+    def test_insert_type_checking(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("INSERT INTO pts VALUES (1.5, 2.0)")
+        db.execute("INSERT INTO pts VALUES (1, 2)")  # int coerces to double
+        assert db.execute("SELECT val FROM pts").rows[0][0] == 2.0
+
+    def test_insert_arity_checking(self, db):
+        with pytest.raises(CompileError):
+            db.execute("INSERT INTO pts VALUES (1)")

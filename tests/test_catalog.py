@@ -1,0 +1,144 @@
+"""Tests for schemas, the catalog, and statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Catalog, Column, Schema, TableStats, collect_stats
+from repro.errors import CatalogError
+from repro.types import DOUBLE, INTEGER, Matrix, MatrixType, Vector, VectorType
+
+
+class TestSchema:
+    def test_from_pairs_with_string_types(self):
+        schema = Schema([("id", "INTEGER"), ("vec", "VECTOR[10]")])
+        assert schema.names == ["id", "vec"]
+        assert schema.types == [INTEGER, VectorType(10)]
+
+    def test_from_columns(self):
+        schema = Schema([Column("a", DOUBLE)])
+        assert schema.column("a").data_type == DOUBLE
+
+    def test_case_insensitive_lookup(self):
+        schema = Schema([("PointID", INTEGER)])
+        assert schema.index_of("pointid") == 0
+        assert schema.has_column("POINTID")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([("a", INTEGER), ("A", DOUBLE)])
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            Schema([("a", INTEGER)]).column("b")
+
+    def test_rename(self):
+        schema = Schema([("a", INTEGER), ("b", DOUBLE)])
+        renamed = schema.rename(["x", "y"])
+        assert renamed.names == ["x", "y"]
+        assert renamed.types == schema.types
+
+    def test_rename_arity_checked(self):
+        with pytest.raises(CatalogError):
+            Schema([("a", INTEGER)]).rename(["x", "y"])
+
+    def test_row_width_reflects_tensor_sizes(self):
+        narrow = Schema([("a", INTEGER)])
+        wide = Schema([("m", MatrixType(100, 1000))])
+        assert wide.row_width_bytes() > 1000 * narrow.row_width_bytes()
+
+    def test_iteration_order(self):
+        schema = Schema([("a", INTEGER), ("b", DOUBLE)])
+        assert [column.name for column in schema] == ["a", "b"]
+        assert len(schema) == 2
+
+
+class TestCatalog:
+    def test_create_and_fetch_table(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", INTEGER)]))
+        assert catalog.table("T").name == "t"
+        assert catalog.has_table("t")
+
+    def test_duplicate_relation_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", INTEGER)]))
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", Schema([("b", INTEGER)]))
+        with pytest.raises(CatalogError):
+            catalog.create_view("t", query=None)
+
+    def test_view_name_conflicts_with_table(self):
+        catalog = Catalog()
+        catalog.create_view("v", query=None)
+        with pytest.raises(CatalogError):
+            catalog.create_table("v", Schema([("a", INTEGER)]))
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", INTEGER)]))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_drop_missing_table(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop_table("nope")
+        catalog.drop_table("nope", if_exists=True)  # no error
+
+    def test_drop_view(self):
+        catalog = Catalog()
+        catalog.create_view("v", query=None)
+        catalog.drop_view("v")
+        assert catalog.view("v") is None
+        with pytest.raises(CatalogError):
+            catalog.drop_view("v")
+        catalog.drop_view("v", if_exists=True)
+
+
+class TestStatistics:
+    def test_collect_row_count_and_distinct(self):
+        schema = Schema([("k", INTEGER), ("v", DOUBLE)])
+        rows = [(1, 1.0), (1, 2.0), (2, 3.0)]
+        stats = collect_stats(schema, rows)
+        assert stats.row_count == 3
+        assert stats.distinct("k") == 2
+        assert stats.distinct("v") == 3
+        assert stats.distinct("missing") is None
+
+    def test_observed_vector_length_refines_type(self):
+        schema = Schema([("vec", VectorType(None))])
+        rows = [(Vector([1.0, 2.0, 3.0]),), (Vector([4.0, 5.0, 6.0]),)]
+        stats = collect_stats(schema, rows)
+        refined = stats.column("vec").refine_type(VectorType(None))
+        assert refined == VectorType(3)
+
+    def test_mixed_lengths_do_not_refine(self):
+        schema = Schema([("vec", VectorType(None))])
+        rows = [(Vector([1.0]),), (Vector([1.0, 2.0]),)]
+        stats = collect_stats(schema, rows)
+        assert stats.column("vec").refine_type(VectorType(None)) == VectorType(None)
+
+    def test_observed_matrix_dims(self):
+        schema = Schema([("m", MatrixType(None, None))])
+        rows = [(Matrix(np.ones((2, 5))),)]
+        stats = collect_stats(schema, rows)
+        refined = stats.column("m").refine_type(MatrixType(None, None))
+        assert refined == MatrixType(2, 5)
+
+    def test_declared_dims_never_overridden(self):
+        schema = Schema([("m", MatrixType(7, None))])
+        rows = [(Matrix(np.ones((7, 5))),)]
+        stats = collect_stats(schema, rows)
+        refined = stats.column("m").refine_type(MatrixType(7, None))
+        assert refined == MatrixType(7, 5)
+
+    def test_empty_table(self):
+        schema = Schema([("k", INTEGER)])
+        stats = collect_stats(schema, [])
+        assert stats.row_count == 0
+        assert stats.distinct("k") == 0
+
+    def test_default_stats_object(self):
+        stats = TableStats()
+        assert stats.row_count == 0
+        assert stats.column("x").distinct is None

@@ -1,0 +1,126 @@
+"""Tests for the comparison-platform behavioural simulators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    distance_truth_ids,
+    generate,
+    gram_truth,
+    regression_truth,
+)
+from repro.comparators import SciDB, SimTime, SparkMllib, SystemML
+from repro.comparators.systemml import LOCAL_MODE_BYTES
+from repro.config import PAPER_CLUSTER
+
+PLATFORMS = [SystemML, SciDB, SparkMllib]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(80, 5, seed=13)
+
+
+class TestSimTime:
+    def test_breakdown_accumulates(self):
+        time = SimTime()
+        time.add("a", 1.0).add("b", 2.0).add("a", 3.0)
+        assert time.total == 6.0
+        assert time.breakdown["a"] == 4.0
+
+    def test_repr_mentions_labels(self):
+        time = SimTime().add("shuffle", 5.0)
+        assert "shuffle" in repr(time)
+
+
+@pytest.mark.parametrize("platform_cls", PLATFORMS)
+class TestComputeCorrectness:
+    """Every comparator's strategy-faithful compute path must agree with
+    ground truth."""
+
+    def test_gram(self, platform_cls, workload):
+        platform = platform_cls(PAPER_CLUSTER)
+        assert np.allclose(platform.compute("gram", workload), gram_truth(workload))
+
+    def test_regression(self, platform_cls, workload):
+        platform = platform_cls(PAPER_CLUSTER)
+        assert np.allclose(
+            platform.compute("regression", workload), regression_truth(workload)
+        )
+
+    def test_distance(self, platform_cls, workload):
+        platform = platform_cls(PAPER_CLUSTER)
+        assert platform.compute("distance", workload) in distance_truth_ids(workload)
+
+
+@pytest.mark.parametrize("platform_cls", PLATFORMS)
+class TestSimulationSanity:
+    def test_positive_and_monotone_in_n(self, platform_cls):
+        platform = platform_cls(PAPER_CLUSTER)
+        for computation in ("gram", "regression", "distance"):
+            small = platform.simulate(computation, 100_000, 100).total
+            large = platform.simulate(computation, 1_000_000, 100).total
+            assert 0 < small < large
+
+    def test_monotone_in_d_for_gram(self, platform_cls):
+        platform = platform_cls(PAPER_CLUSTER)
+        times = [
+            platform.simulate("gram", 1_000_000, d).total for d in (10, 100, 1000)
+        ]
+        assert times[0] <= times[1] <= times[2]
+
+    def test_breakdown_sums_to_total(self, platform_cls):
+        platform = platform_cls(PAPER_CLUSTER)
+        sim = platform.simulate("gram", 1_000_000, 100)
+        assert sim.total == pytest.approx(sum(sim.breakdown.values()))
+
+
+class TestSystemMLSpecifics:
+    def test_local_mode_for_small_inputs(self):
+        """The paper's star: 10-dim gram/regression run in local mode."""
+        platform = SystemML(PAPER_CLUSTER)
+        local = platform.simulate("gram", 1_000_000, 10)
+        distributed = platform.simulate("gram", 1_000_000, 100)
+        assert "startup" in local.breakdown
+        assert local.breakdown["startup"] < distributed.breakdown["startup"]
+        assert 8.0 * 1_000_000 * 10 <= LOCAL_MODE_BYTES
+
+    def test_blocked_gram_matches_dense(self):
+        workload = generate(2500, 4, seed=2)  # spans multiple 1000-blocks
+        platform = SystemML(PAPER_CLUSTER)
+        assert np.allclose(platform.compute_gram(workload), gram_truth(workload))
+
+
+class TestSciDBSpecifics:
+    def test_distance_nearly_flat_in_d(self):
+        platform = SciDB(PAPER_CLUSTER)
+        low = platform.simulate("distance", 100_000, 10).total
+        high = platform.simulate("distance", 100_000, 1000).total
+        assert high < 3 * low
+
+    def test_materialization_dominates_distance(self):
+        platform = SciDB(PAPER_CLUSTER)
+        sim = platform.simulate("distance", 100_000, 10)
+        assert sim.breakdown["all-distance-io"] > 0.3 * sim.total
+
+
+class TestSparkSpecifics:
+    def test_gram_cliff_at_1000_dims(self):
+        platform = SparkMllib(PAPER_CLUSTER)
+        mid = platform.simulate("gram", 1_000_000, 100).total
+        high = platform.simulate("gram", 1_000_000, 1000).total
+        assert high > 10 * mid
+
+    def test_distance_flat_ish_and_huge(self):
+        platform = SparkMllib(PAPER_CLUSTER)
+        times = [
+            platform.simulate("distance", 100_000, d).total for d in (10, 100, 1000)
+        ]
+        assert min(times) > 3000
+        assert max(times) / min(times) < 1.5
+
+    def test_blockmatrix_distance_correct_on_non_divisible_n(self):
+        # n not a multiple of the 1024 block size exercises the tail block
+        workload = generate(100, 4, seed=8)
+        platform = SparkMllib(PAPER_CLUSTER)
+        assert platform.compute_distance(workload) in distance_truth_ids(workload)

@@ -1,0 +1,127 @@
+"""Tests for cardinality/selectivity estimation and the size-aware cost
+model (paper section 4)."""
+
+import pytest
+
+from repro import Database, TEST_CLUSTER
+from repro.plan import Binder, CostModel
+from repro.plan.logical import ScanNode
+from repro.sql import parse_statement
+from repro.types import MatrixType
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE a (id INTEGER, v DOUBLE)")
+    database.execute("CREATE TABLE b (id INTEGER, w DOUBLE)")
+    database.execute("CREATE TABLE wide (id INTEGER, m MATRIX[100][1000])")
+    database.load("a", [[i % 50, float(i)] for i in range(100)])
+    database.load("b", [[i, float(i)] for i in range(20)])
+    database.catalog.table("wide").stats.row_count = 10
+    return database
+
+
+def bound(db, sql):
+    return Binder(db.catalog).bind_select(parse_statement(sql))
+
+
+def model(db, blind=False):
+    return CostModel(db.config, size_blind=blind)
+
+
+class TestCardinality:
+    def test_scan_rows_from_stats(self, db):
+        plan = bound(db, "SELECT id FROM a")
+        scan = plan.children()[0]
+        assert isinstance(scan, ScanNode)
+        assert model(db).estimate(scan).rows == 100
+
+    def test_equality_filter_uses_distinct(self, db):
+        plan = bound(db, "SELECT id FROM a WHERE id = 7")
+        filt = plan.children()[0]
+        estimate = model(db).estimate(filt)
+        # 100 rows / 50 distinct ids = 2
+        assert estimate.rows == pytest.approx(2.0)
+
+    def test_range_filter_selectivity(self, db):
+        plan = bound(db, "SELECT id FROM a WHERE v > 10")
+        filt = plan.children()[0]
+        assert model(db).estimate(filt).rows == pytest.approx(100 / 3.0)
+
+    def test_conjunction_multiplies(self, db):
+        plan = bound(db, "SELECT id FROM a WHERE id = 7 AND v > 10")
+        filt = plan.children()[0]
+        # 100 * (1/50) * (1/3) = 0.67, clamped to the 1-row floor
+        assert model(db).estimate(filt).rows == pytest.approx(1.0)
+
+    def test_join_cardinality_via_distinct(self, db):
+        plan = bound(db, "SELECT a.v FROM a, b WHERE a.id = b.id")
+        # the canonical bound plan is Project(Filter(Join))
+        filt = plan.children()[0]
+        estimate = model(db).estimate(filt)
+        # 100 * 20 / max(50, 20) = 40
+        assert estimate.rows == pytest.approx(40.0)
+
+    def test_group_count_capped_by_input(self, db):
+        plan = bound(db, "SELECT id, COUNT(*) FROM b GROUP BY id")
+        agg = plan.children()[0]
+        assert model(db).estimate(agg).rows <= 20
+
+    def test_scalar_aggregate_one_row(self, db):
+        plan = bound(db, "SELECT SUM(v) FROM a")
+        agg = plan.children()[0]
+        assert model(db).estimate(agg).rows == 1
+
+
+class TestWidths:
+    def test_tensor_width_dominates(self, db):
+        narrow = bound(db, "SELECT id FROM a")
+        wide = bound(db, "SELECT m FROM wide")
+        cost_model = model(db)
+        assert cost_model.estimate(wide).width_bytes > 1000 * cost_model.estimate(
+            narrow
+        ).width_bytes
+
+    def test_size_blind_sees_8_bytes(self, db):
+        wide = bound(db, "SELECT m FROM wide")
+        blind = model(db, blind=True)
+        assert blind.estimate(wide).width_bytes < 100
+        assert blind.type_width(MatrixType(1000, 1000)) == 8.0
+
+    def test_inferred_output_width(self, db):
+        # matrix_multiply(MATRIX[100][1000], trans) -> MATRIX[100][100]
+        plan = bound(
+            db, "SELECT matrix_multiply(m, trans_matrix(m)) FROM wide"
+        )
+        estimate = model(db).estimate(plan)
+        assert estimate.width_bytes == pytest.approx(16 + 8 * 100 * 100 + 8)
+
+
+class TestPlanCost:
+    def test_cost_positive_and_monotone_in_rows(self, db):
+        small = model(db).plan_cost(bound(db, "SELECT id FROM b"))
+        large = model(db).plan_cost(bound(db, "SELECT id FROM a"))
+        assert 0 < small < large
+
+    def test_filter_adds_cost(self, db):
+        base = model(db).plan_cost(bound(db, "SELECT id FROM a"))
+        filtered = model(db).plan_cost(bound(db, "SELECT id FROM a WHERE v > 1"))
+        assert filtered > base
+
+    def test_wide_join_costs_more_than_narrow(self, db):
+        narrow = model(db).plan_cost(
+            bound(db, "SELECT a.id FROM a, b WHERE a.id = b.id")
+        )
+        wide = model(db).plan_cost(
+            bound(db, "SELECT wide.id FROM wide, b WHERE wide.id = b.id")
+        )
+        assert wide > narrow
+
+    def test_selectivity_bounds(self, db):
+        cost_model = model(db)
+        plan = bound(db, "SELECT id FROM a WHERE id = 1 OR v > 2 OR v < -2")
+        filt = plan.children()[0]
+        child = cost_model.estimate(filt.child)
+        sel = cost_model.selectivity(filt.predicate, child)
+        assert 0.0 <= sel <= 1.0

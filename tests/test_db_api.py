@@ -1,0 +1,146 @@
+"""Tests for the public Database/Result API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CatalogError,
+    CompileError,
+    Database,
+    ExecutionError,
+    SqlSyntaxError,
+    TEST_CLUSTER,
+)
+from repro.types import Matrix, Vector
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE t (id INTEGER, v DOUBLE)")
+    database.load("t", [(i, float(i)) for i in range(10)])
+    return database
+
+
+class TestResult:
+    def test_len_iter(self, db):
+        result = db.execute("SELECT id FROM t")
+        assert len(result) == 10
+        assert sorted(row[0] for row in result) == list(range(10))
+
+    def test_scalar(self, db):
+        assert db.execute("SELECT SUM(v) FROM t").scalar() == 45.0
+
+    def test_scalar_rejects_multi(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT id FROM t").scalar()
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT id, v FROM t WHERE id = 1").scalar()
+
+    def test_column_accessor(self, db):
+        result = db.execute("SELECT id, v FROM t WHERE id < 3 ORDER BY id")
+        assert result.column("V") == [0.0, 1.0, 2.0]
+        with pytest.raises(ExecutionError):
+            result.column("nope")
+
+    def test_to_dicts(self, db):
+        result = db.execute("SELECT id, v FROM t WHERE id = 2")
+        assert result.to_dicts() == [{"id": 2, "v": 2.0}]
+
+    def test_repr(self, db):
+        assert "row" in repr(db.execute("SELECT id FROM t"))
+
+
+class TestLoading:
+    def test_numpy_conversion(self):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE x (vec VECTOR[], mat MATRIX[][])")
+        db.load("x", [(np.arange(3.0), np.eye(2))])
+        vec, mat = db.execute("SELECT vec, mat FROM x").rows[0]
+        assert isinstance(vec, Vector) and vec.length == 3
+        assert isinstance(mat, Matrix) and mat.shape == (2, 2)
+
+    def test_list_conversion(self):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE x (vec VECTOR[])")
+        db.load("x", [([1.0, 2.0],)])
+        assert db.execute("SELECT vec FROM x").rows[0][0] == Vector([1.0, 2.0])
+
+    def test_3d_array_rejected(self):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE x (vec VECTOR[])")
+        with pytest.raises(ExecutionError):
+            db.load("x", [(np.zeros((2, 2, 2)),)])
+
+    def test_load_updates_stats(self, db):
+        assert db.catalog.table("t").stats.row_count == 10
+        db.load("t", [(100, 1.0)])
+        assert db.catalog.table("t").stats.row_count == 11
+
+    def test_load_into_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.load("missing", [(1,)])
+
+    def test_numpy_scalars_unboxed(self):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE s (id INTEGER, v DOUBLE)")
+        db.load("s", [(np.int64(1), np.float64(2.5))])
+        assert db.execute("SELECT id, v FROM s").rows[0] == (1, 2.5)
+
+
+class TestStatements:
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "CREATE TABLE u (a INTEGER); INSERT INTO u VALUES (1), (2); "
+            "SELECT COUNT(*) FROM u"
+        )
+        assert len(results) == 3
+        assert results[2].scalar() == 2
+
+    def test_params_in_execute(self, db):
+        result = db.execute("SELECT v FROM t WHERE id = :which", params={"which": 4})
+        assert result.scalar() == 4.0
+
+    def test_vector_parameter(self, db):
+        db.execute("CREATE TABLE vv (vec VECTOR[3])")
+        db.load("vv", [(np.array([1.0, 2.0, 3.0]),)])
+        result = db.execute(
+            "SELECT inner_product(vec, :probe) FROM vv",
+            params={"probe": np.array([1.0, 0.0, 1.0])},
+        )
+        assert result.scalar() == 4.0
+
+    def test_syntax_error_surfaces(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELEC id FROM t")
+
+    def test_explain_select_only(self, db):
+        text = db.explain("SELECT SUM(v) FROM t")
+        assert "logical" in text and "physical" in text
+        with pytest.raises(CompileError):
+            db.explain("CREATE TABLE z (a INTEGER)")
+
+    def test_create_table_as_inherits_schema(self, db):
+        db.execute("CREATE TABLE doubled AS SELECT id, v * 2 AS twice FROM t")
+        entry = db.catalog.table("doubled")
+        assert entry.schema.names == ["id", "twice"]
+        assert db.execute("SELECT MAX(twice) FROM doubled").scalar() == 18.0
+
+    def test_drop_table_then_query_fails(self, db):
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT id FROM t")
+
+    def test_view_reflects_new_data(self, db):
+        db.execute("CREATE VIEW big AS SELECT id FROM t WHERE v >= 8")
+        assert len(db.execute("SELECT id FROM big")) == 2
+        db.execute("INSERT INTO t VALUES (10, 9.5)")
+        assert len(db.execute("SELECT id FROM big")) == 3
+
+    def test_metrics_attached_to_select(self, db):
+        result = db.execute("SELECT id FROM t")
+        assert result.metrics.jobs >= 1
+
+    def test_duplicate_output_names_deduplicated(self, db):
+        result = db.execute("SELECT id, id FROM t WHERE id = 1")
+        assert result.columns == ["id", "id_2"]

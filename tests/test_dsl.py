@@ -1,0 +1,143 @@
+"""Tests for the math-like DSL layer over the extended-SQL engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import TEST_CLUSTER
+from repro.dsl import Input, MatMul, Session
+from repro.errors import TypeCheckError
+
+
+@pytest.fixture
+def sess():
+    return Session(TEST_CLUSTER, tile=8)
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(20, 12)), rng.normal(size=(12, 16))
+
+
+class TestStorage:
+    def test_matrix_round_trip(self, sess, arrays):
+        A, _ = arrays
+        assert np.allclose(sess.matrix(A).to_numpy(), A)
+
+    def test_non_divisible_shapes_padded_transparently(self, sess):
+        data = np.arange(15.0).reshape(3, 5)  # 3x5 with tile 8
+        assert np.allclose(sess.matrix(data).to_numpy(), data)
+
+    def test_named_table_visible_in_catalog(self, sess, arrays):
+        sess.matrix(arrays[0], name="mydata")
+        assert sess.db.catalog.has_table("mydata")
+
+    def test_rejects_non_2d(self, sess):
+        with pytest.raises(TypeCheckError):
+            sess.matrix(np.zeros(3))
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            Session(TEST_CLUSTER, tile=0)
+
+
+class TestOperators:
+    def test_matmul(self, sess, arrays):
+        A, B = arrays
+        assert np.allclose((sess.matrix(A) @ sess.matrix(B)).to_numpy(), A @ B)
+
+    def test_matmul_shape_checked_at_graph_time(self, sess, arrays):
+        A, _ = arrays
+        with pytest.raises(TypeCheckError):
+            sess.matrix(A) @ sess.matrix(A)
+
+    def test_transpose(self, sess, arrays):
+        A, _ = arrays
+        assert np.allclose(sess.matrix(A).T.to_numpy(), A.T)
+
+    def test_gram(self, sess, arrays):
+        A, _ = arrays
+        assert np.allclose(sess.matrix(A).gram().to_numpy(), A.T @ A)
+
+    def test_add_sub_elementwise_mul(self, sess, arrays):
+        A, _ = arrays
+        a, b = sess.matrix(A), sess.matrix(2 * A)
+        assert np.allclose((a + b).to_numpy(), 3 * A)
+        assert np.allclose((b - a).to_numpy(), A)
+        assert np.allclose((a * a).to_numpy(), A * A)
+
+    def test_elementwise_shape_checked(self, sess, arrays):
+        A, B = arrays
+        with pytest.raises(TypeCheckError):
+            sess.matrix(A) + sess.matrix(B)
+
+    def test_scalar_scaling_and_negation(self, sess, arrays):
+        A, _ = arrays
+        a = sess.matrix(A)
+        assert np.allclose((a * 2.5).to_numpy(), 2.5 * A)
+        assert np.allclose((0.5 * a).to_numpy(), 0.5 * A)
+        assert np.allclose((-a).to_numpy(), -A)
+
+    def test_long_chain(self, sess, arrays):
+        A, B = arrays
+        a, b = sess.matrix(A), sess.matrix(B)
+        # (16x20 @ 20x12): ((A@B)^T * 2 - (A@B)^T) @ A == (A@B)^T @ A
+        expr = ((a @ b).T * 2.0 - (a @ b).T) @ a
+        assert np.allclose(expr.to_numpy(), (A @ B).T @ A)
+
+    def test_sessions_cannot_mix(self, arrays):
+        A, _ = arrays
+        first = Session(TEST_CLUSTER, tile=8)
+        second = Session(TEST_CLUSTER, tile=8)
+        with pytest.raises(TypeCheckError):
+            first.matrix(A) + second.matrix(A)
+
+
+class TestReductions:
+    def test_sum(self, sess, arrays):
+        A, _ = arrays
+        assert sess.matrix(A).sum() == pytest.approx(A.sum())
+
+    def test_sum_ignores_padding(self, sess):
+        data = np.ones((3, 3))  # heavily padded at tile 8
+        assert sess.matrix(data).sum() == pytest.approx(9.0)
+
+    def test_frobenius(self, sess, arrays):
+        A, _ = arrays
+        assert sess.matrix(A).frobenius_norm() == pytest.approx(np.linalg.norm(A))
+
+
+class TestCompilation:
+    def test_shared_subexpression_materialized_once(self, sess, arrays):
+        A, B = arrays
+        a, b = sess.matrix(A), sess.matrix(B)
+        product = a @ b
+        expr = product + product  # same node twice
+        tables_before = len(sess.db.catalog.tables())
+        expr.to_numpy()
+        created = len(sess.db.catalog.tables()) - tables_before
+        # one table for the product, one for the sum
+        assert created == 2
+
+    def test_metrics_accumulate(self, sess, arrays):
+        A, B = arrays
+        sess.reset_metrics()
+        (sess.matrix(A) @ sess.matrix(B)).to_numpy()
+        assert sess.last_metrics.total_seconds > 0
+        assert sess.last_metrics.jobs >= 1
+
+    def test_linear_regression_via_dsl(self, sess):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 6))
+        beta = rng.normal(size=(6, 1))
+        y = X @ beta
+        x_expr, y_expr = sess.matrix(X), sess.matrix(y)
+        gram = x_expr.gram().to_numpy()
+        xty = (x_expr.T @ y_expr).to_numpy()
+        estimate = np.linalg.solve(gram, xty)
+        assert np.allclose(estimate, beta)
+
+    def test_repr(self, sess, arrays):
+        a = sess.matrix(arrays[0])
+        assert "Input" in repr(a)
+        assert isinstance(a.gram(), MatMul)

@@ -1,0 +1,82 @@
+"""Property-based tests for the DSL: random expression graphs must agree
+with numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import TEST_CLUSTER
+from repro.dsl import Session
+
+DIMS = (4, 6, 10)  # the shape universe; tile 4 exercises padding on 6 and 10
+
+
+@st.composite
+def expression_programs(draw):
+    """A random program: a list of ops applied to two base matrices."""
+    rows = draw(st.sampled_from(DIMS))
+    inner = draw(st.sampled_from(DIMS))
+    cols = draw(st.sampled_from(DIMS))
+    ops = draw(
+        st.lists(
+            st.sampled_from(["matmul", "transpose", "add", "scale", "hadamard"]),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    seed = draw(st.integers(0, 2**16))
+    return rows, inner, cols, ops, seed
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(expression_programs())
+def test_random_program_matches_numpy(program):
+    rows, inner, cols, ops, seed = program
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(rows, inner))
+    B = rng.normal(size=(inner, cols))
+
+    sess = Session(TEST_CLUSTER, tile=4)
+    expr = sess.matrix(A) @ sess.matrix(B)
+    reference = A @ B
+
+    for op in ops:
+        if op == "matmul":
+            expr = expr @ expr.T
+            reference = reference @ reference.T
+        elif op == "transpose":
+            expr = expr.T
+            reference = reference.T
+        elif op == "add":
+            expr = expr + expr
+            reference = reference + reference
+        elif op == "scale":
+            expr = expr * 0.5
+            reference = reference * 0.5
+        elif op == "hadamard":
+            expr = expr * expr
+            reference = reference * reference
+
+    assert np.allclose(expr.to_numpy(), reference)
+    assert expr.sum() == pytest.approx(reference.sum(), rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.integers(1, 6),
+    st.integers(0, 2**16),
+)
+def test_round_trip_any_shape_any_tile(rows, cols, tile, seed):
+    """Storage round-trips exactly for every shape/tile combination,
+    including heavy padding."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, cols))
+    sess = Session(TEST_CLUSTER, tile=tile)
+    assert np.allclose(sess.matrix(data).to_numpy(), data)

@@ -1,0 +1,240 @@
+"""Tests for the simulated-cluster executor: operator semantics, exchange
+behaviour, metrics, memory guard, and skew."""
+
+import numpy as np
+import pytest
+
+from repro import Database, ClusterConfig, ResourceExhaustedError, TEST_CLUSTER
+from repro.engine import stable_hash, value_bytes
+from repro.types import Matrix, Vector
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE t (id INTEGER, v DOUBLE)")
+    database.load("t", [[i, float(i) * 2] for i in range(20)])
+    return database
+
+
+class TestBasicOperators:
+    def test_scan_all(self, db):
+        assert len(db.execute("SELECT * FROM t")) == 20
+
+    def test_filter(self, db):
+        result = db.execute("SELECT id FROM t WHERE v >= 30")
+        assert sorted(row[0] for row in result) == [15, 16, 17, 18, 19]
+
+    def test_project_expressions(self, db):
+        result = db.execute("SELECT id + 1, v / 2 FROM t WHERE id = 3")
+        assert result.rows == [(4, 3.0)]
+
+    def test_order_by_limit(self, db):
+        result = db.execute("SELECT id FROM t ORDER BY id DESC LIMIT 3")
+        assert [row[0] for row in result] == [19, 18, 17]
+
+    def test_order_by_two_keys(self, db):
+        db.execute("CREATE TABLE u (a INTEGER, b INTEGER)")
+        db.load("u", [[1, 2], [1, 1], [0, 9]])
+        result = db.execute("SELECT a, b FROM u ORDER BY a, b DESC")
+        assert result.rows == [(0, 9), (1, 2), (1, 1)]
+
+    def test_distinct(self, db):
+        db.execute("CREATE TABLE dup (x INTEGER)")
+        db.load("dup", [[1], [1], [2], [2], [2], [3]])
+        result = db.execute("SELECT DISTINCT x FROM dup")
+        assert sorted(row[0] for row in result) == [1, 2, 3]
+
+    def test_distinct_on_vectors(self, db):
+        db.execute("CREATE TABLE dv (vec VECTOR[2])")
+        db.load("dv", [[np.array([1.0, 2.0])], [np.array([1.0, 2.0])], [np.array([3.0, 4.0])]])
+        assert len(db.execute("SELECT DISTINCT vec FROM dv")) == 2
+
+    def test_group_by_aggregate(self, db):
+        result = db.execute(
+            "SELECT id/10, COUNT(*), SUM(v) FROM t GROUP BY id/10"
+        )
+        by_group = {row[0]: row for row in result}
+        assert by_group[0][1] == 10 and by_group[1][1] == 10
+        assert by_group[0][2] == sum(2.0 * i for i in range(10))
+
+    def test_scalar_aggregate_on_empty_table(self, db):
+        db.execute("CREATE TABLE empty (x DOUBLE)")
+        result = db.execute("SELECT SUM(x), COUNT(x) FROM empty")
+        assert result.rows == [(None, 0)]
+
+    def test_count_distinct(self, db):
+        db.execute("CREATE TABLE cd (x INTEGER)")
+        db.load("cd", [[1], [1], [2]])
+        assert db.execute("SELECT COUNT(DISTINCT x) FROM cd").scalar() == 2
+
+    def test_having(self, db):
+        db.execute("CREATE TABLE h (g INTEGER, x DOUBLE)")
+        db.load("h", [[1, 1.0], [1, 2.0], [2, 1.0]])
+        result = db.execute(
+            "SELECT g FROM h GROUP BY g HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [(1,)]
+
+    def test_null_join_keys_never_match(self, db):
+        db.execute("CREATE TABLE n1 (k INTEGER)")
+        db.execute("CREATE TABLE n2 (k INTEGER)")
+        db.load("n1", [[None], [1]])
+        db.load("n2", [[None], [1]])
+        result = db.execute("SELECT n1.k FROM n1, n2 WHERE n1.k = n2.k")
+        assert result.rows == [(1,)]
+
+    def test_is_null_filter(self, db):
+        db.execute("CREATE TABLE nn (k INTEGER)")
+        db.load("nn", [[None], [1], [None]])
+        assert len(db.execute("SELECT k FROM nn WHERE k IS NULL")) == 2
+        assert len(db.execute("SELECT k FROM nn WHERE k IS NOT NULL")) == 1
+
+    def test_subquery_in_from(self, db):
+        result = db.execute(
+            "SELECT q.s FROM (SELECT id/10 AS g, SUM(v) AS s FROM t GROUP BY id/10) AS q "
+            "WHERE q.g = 0"
+        )
+        assert result.scalar() == sum(2.0 * i for i in range(10))
+
+    def test_create_table_as(self, db):
+        db.execute("CREATE TABLE t2 AS SELECT id, v * 10 AS big FROM t WHERE id < 3")
+        result = db.execute("SELECT SUM(big) FROM t2")
+        assert result.scalar() == (0 + 2 + 4) * 10
+
+
+class TestMetrics:
+    def test_metrics_present(self, db):
+        result = db.execute("SELECT SUM(v) FROM t")
+        assert result.metrics.total_seconds > 0
+        assert result.metrics.jobs >= 1
+        names = {op.name for op in result.metrics.operators}
+        assert any(name.startswith("Scan") for name in names)
+        assert "PartialAggregate" in names
+
+    def test_job_startup_charged(self, db):
+        result = db.execute("SELECT SUM(v) FROM t")
+        assert result.metrics.startup_seconds == pytest.approx(
+            result.metrics.jobs * db.config.job_startup_s
+        )
+
+    def test_map_only_query_is_one_job(self, db):
+        result = db.execute("SELECT id FROM t WHERE id = 1")
+        assert result.metrics.jobs == 1
+
+    def test_seconds_by_operator(self, db):
+        result = db.execute("SELECT SUM(v) FROM t GROUP BY id")
+        breakdown = result.metrics.seconds_by_operator()
+        assert sum(breakdown.values()) == pytest.approx(
+            result.metrics.operator_seconds
+        )
+
+    def test_more_data_costs_more(self):
+        small = Database(TEST_CLUSTER)
+        small.execute("CREATE TABLE x (vec VECTOR[])")
+        rng = np.random.default_rng(0)
+        small.load("x", [[rng.normal(size=16)] for _ in range(20)])
+        small_time = small.execute(
+            "SELECT SUM(outer_product(vec, vec)) FROM x"
+        ).metrics.operator_seconds
+
+        big = Database(TEST_CLUSTER)
+        big.execute("CREATE TABLE x (vec VECTOR[])")
+        big.load("x", [[rng.normal(size=128)] for _ in range(20)])
+        big_time = big.execute(
+            "SELECT SUM(outer_product(vec, vec)) FROM x"
+        ).metrics.operator_seconds
+        assert big_time > small_time
+
+
+class TestMemoryGuard:
+    def test_oversized_partition_fails(self):
+        tiny = ClusterConfig(
+            machines=1, cores_per_machine=1, worker_memory=2000.0, job_startup_s=0.0
+        )
+        db = Database(tiny)
+        db.execute("CREATE TABLE big (vec VECTOR[])")
+        rng = np.random.default_rng(0)
+        db.load("big", [[rng.normal(size=64)] for _ in range(10)])
+        with pytest.raises(ResourceExhaustedError):
+            db.execute("SELECT vec FROM big")
+
+
+class TestPartitioningAndSkew:
+    def test_stable_hash_deterministic(self):
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+        assert stable_hash((1,)) != stable_hash((2,))
+
+    def test_stable_hash_int_float_agree(self):
+        assert stable_hash((1,)) == stable_hash((1.0,))
+
+    def test_stable_hash_tensors(self):
+        assert stable_hash((Vector([1.0, 2.0]),)) == stable_hash((Vector([1.0, 2.0]),))
+        assert stable_hash((Matrix([[1.0]]),)) != stable_hash((Matrix([[2.0]]),))
+
+    def test_hash_partitioned_table_colocates(self):
+        db = Database(TEST_CLUSTER)
+        db.create_table("p", [("k", "INTEGER"), ("x", "DOUBLE")], partition_by=["k"])
+        db.load("p", [[i % 3, float(i)] for i in range(30)])
+        storage = db.catalog.table("p").storage
+        for part in storage.partitions:
+            keys = {row[0] for row in part}
+            # every slot holds complete key groups
+            for key in keys:
+                total = sum(
+                    1 for p in storage.partitions for row in p if row[0] == key
+                )
+                local = sum(1 for row in part if row[0] == key)
+                assert local == total
+
+    def test_skew_emerges_with_few_groups(self):
+        """The paper's 100-blocks-on-80-cores effect: hash placement of
+        few groups over many slots is imbalanced; balanced placement is
+        not."""
+        config = ClusterConfig(machines=10, cores_per_machine=8, job_startup_s=0.0)
+        rng = np.random.default_rng(3)
+
+        def run(balanced):
+            db = Database(config.with_updates(balanced_placement=balanced))
+            db.execute("CREATE TABLE g (k INTEGER, vec VECTOR[16])")
+            db.load("g", [[i % 100, rng.normal(size=16)] for i in range(1000)])
+            result = db.execute(
+                "SELECT k, SUM(outer_product(vec, vec)) FROM g GROUP BY k"
+            )
+            final = result.metrics.find("FinalAggregate")[0]
+            return final.skew_ratio
+
+        hashed = run(balanced=False)
+        balanced = run(balanced=True)
+        # round-robin floor for 100 groups on 80 slots is 2 / 1.25 = 1.6
+        assert balanced <= 1.6 + 1e-9
+        assert hashed > balanced
+
+    def test_copartitioned_join_skips_shuffle(self):
+        db = Database(TEST_CLUSTER)
+        db.create_table("l", [("k", "INTEGER"), ("x", "DOUBLE")], partition_by=["k"])
+        db.create_table("r", [("k", "INTEGER"), ("y", "DOUBLE")], partition_by=["k"])
+        db.load("l", [[i, float(i)] for i in range(100)])
+        db.load("r", [[i, float(i)] for i in range(100)])
+        plan = db.explain("SELECT l.x FROM l, r WHERE l.k = r.k")
+        # with both sides hash-partitioned on k, no hash exchange is needed
+        assert "Exchange hash" not in plan
+
+    def test_broadcast_replicates_small_side(self, db):
+        db.execute("CREATE TABLE tiny (id INTEGER)")
+        db.load("tiny", [[1], [2]])
+        result = db.execute(
+            "SELECT t.id FROM t, tiny WHERE t.id = tiny.id"
+        )
+        assert sorted(row[0] for row in result) == [1, 2]
+
+
+class TestValueBytes:
+    def test_scalars(self):
+        assert value_bytes(1) == 8.0
+        assert value_bytes(None) == 1.0
+        assert value_bytes("abcd") == 8.0
+
+    def test_tensors(self):
+        assert value_bytes(Vector([0.0] * 10)) == 88.0
+        assert value_bytes(Matrix(np.zeros((3, 4)))) == 8 * 12 + 8

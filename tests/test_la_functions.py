@@ -1,0 +1,244 @@
+"""Tests for the built-in linear algebra function library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, RuntimeTypeError
+from repro.la import all_builtins, lookup
+from repro.types import Matrix, MatrixType, Vector, VectorType
+
+
+def fn(name):
+    function = lookup(name)
+    assert function is not None, f"builtin {name} missing"
+    return function
+
+
+class TestRegistry:
+    def test_paper_claims_at_least_22_builtins(self):
+        assert len(all_builtins()) >= 22
+
+    def test_lookup_case_insensitive(self):
+        assert lookup("MATRIX_MULTIPLY") is fn("matrix_multiply")
+
+    def test_unknown_returns_none(self):
+        assert lookup("no_such_function") is None
+
+    def test_every_builtin_has_signature_and_doc(self):
+        for builtin in all_builtins():
+            assert builtin.signature.name == builtin.name
+            assert builtin.doc
+
+
+class TestMultiplicationFamily:
+    def test_matrix_multiply(self):
+        left = Matrix([[1.0, 2.0], [3.0, 4.0]])
+        right = Matrix([[5.0], [6.0]])
+        assert fn("matrix_multiply")(left, right) == Matrix([[17.0], [39.0]])
+
+    def test_matrix_multiply_inner_mismatch(self):
+        with pytest.raises(RuntimeTypeError):
+            fn("matrix_multiply")(Matrix([[1.0, 2.0]]), Matrix([[1.0, 2.0]]))
+
+    def test_matrix_vector_multiply(self):
+        mat = Matrix([[1.0, 0.0], [0.0, 2.0]])
+        assert fn("matrix_vector_multiply")(mat, Vector([3, 4])) == Vector([3.0, 8.0])
+
+    def test_vector_matrix_multiply(self):
+        mat = Matrix([[1.0, 0.0], [0.0, 2.0]])
+        assert fn("vector_matrix_multiply")(Vector([3, 4]), mat) == Vector([3.0, 8.0])
+
+    def test_outer_product(self):
+        result = fn("outer_product")(Vector([1, 2]), Vector([3, 4, 5]))
+        assert result == Matrix([[3.0, 4.0, 5.0], [6.0, 8.0, 10.0]])
+
+    def test_inner_product(self):
+        assert fn("inner_product")(Vector([1, 2, 3]), Vector([4, 5, 6])) == 32.0
+
+    def test_inner_product_mismatch(self):
+        with pytest.raises(RuntimeTypeError):
+            fn("inner_product")(Vector([1]), Vector([1, 2]))
+
+
+class TestStructural:
+    def test_transpose(self):
+        assert fn("trans_matrix")(Matrix([[1.0, 2.0]])) == Matrix([[1.0], [2.0]])
+
+    def test_diag_roundtrip(self):
+        mat = Matrix([[1.0, 9.0], [9.0, 2.0]])
+        assert fn("diag")(mat) == Vector([1.0, 2.0])
+        rebuilt = fn("diag_matrix")(Vector([1.0, 2.0]))
+        assert rebuilt == Matrix([[1.0, 0.0], [0.0, 2.0]])
+
+    def test_diag_requires_square(self):
+        with pytest.raises(RuntimeTypeError):
+            fn("diag")(Matrix([[1.0, 2.0]]))
+
+    def test_row_and_col_matrix(self):
+        vec = Vector([1.0, 2.0])
+        assert fn("row_matrix")(vec).shape == (1, 2)
+        assert fn("col_matrix")(vec).shape == (2, 1)
+
+    def test_get_row_col_one_based(self):
+        mat = Matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert fn("get_row")(mat, 1) == Vector([1.0, 2.0])
+        assert fn("get_col")(mat, 2) == Vector([2.0, 4.0])
+
+    def test_get_row_out_of_range(self):
+        with pytest.raises(ExecutionError):
+            fn("get_row")(Matrix([[1.0]]), 2)
+        with pytest.raises(ExecutionError):
+            fn("get_row")(Matrix([[1.0]]), 0)
+
+    def test_get_scalar_and_element(self):
+        assert fn("get_scalar")(Vector([5.0, 7.0]), 2) == 7.0
+        assert fn("get_element")(Matrix([[1.0, 2.0]]), 1, 2) == 2.0
+
+
+class TestLabels:
+    def test_label_scalar(self):
+        ls = fn("label_scalar")(3.5, 4)
+        assert ls.value == 3.5 and ls.label == 4
+
+    def test_label_vector_copies(self):
+        vec = Vector([1.0])
+        labeled = fn("label_vector")(vec, 6)
+        assert labeled.label == 6
+        assert vec.label == -1
+
+    def test_get_label(self):
+        assert fn("get_label")(Vector([1.0], label=3)) == 3
+        assert fn("get_label")(Vector([1.0])) == -1
+
+
+class TestSolvers:
+    def test_inverse(self):
+        mat = Matrix([[4.0, 0.0], [0.0, 2.0]])
+        assert fn("matrix_inverse")(mat).allclose(Matrix([[0.25, 0.0], [0.0, 0.5]]))
+
+    def test_inverse_singular(self):
+        with pytest.raises(ExecutionError):
+            fn("matrix_inverse")(Matrix([[1.0, 1.0], [1.0, 1.0]]))
+
+    def test_solve_matches_inverse(self):
+        rng = np.random.default_rng(7)
+        mat = Matrix(rng.normal(size=(5, 5)) + 5 * np.eye(5))
+        vec = Vector(rng.normal(size=5))
+        via_solve = fn("solve")(mat, vec)
+        via_inverse = fn("matrix_vector_multiply")(fn("matrix_inverse")(mat), vec)
+        assert via_solve.allclose(via_inverse, rtol=1e-6)
+
+    def test_pseudo_inverse_shape(self):
+        assert fn("pseudo_inverse")(Matrix(np.ones((3, 5)))).shape == (5, 3)
+
+    def test_determinant_and_trace(self):
+        mat = Matrix([[2.0, 0.0], [0.0, 3.0]])
+        assert fn("determinant")(mat) == pytest.approx(6.0)
+        assert fn("trace")(mat) == 5.0
+
+
+class TestReductions:
+    def test_vector_reductions(self):
+        vec = Vector([3.0, -4.0])
+        assert fn("norm_vector")(vec) == 5.0
+        assert fn("sum_vector")(vec) == -1.0
+        assert fn("min_vector")(vec) == -4.0
+        assert fn("max_vector")(vec) == 3.0
+        assert fn("index_min")(vec) == 2
+        assert fn("index_max")(vec) == 1
+
+    def test_matrix_reductions(self):
+        mat = Matrix([[1.0, 2.0], [30.0, 4.0]])
+        assert fn("sum_matrix")(mat) == 37.0
+        assert fn("row_sums")(mat) == Vector([3.0, 34.0])
+        assert fn("col_sums")(mat) == Vector([31.0, 6.0])
+        assert fn("row_mins")(mat) == Vector([1.0, 4.0])
+        assert fn("row_maxs")(mat) == Vector([2.0, 30.0])
+        assert fn("col_mins")(mat) == Vector([1.0, 2.0])
+        assert fn("col_maxs")(mat) == Vector([30.0, 4.0])
+
+
+class TestConstructors:
+    def test_identity(self):
+        assert fn("identity_matrix")(3) == Matrix(np.eye(3))
+
+    def test_identity_rejects_nonpositive(self):
+        with pytest.raises(ExecutionError):
+            fn("identity_matrix")(0)
+
+    def test_zeros_and_ones(self):
+        assert fn("zeros_vector")(4) == Vector([0.0] * 4)
+        assert fn("ones_vector")(2) == Vector([1.0, 1.0])
+
+
+class TestElementwise:
+    def test_vector_variants(self):
+        vec = Vector([-4.0, 9.0])
+        assert fn("abs_vector")(vec) == Vector([4.0, 9.0])
+        assert fn("sqrt_vector")(Vector([4.0, 9.0])) == Vector([2.0, 3.0])
+        assert fn("exp_vector")(Vector([0.0])) == Vector([1.0])
+        assert fn("log_vector")(Vector([1.0])) == Vector([0.0])
+
+    def test_matrix_variants(self):
+        mat = Matrix([[-1.0]])
+        assert fn("abs_matrix")(mat) == Matrix([[1.0]])
+
+
+class TestCostFormulas:
+    def test_matrix_multiply_flops(self):
+        flops = fn("matrix_multiply").estimate_flops(
+            [MatrixType(10, 20), MatrixType(20, 30)]
+        )
+        assert flops == 2 * 10 * 20 * 30
+
+    def test_runtime_flops_match_types(self):
+        left = Matrix(np.ones((10, 20)))
+        right = Matrix(np.ones((20, 30)))
+        assert fn("matrix_multiply").runtime_flops([left, right]) == 2 * 10 * 20 * 30
+
+    def test_outer_product_flops(self):
+        assert fn("outer_product").estimate_flops(
+            [VectorType(10), VectorType(20)]
+        ) == 200
+
+    def test_inverse_cubic(self):
+        assert fn("matrix_inverse").estimate_flops([MatrixType(100, 100)]) == pytest.approx(
+            2.0 * 100**3
+        )
+
+
+class TestAllBuiltinCostFormulas:
+    """Every registered builtin must produce sane cost estimates for
+    plausible argument types — the optimizer calls these blindly."""
+
+    def test_every_builtin_costs_positive(self):
+        from repro.types import DOUBLE, INTEGER, MatrixType, VectorType
+        from repro.types.signature import SigMatrix, SigScalar, SigVector
+
+        for builtin in all_builtins():
+            arg_types = []
+            for param in builtin.signature.params:
+                if isinstance(param, SigVector):
+                    arg_types.append(VectorType(7))
+                elif isinstance(param, SigMatrix):
+                    arg_types.append(MatrixType(7, 7))
+                elif param.kind == "INTEGER":
+                    arg_types.append(INTEGER)
+                else:
+                    arg_types.append(DOUBLE)
+            flops = builtin.estimate_flops(arg_types)
+            assert flops >= 0.0, builtin.name
+
+    def test_every_builtin_kind_valid(self):
+        for builtin in all_builtins():
+            assert builtin.kind in ("blas1", "blas3"), builtin.name
+
+    def test_blas3_set_is_exactly_the_dense_kernels(self):
+        blas3 = {fn.name for fn in all_builtins() if fn.kind == "blas3"}
+        assert blas3 == {
+            "matrix_multiply",
+            "matrix_inverse",
+            "pseudo_inverse",
+            "solve",
+            "determinant",
+        }

@@ -1,0 +1,126 @@
+"""Tests for metrics objects, the profile report, and cluster accounting."""
+
+import pytest
+
+from repro import Database, TEST_CLUSTER
+from repro.config import ClusterConfig
+from repro.engine import Cluster, OperatorMetrics, QueryMetrics
+from repro.plan.expressions import EvalCost
+
+
+class TestOperatorMetrics:
+    def test_skew_ratio(self):
+        op = OperatorMetrics("x", max_worker_seconds=4.0, mean_worker_seconds=2.0)
+        assert op.skew_ratio == 2.0
+
+    def test_skew_ratio_degenerate(self):
+        assert OperatorMetrics("x").skew_ratio == 1.0
+
+
+class TestQueryMetrics:
+    def test_totals(self):
+        metrics = QueryMetrics(
+            operators=[
+                OperatorMetrics("a", wall_seconds=1.0),
+                OperatorMetrics("b", wall_seconds=2.0),
+            ],
+            jobs=2,
+            startup_seconds=10.0,
+        )
+        assert metrics.operator_seconds == 3.0
+        assert metrics.total_seconds == 13.0
+
+    def test_seconds_by_operator_groups_names(self):
+        metrics = QueryMetrics(
+            operators=[
+                OperatorMetrics("join", wall_seconds=1.0),
+                OperatorMetrics("join", wall_seconds=2.0),
+                OperatorMetrics("scan", wall_seconds=0.5),
+            ]
+        )
+        assert metrics.seconds_by_operator() == {"join": 3.0, "scan": 0.5}
+
+    def test_find(self):
+        metrics = QueryMetrics(operators=[OperatorMetrics("join")])
+        assert len(metrics.find("join")) == 1
+        assert metrics.find("nope") == []
+
+    def test_merge_adds_everything(self):
+        left = QueryMetrics([OperatorMetrics("a")], jobs=1, startup_seconds=5.0)
+        right = QueryMetrics([OperatorMetrics("b")], jobs=2, startup_seconds=7.0)
+        merged = left.merge(right)
+        assert len(merged.operators) == 2
+        assert merged.jobs == 3
+        assert merged.startup_seconds == 12.0
+
+    def test_report_format(self):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE t (x DOUBLE)")
+        db.load("t", [(1.0,), (2.0,)])
+        report = db.execute("SELECT SUM(x) FROM t").profile()
+        assert "Scan(t)" in report
+        assert "TOTAL" in report
+        assert "job(s)" in report
+
+
+class TestClusterCharging:
+    def test_charge_cpu_rates(self):
+        config = ClusterConfig(machines=1, cores_per_machine=1)
+        cluster = Cluster(config)
+        run = cluster.operator("x")
+        run.charge_cpu(0, tuples=1000)
+        run.charge_cpu(0, flops=config.flop_rate)  # exactly 1 second
+        run.charge_cpu(0, blas1_flops=config.blas1_rate)  # 1 second
+        run.charge_cpu(0, stream_bytes=config.stream_rate)  # 1 second
+        metrics = run.finish()
+        expected = 1000 * config.tuple_cpu_s + 3.0
+        assert metrics.max_worker_seconds == pytest.approx(expected)
+
+    def test_charge_eval_counts_calls(self):
+        config = ClusterConfig(machines=1, cores_per_machine=1)
+        run = Cluster(config).operator("x")
+        cost = EvalCost()
+        cost.calls = 10
+        run.charge_eval(0, tuples=0, cost=cost)
+        assert run.finish().max_worker_seconds == pytest.approx(
+            10 * config.tuple_cpu_s
+        )
+
+    def test_network_seconds_use_aggregate_bandwidth(self):
+        config = ClusterConfig(machines=4)
+        cluster = Cluster(config)
+        run = cluster.operator("x")
+        run.charge_network(config.network_rate * 4)  # one aggregate-second
+        assert run.finish().wall_seconds == pytest.approx(1.0)
+
+    def test_wall_is_max_slot_plus_network(self):
+        config = ClusterConfig(machines=1, cores_per_machine=4)
+        run = Cluster(config).operator("x")
+        run.charge_cpu(0, flops=config.flop_rate)  # slot 0 busy 1s
+        run.charge_cpu(1, flops=config.flop_rate / 2)  # slot 1 busy 0.5s
+        metrics = run.finish()
+        assert metrics.max_worker_seconds == pytest.approx(1.0)
+        assert metrics.mean_worker_seconds == pytest.approx(1.5 / 4)
+
+    def test_reset_metrics_returns_previous(self):
+        cluster = Cluster(ClusterConfig())
+        cluster.record_job()
+        previous = cluster.reset_metrics()
+        assert previous.jobs == 1
+        assert cluster.metrics.jobs == 0
+
+
+class TestConfig:
+    def test_slots(self):
+        assert ClusterConfig(machines=10, cores_per_machine=8).slots == 80
+
+    def test_per_slot_rates(self):
+        config = ClusterConfig(machines=2, cores_per_machine=4)
+        assert config.network_rate_per_slot == config.network_rate / 4
+        assert config.memory_per_slot == config.worker_memory / 4
+
+    def test_with_updates_is_copy(self):
+        base = ClusterConfig()
+        changed = base.with_updates(machines=3)
+        assert changed.machines == 3
+        assert base.machines == 10

@@ -1,0 +1,215 @@
+"""Tests for the cost-based optimizer: join ordering, predicate pushdown,
+early projection (the section 4.1 mechanism), and the size-blind ablation."""
+
+import pytest
+
+from repro import Database, ClusterConfig, TEST_CLUSTER
+from repro.plan import (
+    CostModel,
+    FilterNode,
+    JoinNode,
+    Optimizer,
+    ProjectNode,
+    ScanNode,
+    Binder,
+)
+from repro.sql import parse_statement
+
+
+def plan_for(db, sql, params=None, blind=False):
+    bound = Binder(db.catalog, params).bind_select(parse_statement(sql))
+    model = CostModel(db.config, size_blind=blind)
+    return Optimizer(model).optimize(bound)
+
+
+def collect(node, node_type):
+    found = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, node_type):
+            found.append(current)
+        stack.extend(current.children())
+    return found
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE a (id INTEGER, v DOUBLE)")
+    database.execute("CREATE TABLE b (id INTEGER, w DOUBLE)")
+    database.execute("CREATE TABLE c (id INTEGER, z DOUBLE)")
+    database.load("a", [[i, float(i)] for i in range(100)])
+    database.load("b", [[i, float(i)] for i in range(10)])
+    database.load("c", [[i, float(i)] for i in range(50)])
+    return database
+
+
+@pytest.fixture
+def rst():
+    """The paper's section 4.1 schema with its statistics."""
+    database = Database(ClusterConfig())
+    database.execute("CREATE TABLE R (r_rid INTEGER, r_matrix MATRIX[10][100000])")
+    database.execute("CREATE TABLE S (s_sid INTEGER, s_matrix MATRIX[100000][100])")
+    database.execute("CREATE TABLE T (t_rid INTEGER, t_sid INTEGER)")
+    for name, count in (("R", 100), ("S", 100), ("T", 1000)):
+        database.catalog.table(name).stats.row_count = count
+    database.catalog.table("R").stats.column("r_rid").distinct = 100
+    database.catalog.table("S").stats.column("s_sid").distinct = 100
+    database.catalog.table("T").stats.column("t_rid").distinct = 100
+    database.catalog.table("T").stats.column("t_sid").distinct = 100
+    return database
+
+
+RST_SQL = """
+SELECT matrix_multiply(r_matrix, s_matrix)
+FROM R, S, T
+WHERE r_rid = t_rid AND s_sid = t_sid
+"""
+
+
+class TestJoinExtraction:
+    def test_comma_join_becomes_hash_join(self, db):
+        plan = plan_for(db, "SELECT a.v FROM a, b WHERE a.id = b.id")
+        joins = collect(plan, JoinNode)
+        assert len(joins) == 1
+        assert not joins[0].is_cross
+        assert len(joins[0].equi) == 1
+
+    def test_expression_join_keys(self, db):
+        """The paper's blocking predicate x.id/1000 = ind.mi is an
+        expression equi-join, not a residual filter."""
+        plan = plan_for(db, "SELECT a.v FROM a, b WHERE a.id/10 = b.id")
+        joins = collect(plan, JoinNode)
+        assert len(joins) == 1 and not joins[0].is_cross
+
+    def test_inequality_becomes_residual(self, db):
+        plan = plan_for(
+            db, "SELECT a.v FROM a, b WHERE a.id = b.id AND a.v <> b.w"
+        )
+        join = collect(plan, JoinNode)[0]
+        assert len(join.equi) == 1
+        assert join.residual is not None
+
+    def test_no_predicate_is_cross_product(self, db):
+        plan = plan_for(db, "SELECT a.v FROM a, b")
+        assert collect(plan, JoinNode)[0].is_cross
+
+    def test_single_table_filter_pushed_down(self, db):
+        plan = plan_for(
+            db, "SELECT a.v FROM a, b WHERE a.id = b.id AND a.v > 5"
+        )
+        join = collect(plan, JoinNode)[0]
+        # the filter must sit below the join, on a's side
+        filters = collect(join, FilterNode)
+        assert filters, "pushdown filter missing"
+        for filt in filters:
+            assert collect(filt, ScanNode)[0].table.name == "a"
+
+    def test_three_way_join(self, db):
+        plan = plan_for(
+            db,
+            "SELECT a.v FROM a, b, c WHERE a.id = b.id AND b.id = c.id",
+        )
+        assert len(collect(plan, JoinNode)) == 2
+        assert all(not join.is_cross for join in collect(plan, JoinNode))
+
+    def test_constant_predicate_survives(self, db):
+        plan = plan_for(db, "SELECT a.v FROM a WHERE 1 = 2")
+        assert collect(plan, FilterNode)
+
+
+class TestEarlyProjection:
+    def test_rst_aware_avoids_wide_intermediates(self, rst):
+        """Section 4.1: with LA-aware sizes, the chosen plan's estimated
+        cost must be far below the size-blind choice when both are priced
+        honestly."""
+        aware = plan_for(rst, RST_SQL, blind=False)
+        blind = plan_for(rst, RST_SQL, blind=True)
+        honest = CostModel(rst.config)
+        aware_cost = honest.plan_cost(aware)
+        blind_cost = honest.plan_cost(blind)
+        assert aware_cost < blind_cost
+
+    def test_rst_projection_happens_inside_region(self, rst):
+        aware = plan_for(rst, RST_SQL, blind=False)
+        # the multiply must have been pulled below the final projection
+        projections = collect(aware, ProjectNode)
+        early = [
+            p
+            for p in projections
+            if any(column.name == "_early" for column in p.columns)
+        ]
+        assert early, "early projection missing"
+
+    def test_single_table_early_projection(self, db):
+        db.execute("CREATE TABLE wide (id INTEGER, mat MATRIX[100][100])")
+        db.catalog.table("wide").stats.row_count = 50
+        plan = plan_for(
+            db, "SELECT trace(w.mat) FROM wide AS w, a WHERE w.id = a.id"
+        )
+        join = collect(plan, JoinNode)[0]
+        # trace() must be evaluated below the join: no matrix column
+        # should appear in the join output
+        assert all(
+            not column.data_type.is_tensor() for column in join.columns
+        )
+
+    def test_column_pruning(self, db):
+        plan = plan_for(db, "SELECT a.v FROM a, b WHERE a.id = b.id")
+        join = collect(plan, JoinNode)[0]
+        names = {column.name for column in join.columns}
+        assert "w" not in names, "unused column w should have been pruned"
+
+    def test_shared_subexpression_computed_once(self, db):
+        db.execute("CREATE TABLE vv (id INTEGER, vec VECTOR[50])")
+        db.catalog.table("vv").stats.row_count = 10
+        plan = plan_for(
+            db,
+            "SELECT inner_product(x.vec - y.vec, x.vec - y.vec) "
+            "FROM vv AS x, vv AS y WHERE x.id = y.id",
+        )
+        # plan must still bind/execute; shared diff handled via dedup
+        assert plan is not None
+
+
+class TestCorrectnessUnderOptimization:
+    """Whatever shape the optimizer picks, results must match."""
+
+    def test_results_identical_across_modes(self, db):
+        sql = (
+            "SELECT a.id, a.v + b.w FROM a, b "
+            "WHERE a.id = b.id AND a.v > 2"
+        )
+        smart = Database(TEST_CLUSTER)
+        for setup in (db,):
+            pass
+        baseline = sorted(db.execute(sql).rows)
+        blind_db = Database(TEST_CLUSTER, size_blind_optimizer=True)
+        blind_db.execute("CREATE TABLE a (id INTEGER, v DOUBLE)")
+        blind_db.execute("CREATE TABLE b (id INTEGER, w DOUBLE)")
+        blind_db.load("a", [[i, float(i)] for i in range(100)])
+        blind_db.load("b", [[i, float(i)] for i in range(10)])
+        assert sorted(blind_db.execute(sql).rows) == baseline
+
+    def test_join_order_does_not_change_results(self, db):
+        sql = (
+            "SELECT a.v, b.w, c.z FROM a, b, c "
+            "WHERE a.id = b.id AND b.id = c.id"
+        )
+        rows = sorted(db.execute(sql).rows)
+        assert rows == sorted(
+            (float(i), float(i), float(i)) for i in range(10)
+        )
+
+    def test_cross_product_count(self, db):
+        result = db.execute("SELECT a.id, b.id FROM a, b")
+        assert len(result) == 100 * 10
+
+    def test_residual_filter_applied(self, db):
+        result = db.execute(
+            "SELECT a.id FROM a, b WHERE a.id = b.id AND a.id <> 5"
+        )
+        assert sorted(row[0] for row in result.rows) == [
+            i for i in range(10) if i != 5
+        ]

@@ -1,0 +1,112 @@
+"""Tests for database save/restore."""
+
+import numpy as np
+import pytest
+
+from repro import Database, ReproError, TEST_CLUSTER
+from repro.config import ClusterConfig
+from repro.types import LabeledScalar
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute(
+        "CREATE TABLE pts (id INTEGER, vec VECTOR[], tag STRING)"
+    )
+    rng = np.random.default_rng(0)
+    database.load(
+        "pts", [(i, rng.normal(size=4), f"p{i}") for i in range(12)]
+    )
+    database.create_table(
+        "keyed", [("k", "INTEGER"), ("x", "DOUBLE")], partition_by=["k"]
+    )
+    database.load("keyed", [(i % 3, float(i)) for i in range(9)])
+    database.execute(
+        "CREATE VIEW grams AS SELECT SUM(outer_product(vec, vec)) AS g FROM pts"
+    )
+    return database
+
+
+class TestRoundTrip:
+    def test_tables_and_rows_survive(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        before = db.execute("SELECT SUM(get_scalar(vec, 1)) FROM pts").scalar()
+        db.save(path)
+        restored = Database.restore(path)
+        after = restored.execute("SELECT SUM(get_scalar(vec, 1)) FROM pts").scalar()
+        assert after == pytest.approx(before)
+        assert restored.execute("SELECT COUNT(*) FROM pts").scalar() == 12
+
+    def test_views_survive(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        expected = db.execute("SELECT g FROM grams").scalar()
+        db.save(path)
+        restored = Database.restore(path)
+        assert restored.execute("SELECT g FROM grams").scalar().allclose(expected)
+
+    def test_partitioning_survives(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        storage = restored.catalog.table("keyed").storage
+        assert storage.partition_by == ["k"]
+        # co-location must hold after restore
+        for part in storage.partitions:
+            for key in {row[0] for row in part}:
+                total = sum(
+                    1 for p in storage.partitions for row in p if row[0] == key
+                )
+                local = sum(1 for row in part if row[0] == key)
+                assert local == total
+
+    def test_stats_recollected(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        assert restored.catalog.table("pts").stats.row_count == 12
+        # VECTOR[] refined from the restored data
+        from repro.types import VectorType
+
+        stats = restored.catalog.table("pts").stats
+        assert stats.column("vec").refine_type(VectorType(None)) == VectorType(4)
+
+    def test_restore_onto_other_cluster(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        bigger = ClusterConfig(machines=5, cores_per_machine=4)
+        restored = Database.restore(path, config=bigger)
+        assert restored.config.slots == 20
+        assert restored.execute("SELECT COUNT(*) FROM pts").scalar() == 12
+
+    def test_labeled_scalars_survive(self, tmp_path):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE ls (s LABELED_SCALAR)")
+        db.catalog.table("ls").storage.insert((LabeledScalar(2.5, 3),))
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        value = restored.catalog.table("ls").storage.all_rows()[0][0]
+        assert value == LabeledScalar(2.5, 3)
+
+    def test_saved_config_used_by_default(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        assert restored.config == db.config
+
+
+class TestBadFiles:
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "not_a_db"
+        path.write_bytes(b"hello world")
+        with pytest.raises(Exception):
+            Database.restore(str(path))
+
+    def test_wrong_pickle_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "wrong.pkl"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ReproError):
+            Database.restore(str(path))

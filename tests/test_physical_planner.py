@@ -1,0 +1,136 @@
+"""Tests for physical planning: exchange placement, broadcast decisions,
+partitioning propagation, aggregate splitting."""
+
+import pytest
+
+from repro import Database, TEST_CLUSTER
+from repro.plan import Binder, CostModel, Optimizer, PhysicalPlanner
+from repro.plan.physical import (
+    PExchange,
+    PFinalAggregate,
+    PHashJoin,
+    PNestedLoopJoin,
+    PPartialAggregate,
+    PScan,
+    PSortLimit,
+)
+from repro.sql import parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE big (k INTEGER, payload MATRIX[50][50])")
+    database.execute("CREATE TABLE small (k INTEGER, x DOUBLE)")
+    database.catalog.table("big").stats.row_count = 1000
+    database.catalog.table("big").stats.column("k").distinct = 100
+    database.catalog.table("small").stats.row_count = 10
+    database.catalog.table("small").stats.column("k").distinct = 10
+    return database
+
+
+def plan(db, sql):
+    logical = Optimizer(CostModel(db.config)).optimize(
+        Binder(db.catalog).bind_select(parse_statement(sql))
+    )
+    return PhysicalPlanner(CostModel(db.config)).plan(logical)
+
+
+def collect(node, node_type):
+    found = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, node_type):
+            found.append(current)
+        stack.extend(current.children())
+    return found
+
+
+class TestJoinStrategy:
+    def test_small_side_broadcast(self, db):
+        physical = plan(db, "SELECT big.k FROM big, small WHERE big.k = small.k")
+        joins = collect(physical, PHashJoin)
+        assert len(joins) == 1
+        assert joins[0].build.partitioning.kind == "broadcast"
+        # the 1000-row matrix table is never shuffled
+        exchanges = collect(physical, PExchange)
+        assert all(e.kind == "broadcast" for e in exchanges)
+
+    def test_cross_product_uses_nested_loop(self, db):
+        physical = plan(db, "SELECT big.k FROM big, small")
+        assert collect(physical, PNestedLoopJoin)
+
+    def test_similar_sides_repartition(self):
+        # on a 10-machine cluster, broadcasting a side costs 10x its
+        # size; two equally large sides therefore repartition instead
+        from repro.config import PAPER_CLUSTER
+
+        db = Database(PAPER_CLUSTER)
+        db.execute("CREATE TABLE l (k INTEGER, x DOUBLE)")
+        db.execute("CREATE TABLE r (k INTEGER, y DOUBLE)")
+        for name in ("l", "r"):
+            db.catalog.table(name).stats.row_count = 100_000
+            db.catalog.table(name).stats.column("k").distinct = 100_000
+        physical = plan(db, "SELECT l.x, r.y FROM l, r WHERE l.k = r.k")
+        hash_exchanges = [
+            e for e in collect(physical, PExchange) if e.kind == "hash"
+        ]
+        assert len(hash_exchanges) == 2
+
+
+class TestAggregatePlanning:
+    def test_partial_then_final_with_shuffle(self, db):
+        physical = plan(db, "SELECT k, COUNT(*) FROM small GROUP BY k")
+        assert collect(physical, PPartialAggregate)
+        assert collect(physical, PFinalAggregate)
+        kinds = [e.kind for e in collect(physical, PExchange)]
+        assert "hash" in kinds
+
+    def test_scalar_aggregate_gathers(self, db):
+        physical = plan(db, "SELECT SUM(x) FROM small")
+        kinds = [e.kind for e in collect(physical, PExchange)]
+        assert kinds == ["gather"]
+
+    def test_copartitioned_group_by_skips_shuffle(self):
+        db = Database(TEST_CLUSTER)
+        db.create_table("p", [("k", "INTEGER"), ("x", "DOUBLE")], partition_by=["k"])
+        db.load("p", [(i % 4, float(i)) for i in range(20)])
+        physical = plan(db, "SELECT k, SUM(x) FROM p GROUP BY k")
+        assert not [e for e in collect(physical, PExchange) if e.kind == "hash"]
+
+
+class TestSortPlanning:
+    def test_local_then_gather_then_final(self, db):
+        physical = plan(db, "SELECT k FROM small ORDER BY k LIMIT 3")
+        sorts = collect(physical, PSortLimit)
+        assert {s.final for s in sorts} == {True, False}
+        assert [e.kind for e in collect(physical, PExchange)] == ["gather"]
+
+    def test_limits_applied_both_phases(self, db):
+        physical = plan(db, "SELECT k FROM small ORDER BY k LIMIT 3")
+        for sort in collect(physical, PSortLimit):
+            assert sort.limit == 3
+
+
+class TestPartitioningPropagation:
+    def test_scan_reports_storage_partitioning(self):
+        db = Database(TEST_CLUSTER)
+        db.create_table("p", [("k", "INTEGER")], partition_by=["k"])
+        db.load("p", [(i,) for i in range(8)])
+        physical = plan(db, "SELECT k FROM p")
+        scan = collect(physical, PScan)[0]
+        assert scan.partitioning.kind == "hash"
+
+    def test_describe_strings(self, db):
+        physical = plan(db, "SELECT big.k FROM big, small WHERE big.k = small.k")
+        text = physical.pretty()
+        assert "HashJoin" in text and "Scan" in text
+
+    def test_job_boundary_flag(self, db):
+        from repro.engine import count_job_boundaries
+
+        physical = plan(db, "SELECT SUM(x) FROM small")
+        assert count_job_boundaries(physical) == 1
+        physical = plan(db, "SELECT k FROM small WHERE k = 1")
+        assert count_job_boundaries(physical) == 0

@@ -1,0 +1,128 @@
+"""Tests for templated type signatures and dimension-variable binding
+(paper section 4.2)."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.types import (
+    DOUBLE,
+    INTEGER,
+    STRING,
+    Matrix,
+    MatrixType,
+    Signature,
+    Vector,
+    VectorType,
+    runtime_shape_check,
+)
+
+
+class TestSignatureParsing:
+    def test_parse_paper_example(self):
+        sig = Signature.parse(
+            "matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]"
+        )
+        assert sig.name == "matrix_multiply"
+        assert sig.arity == 2
+
+    def test_parse_scalar_result(self):
+        sig = Signature.parse("inner_product(VECTOR[a], VECTOR[a]) -> DOUBLE")
+        assert sig.arity == 2
+
+    def test_parse_zero_arity(self):
+        sig = Signature.parse("now() -> DOUBLE")
+        assert sig.arity == 0
+
+    def test_parse_concrete_dim(self):
+        sig = Signature.parse("row_matrix(VECTOR[a]) -> MATRIX[1][a]")
+        result = sig.bind([VectorType(7)])
+        assert result == MatrixType(1, 7)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Signature.parse("no arrow here")
+        with pytest.raises(ValueError):
+            Signature.parse("f(WIDGET) -> DOUBLE")
+
+
+class TestBinding:
+    def setup_method(self):
+        self.mm = Signature.parse(
+            "matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]"
+        )
+        self.diag = Signature.parse("diag(MATRIX[a][a]) -> VECTOR[a]")
+
+    def test_paper_section_4_2_binding(self):
+        # U: MATRIX[1000][100], V: MATRIX[100][10000] -> MATRIX[1000][10000]
+        result = self.mm.bind([MatrixType(1000, 100), MatrixType(100, 10000)])
+        assert result == MatrixType(1000, 10000)
+
+    def test_conflicting_binding_is_compile_error(self):
+        # b bound to 100 then re-bound to 99 must fail, per the paper
+        with pytest.raises(TypeCheckError, match="dimension mismatch"):
+            self.mm.bind([MatrixType(1000, 100), MatrixType(99, 10000)])
+
+    def test_unknown_dims_defer_to_runtime(self):
+        result = self.mm.bind([MatrixType(None, None), MatrixType(100, 10000)])
+        assert result == MatrixType(None, 10000)
+
+    def test_square_constraint(self):
+        assert self.diag.bind([MatrixType(5, 5)]) == VectorType(5)
+        with pytest.raises(TypeCheckError):
+            self.diag.bind([MatrixType(5, 6)])
+
+    def test_square_constraint_partially_unknown(self):
+        # MATRIX[5][] might be square; defer to run time
+        assert self.diag.bind([MatrixType(5, None)]) == VectorType(5)
+
+    def test_wrong_kind(self):
+        with pytest.raises(TypeCheckError, match="argument 1"):
+            self.diag.bind([VectorType(5)])
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeCheckError, match="expects 1 argument"):
+            self.diag.bind([MatrixType(5, 5), MatrixType(5, 5)])
+
+    def test_scalar_params(self):
+        sig = Signature.parse("get_scalar(VECTOR[a], INTEGER) -> DOUBLE")
+        assert sig.bind([VectorType(9), INTEGER]) == DOUBLE
+        with pytest.raises(TypeCheckError):
+            sig.bind([VectorType(9), DOUBLE])
+        with pytest.raises(TypeCheckError):
+            sig.bind([VectorType(9), STRING])
+
+    def test_integer_promotes_where_double_expected(self):
+        sig = Signature.parse("label_scalar(DOUBLE, INTEGER) -> LABELED_SCALAR")
+        sig.bind([INTEGER, INTEGER])  # must not raise
+
+    def test_matrix_vector_mismatch_from_paper_section_3_1(self):
+        sig = Signature.parse(
+            "matrix_vector_multiply(MATRIX[a][b], VECTOR[b]) -> VECTOR[a]"
+        )
+        with pytest.raises(TypeCheckError):
+            sig.bind([MatrixType(10, 10), VectorType(100)])
+        assert sig.bind([MatrixType(10, 10), VectorType(10)]) == VectorType(10)
+        # unspecified vector length compiles but defers the check
+        assert sig.bind([MatrixType(10, 10), VectorType(None)]) == VectorType(10)
+
+
+class TestRuntimeShapeCheck:
+    def test_ok(self):
+        sig = Signature.parse(
+            "matrix_vector_multiply(MATRIX[a][b], VECTOR[b]) -> VECTOR[a]"
+        )
+        ok, message = runtime_shape_check(sig, [Matrix([[1.0, 2.0]]), Vector([1, 2])])
+        assert ok and message == ""
+
+    def test_mismatch(self):
+        sig = Signature.parse(
+            "matrix_vector_multiply(MATRIX[a][b], VECTOR[b]) -> VECTOR[a]"
+        )
+        ok, message = runtime_shape_check(sig, [Matrix([[1.0, 2.0]]), Vector([1])])
+        assert not ok
+        assert "mismatch" in message
+
+    def test_concrete_dim_enforced(self):
+        sig = Signature.parse("first_row(MATRIX[1][a]) -> VECTOR[a]")
+        ok, _ = runtime_shape_check(sig, [Matrix([[1.0], [2.0]])])
+        assert not ok

@@ -1,0 +1,101 @@
+"""Integration tests: the paper's three computations in all three SimSQL
+styles, run as real SQL on the engine (section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.simsql import SimSQLPlatform
+from repro.bench.workloads import (
+    distance_truth_ids,
+    generate,
+    gram_truth,
+    regression_truth,
+)
+from repro.config import TEST_CLUSTER
+from repro.errors import ExecutionError
+
+STYLES = ("tuple", "vector", "block")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(24, 5, seed=21)
+
+
+@pytest.mark.parametrize("style", STYLES)
+class TestAllStyles:
+    def platform(self, style):
+        return SimSQLPlatform(style, TEST_CLUSTER, block_size=6)
+
+    def test_gram(self, style, workload):
+        outcome = self.platform(style).gram(workload)
+        assert np.allclose(np.asarray(outcome.value), gram_truth(workload))
+        assert outcome.seconds > 0
+
+    def test_regression(self, style, workload):
+        outcome = self.platform(style).regression(workload)
+        assert np.allclose(np.asarray(outcome.value), regression_truth(workload))
+
+    def test_distance(self, style, workload):
+        outcome = self.platform(style).distance(workload)
+        assert outcome.value in distance_truth_ids(workload)
+
+    def test_run_dispatch(self, style, workload):
+        outcome = self.platform(style).run("gram", workload)
+        assert np.allclose(np.asarray(outcome.value), gram_truth(workload))
+
+
+class TestStyleRelationships:
+    def test_vector_cheaper_than_tuple_on_compute(self, workload):
+        """The tuple style pushes n*d^2 tuples through the aggregation;
+        the vector style pushes n."""
+        tuple_outcome = SimSQLPlatform("tuple", TEST_CLUSTER, block_size=6).gram(
+            workload
+        )
+        vector_outcome = SimSQLPlatform("vector", TEST_CLUSTER, block_size=6).gram(
+            workload
+        )
+        tuple_agg = sum(
+            op.rows_in for op in tuple_outcome.metrics.find("PartialAggregate")
+        )
+        vector_agg = sum(
+            op.rows_in for op in vector_outcome.metrics.find("PartialAggregate")
+        )
+        assert tuple_agg == workload.n * workload.d**2
+        assert vector_agg == workload.n
+
+    def test_block_count_matches(self, workload):
+        platform = SimSQLPlatform("block", TEST_CLUSTER, block_size=6)
+        outcome = platform.gram(workload)  # 24 points -> 4 blocks
+        assert np.allclose(np.asarray(outcome.value), gram_truth(workload))
+
+
+class TestValidation:
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            SimSQLPlatform("chunk", TEST_CLUSTER)
+
+    def test_unknown_computation_rejected(self, workload):
+        with pytest.raises(ValueError):
+            SimSQLPlatform("vector", TEST_CLUSTER).run("sorting", workload)
+
+    def test_block_size_must_divide(self):
+        workload = generate(25, 4, seed=0)
+        with pytest.raises(ExecutionError, match="divisible"):
+            SimSQLPlatform("block", TEST_CLUSTER, block_size=6).gram(workload)
+
+    def test_block_distance_needs_two_blocks(self):
+        workload = generate(6, 4, seed=0)
+        with pytest.raises(ExecutionError, match="two blocks"):
+            SimSQLPlatform("block", TEST_CLUSTER, block_size=6).distance(workload)
+
+    def test_platform_name(self):
+        assert SimSQLPlatform("vector", TEST_CLUSTER).name == "Vector SimSQL"
+
+
+class TestDeterminism:
+    def test_same_seed_same_simulated_time(self, workload):
+        first = SimSQLPlatform("block", TEST_CLUSTER, block_size=6).gram(workload)
+        second = SimSQLPlatform("block", TEST_CLUSTER, block_size=6).gram(workload)
+        assert first.seconds == pytest.approx(second.seconds)
+        assert np.allclose(np.asarray(first.value), np.asarray(second.value))

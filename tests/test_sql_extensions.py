@@ -1,0 +1,188 @@
+"""Tests for the SQL features beyond the paper's listings: CASE, IN,
+BETWEEN, UNION [ALL], INSERT INTO ... SELECT, DELETE."""
+
+import pytest
+
+from repro import CompileError, Database, SqlSyntaxError, TEST_CLUSTER, TypeCheckError
+from repro.sql import ast, parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CLUSTER)
+    database.execute("CREATE TABLE t (id INTEGER, v DOUBLE, tag STRING)")
+    database.load(
+        "t",
+        [(i, float(i), "even" if i % 2 == 0 else "odd") for i in range(10)],
+    )
+    return database
+
+
+class TestCase:
+    def test_parse_shape(self):
+        stmt = parse_statement(
+            "SELECT CASE WHEN a > 1 THEN 1 WHEN a > 0 THEN 2 ELSE 3 END FROM t"
+        )
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.Case)
+        assert len(case.whens) == 2 and case.otherwise is not None
+
+    def test_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT CASE ELSE 1 END FROM t")
+
+    def test_first_matching_branch_wins(self, db):
+        result = db.execute(
+            "SELECT id, CASE WHEN id > 7 THEN 'high' WHEN id > 3 THEN 'mid' "
+            "ELSE 'low' END FROM t WHERE id IN (2, 5, 9)"
+        )
+        assert sorted(result.rows) == [(2, "low"), (5, "mid"), (9, "high")]
+
+    def test_missing_else_yields_null(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN id > 100 THEN 1 END FROM t WHERE id = 0"
+        )
+        assert result.rows == [(None,)]
+
+    def test_numeric_branch_promotion(self, db):
+        result = db.execute(
+            "SELECT id, CASE WHEN id = 0 THEN 1 ELSE 2.5 END AS c FROM t "
+            "WHERE id <= 1 ORDER BY id"
+        )
+        assert [row[1] for row in result] == [1, 2.5]
+
+    def test_incompatible_branches_rejected(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("SELECT CASE WHEN id = 0 THEN 1 ELSE 'x' END FROM t")
+
+    def test_non_boolean_condition_rejected(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("SELECT CASE WHEN id + 1 THEN 1 ELSE 2 END FROM t")
+
+    def test_case_with_aggregates(self, db):
+        result = db.execute(
+            "SELECT tag, CASE WHEN COUNT(*) > 4 THEN 'many' ELSE 'few' END "
+            "FROM t GROUP BY tag"
+        )
+        assert sorted(result.rows) == [("even", "many"), ("odd", "many")]
+
+    def test_case_in_where(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE CASE WHEN id > 5 THEN v ELSE 0 END > 6"
+        )
+        assert sorted(row[0] for row in result) == [7, 8, 9]
+
+
+class TestInAndBetween:
+    def test_in_list(self, db):
+        result = db.execute("SELECT id FROM t WHERE id IN (1, 3, 99)")
+        assert sorted(row[0] for row in result) == [1, 3]
+
+    def test_not_in(self, db):
+        result = db.execute("SELECT id FROM t WHERE id NOT IN (0,1,2,3,4,5,6,7)")
+        assert sorted(row[0] for row in result) == [8, 9]
+
+    def test_in_over_strings(self, db):
+        result = db.execute("SELECT COUNT(*) FROM t WHERE tag IN ('even')")
+        assert result.scalar() == 5
+
+    def test_between_inclusive(self, db):
+        result = db.execute("SELECT id FROM t WHERE id BETWEEN 3 AND 5")
+        assert sorted(row[0] for row in result) == [3, 4, 5]
+
+    def test_not_between(self, db):
+        result = db.execute("SELECT id FROM t WHERE id NOT BETWEEN 1 AND 8")
+        assert sorted(row[0] for row in result) == [0, 9]
+
+    def test_between_with_expressions(self, db):
+        result = db.execute("SELECT id FROM t WHERE v * 2 BETWEEN 4 AND 6")
+        assert sorted(row[0] for row in result) == [2, 3]
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t WHERE a NOT 5")
+
+
+class TestUnion:
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE id < 2 UNION ALL SELECT id FROM t WHERE id < 3"
+        )
+        assert len(result) == 5
+
+    def test_union_deduplicates(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE id < 2 UNION SELECT id FROM t WHERE id < 3"
+        )
+        assert sorted(row[0] for row in result) == [0, 1, 2]
+
+    def test_three_way_union(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE id = 0 UNION ALL "
+            "SELECT id FROM t WHERE id = 1 UNION ALL "
+            "SELECT id FROM t WHERE id = 2"
+        )
+        assert sorted(row[0] for row in result) == [0, 1, 2]
+
+    def test_column_count_mismatch_rejected(self, db):
+        with pytest.raises(CompileError):
+            db.execute("SELECT id FROM t UNION ALL SELECT id, v FROM t")
+
+    def test_metrics_merged(self, db):
+        result = db.execute("SELECT id FROM t UNION ALL SELECT id FROM t")
+        assert result.metrics.jobs >= 2
+
+
+class TestInsertSelectAndDelete:
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE copy (id INTEGER, v DOUBLE)")
+        db.execute("INSERT INTO copy SELECT id, v * 2 FROM t WHERE id < 4")
+        assert db.execute("SELECT SUM(v) FROM copy").scalar() == 12.0
+
+    def test_insert_select_column_count_checked(self, db):
+        db.execute("CREATE TABLE narrow (id INTEGER)")
+        with pytest.raises(CompileError):
+            db.execute("INSERT INTO narrow SELECT id, v FROM t")
+
+    def test_insert_select_coerces_ints_to_double(self, db):
+        db.execute("CREATE TABLE d (x DOUBLE)")
+        db.execute("INSERT INTO d SELECT id FROM t WHERE id = 3")
+        value = db.execute("SELECT x FROM d").scalar()
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_delete_with_predicate(self, db):
+        db.execute("DELETE FROM t WHERE id >= 5")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 5
+        assert db.catalog.table("t").stats.row_count == 5
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_delete_with_params(self, db):
+        db.execute("DELETE FROM t WHERE id = :gone", params={"gone": 3})
+        assert sorted(db.execute("SELECT id FROM t").column("id")) == [
+            0, 1, 2, 4, 5, 6, 7, 8, 9,
+        ]
+
+    def test_delete_predicate_type_checked(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("DELETE FROM t WHERE id + 1")
+
+    def test_delete_preserves_partitioning(self):
+        db = Database(TEST_CLUSTER)
+        db.create_table("p", [("k", "INTEGER"), ("x", "DOUBLE")], partition_by=["k"])
+        db.load("p", [(i % 3, float(i)) for i in range(30)])
+        db.execute("DELETE FROM p WHERE x >= 15")
+        # remaining rows are still co-located by k
+        for part in db.catalog.table("p").storage.partitions:
+            keys = {row[0] for row in part}
+            for key in keys:
+                local = sum(1 for row in part if row[0] == key)
+                total = sum(
+                    1
+                    for other in db.catalog.table("p").storage.partitions
+                    for row in other
+                    if row[0] == key
+                )
+                assert local == total

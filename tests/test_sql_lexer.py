@@ -1,0 +1,84 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import tokenize
+
+
+def kinds(text):
+    return [(token.kind, token.text) for token in tokenize(text)[:-1]]
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds("SELECT foo FROM bar")
+        assert tokens == [
+            ("KEYWORD", "SELECT"),
+            ("IDENT", "foo"),
+            ("KEYWORD", "FROM"),
+            ("IDENT", "bar"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].kind == "KEYWORD"
+        assert tokenize("SeLeCt")[0].kind == "KEYWORD"
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 1e3 2.5E-2") == [
+            ("INT", "1"),
+            ("FLOAT", "2.5"),
+            ("FLOAT", ".5"),
+            ("FLOAT", "1e3"),
+            ("FLOAT", "2.5E-2"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'hello' 'it''s'") == [
+            ("STRING", "hello"),
+            ("STRING", "it's"),
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        ops = [text for kind, text in kinds("a <> b != c <= d >= e = f") if kind == "OP"]
+        assert ops == ["<>", "!=", "<=", ">="] + ["="]
+
+    def test_parameters(self):
+        tokens = kinds("WHERE x = :i AND y = :point_id")
+        params = [text for kind, text in tokens if kind == "PARAM"]
+        assert params == ["i", "point_id"]
+
+    def test_parameter_requires_name(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("x = : 5")
+
+    def test_line_comments(self):
+        assert kinds("SELECT -- a comment\n x FROM t") == [
+            ("KEYWORD", "SELECT"),
+            ("IDENT", "x"),
+            ("KEYWORD", "FROM"),
+            ("IDENT", "t"),
+        ]
+
+    def test_block_comments(self):
+        assert len(kinds("a /* stuff \n more */ b")) == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* never ends")
+
+    def test_error_reports_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("SELECT\n  @")
+        assert excinfo.value.line == 2
+
+    def test_brackets_for_types(self):
+        tokens = kinds("MATRIX[10][20]")
+        assert [text for _, text in tokens] == ["MATRIX", "[", "10", "]", "[", "20", "]"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"

@@ -1,0 +1,233 @@
+"""Tests for the SQL parser, covering every construct the paper's code
+listings use."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse_script, parse_statement
+from repro.types import MatrixType, VectorType
+
+
+class TestCreateTable:
+    def test_paper_section_3_1(self):
+        stmt = parse_statement(
+            "CREATE TABLE m (mat MATRIX[10][10], vec VECTOR[100])"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns == [
+            ("mat", MatrixType(10, 10)),
+            ("vec", VectorType(100)),
+        ]
+
+    def test_unspecified_dims(self):
+        stmt = parse_statement("CREATE TABLE m (mat MATRIX[10][], vec VECTOR[])")
+        assert stmt.columns == [("mat", MatrixType(10, None)), ("vec", VectorType(None))]
+
+    def test_scalar_columns(self):
+        stmt = parse_statement(
+            "CREATE TABLE x (i INTEGER, v DOUBLE, s STRING, b BOOLEAN)"
+        )
+        assert len(stmt.columns) == 4
+
+    def test_vector_needs_one_bracket(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE t (v VECTOR[1][2])")
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE t (v VECTOR)")
+
+    def test_matrix_needs_two_brackets(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE t (m MATRIX[1])")
+
+    def test_create_table_as(self):
+        stmt = parse_statement("CREATE TABLE g AS SELECT a FROM t")
+        assert isinstance(stmt, ast.CreateTableAs)
+        assert stmt.name == "g"
+
+
+class TestCreateView:
+    def test_with_column_list(self):
+        stmt = parse_statement(
+            "CREATE VIEW xDiff (pointID, dimID, value) AS "
+            "SELECT x2.pointID, x2.dimID, x1.value - x2.value "
+            "FROM data AS x1, data AS x2 "
+            "WHERE x1.pointID = :i AND x1.dimID = x2.dimID"
+        )
+        assert isinstance(stmt, ast.CreateView)
+        assert stmt.column_names == ["pointID", "dimID", "value"]
+        assert len(stmt.query.from_items) == 2
+
+    def test_without_column_list(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+        assert stmt.column_names is None
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT a FROM t")
+        assert isinstance(stmt, ast.SelectStatement)
+        assert stmt.where is None and not stmt.group_by
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t, s")
+        assert stmt.items[0].expr.table == "t"
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u, v w")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "u"
+        assert stmt.from_items[1].alias == "w"
+
+    def test_group_by_multiple(self):
+        stmt = parse_statement(
+            "SELECT lhs.tileRow, rhs.tileCol, SUM(matrix_multiply(lhs.mat, rhs.mat)) "
+            "FROM bigMatrix AS lhs, anotherBigMat AS rhs "
+            "WHERE lhs.tileCol = rhs.tileRow "
+            "GROUP BY lhs.tileRow, rhs.tileCol"
+        )
+        assert len(stmt.group_by) == 2
+        agg = stmt.items[2].expr
+        assert isinstance(agg, ast.AggregateCall)
+        assert agg.name == "SUM"
+        assert isinstance(agg.arg, ast.FunctionCall)
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement(
+            "SELECT x.pointID, SUM(f.value * x.value) "
+            "FROM (SELECT pointID, SUM(value) AS value FROM t GROUP BY pointID) "
+            "AS f, t AS x "
+            "WHERE f.pointID = x.pointID GROUP BY x.pointID"
+        )
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "f"
+
+    def test_subquery_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM (SELECT a FROM t)")
+
+    def test_order_by_limit(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert isinstance(stmt.having, ast.BinaryOp)
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_statement(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("a + b * c")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parentheses(self):
+        node = self.expr("(a + b) * c")
+        assert node.op == "*"
+
+    def test_unary_minus(self):
+        node = self.expr("-a * b")
+        assert node.op == "*"
+        assert isinstance(node.left, ast.UnaryOp)
+
+    def test_and_or_precedence(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not(self):
+        stmt = parse_statement("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.UnaryOp)
+        assert stmt.where.op == "NOT"
+
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            stmt = parse_statement(f"SELECT a FROM t WHERE a {op} 1")
+            assert stmt.where.op == op
+
+    def test_is_null(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a IS NULL")
+        assert isinstance(stmt.where, ast.IsNull) and not stmt.where.negated
+        stmt = parse_statement("SELECT a FROM t WHERE a IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_function_call_case_normalized(self):
+        node = self.expr("Outer_Product(v, v)")
+        assert isinstance(node, ast.FunctionCall)
+        assert node.name == "outer_product"
+
+    def test_nested_function_calls(self):
+        node = self.expr(
+            "matrix_vector_multiply(matrix_inverse(SUM(outer_product(x, x))), s)"
+        )
+        assert isinstance(node, ast.FunctionCall)
+        inner = node.args[0]
+        assert isinstance(inner, ast.FunctionCall)
+        assert isinstance(inner.args[0], ast.AggregateCall)
+
+    def test_count_star(self):
+        node = self.expr("COUNT(*)")
+        assert isinstance(node, ast.AggregateCall)
+        assert isinstance(node.arg, ast.Star)
+
+    def test_literals(self):
+        assert self.expr("NULL").value is None
+        assert self.expr("TRUE").value is True
+        assert self.expr("FALSE").value is False
+        assert self.expr("'abc'").value == "abc"
+        assert self.expr("3").value == 3
+        assert self.expr("3.5").value == 3.5
+
+    def test_parameter(self):
+        node = self.expr(":threshold")
+        assert isinstance(node, ast.Parameter)
+        assert node.name == "threshold"
+
+    def test_contains_aggregate_helper(self):
+        assert ast.contains_aggregate(self.expr("1 + SUM(a)"))
+        assert not ast.contains_aggregate(self.expr("1 + a"))
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        stmts = parse_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2); "
+            "SELECT a FROM t;"
+        )
+        assert [type(s).__name__ for s in stmts] == [
+            "CreateTable",
+            "InsertValues",
+            "SelectStatement",
+        ]
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement("INSERT INTO y VALUES (1, 2.5), (2, -3.5)")
+        assert len(stmt.rows) == 2
+        assert isinstance(stmt.rows[1][1], ast.UnaryOp)
+
+    def test_drop_variants(self):
+        assert parse_statement("DROP TABLE t").if_exists is False
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists is True
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t SELECT b FROM u")
+
+    def test_empty_script(self):
+        assert parse_script("") == []

@@ -1,0 +1,92 @@
+"""Tests for partitioned storage and distributed relations."""
+
+import pytest
+
+from repro.catalog import Schema
+from repro.engine import (
+    BROADCAST,
+    DistributedRelation,
+    PartitionedTable,
+    Partitioning,
+    ROUND_ROBIN,
+)
+from repro.errors import ExecutionError
+from repro.types import INTEGER
+
+
+def make_table(slots=4, partition_by=None):
+    schema = Schema([("k", INTEGER), ("v", INTEGER)])
+    return PartitionedTable(schema, slots, partition_by=partition_by)
+
+
+class TestPartitionedTable:
+    def test_round_robin_spreads_evenly(self):
+        table = make_table()
+        table.insert_many([(i, i) for i in range(8)])
+        assert [len(part) for part in table.partitions] == [2, 2, 2, 2]
+
+    def test_hash_partition_colocates_keys(self):
+        table = make_table(partition_by=["k"])
+        table.insert_many([(i % 3, i) for i in range(30)])
+        for part in table.partitions:
+            for key in {row[0] for row in part}:
+                everywhere = sum(
+                    1
+                    for other in table.partitions
+                    for row in other
+                    if row[0] == key
+                )
+                here = sum(1 for row in part if row[0] == key)
+                assert here == everywhere
+
+    def test_unknown_partition_column_rejected(self):
+        with pytest.raises(ExecutionError):
+            make_table(partition_by=["nope"])
+
+    def test_row_count_and_all_rows(self):
+        table = make_table()
+        table.insert_many([(1, 2), (3, 4)])
+        assert table.row_count == 2
+        assert sorted(table.all_rows()) == [(1, 2), (3, 4)]
+
+    def test_truncate(self):
+        table = make_table()
+        table.insert_many([(1, 2)])
+        table.truncate()
+        assert table.row_count == 0
+
+    def test_total_bytes_positive(self):
+        table = make_table()
+        table.insert((1, 2))
+        assert table.total_bytes() > 0
+
+
+class TestPartitioning:
+    def test_co_partitioned_check(self):
+        hashed = Partitioning("hash", (("col", 3),))
+        assert hashed.co_partitioned_with((("col", 3),))
+        assert not hashed.co_partitioned_with((("col", 4),))
+        assert not ROUND_ROBIN.co_partitioned_with((("col", 3),))
+
+
+class TestDistributedRelation:
+    def test_row_count_and_all_rows(self):
+        relation = DistributedRelation(
+            (5, 6), [[(1, 2)], [(3, 4)], []], ROUND_ROBIN
+        )
+        assert relation.row_count == 2
+        assert sorted(relation.all_rows()) == [(1, 2), (3, 4)]
+
+    def test_broadcast_counts_once(self):
+        rows = [(1, 2), (3, 4)]
+        relation = DistributedRelation((5, 6), [rows, rows, rows], BROADCAST)
+        assert relation.row_count == 2
+        assert relation.all_rows() == rows
+
+    def test_row_view_maps_column_ids(self):
+        relation = DistributedRelation((10, 20), [[(7, 8)]], ROUND_ROBIN)
+        view = relation.view((7, 8))
+        assert view[10] == 7
+        assert view[20] == 8
+        with pytest.raises(KeyError):
+            view[99]

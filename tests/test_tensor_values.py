@@ -1,0 +1,126 @@
+"""Tests for Vector/Matrix/LabeledScalar runtime values and their
+arithmetic semantics (paper section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeTypeError
+from repro.types import DEFAULT_LABEL, LabeledScalar, Matrix, Vector
+
+
+class TestVector:
+    def test_construction_and_length(self):
+        vec = Vector([1.0, 2.0, 3.0])
+        assert vec.length == 3
+        assert vec.label == DEFAULT_LABEL
+
+    def test_rejects_2d_data(self):
+        with pytest.raises(RuntimeTypeError):
+            Vector(np.ones((2, 2)))
+
+    def test_elementwise_ops(self):
+        left = Vector([1.0, 2.0])
+        right = Vector([10.0, 20.0])
+        assert (left + right) == Vector([11.0, 22.0])
+        assert (right - left) == Vector([9.0, 18.0])
+        assert (left * right) == Vector([10.0, 40.0])
+        assert (right / left) == Vector([10.0, 10.0])
+
+    def test_scalar_broadcast_both_sides(self):
+        vec = Vector([1.0, 2.0])
+        assert vec * 3 == Vector([3.0, 6.0])
+        assert 3 * vec == Vector([3.0, 6.0])
+        assert vec + 1 == Vector([2.0, 3.0])
+        assert 1 - vec == Vector([0.0, -1.0])
+        assert 4 / Vector([2.0, 4.0]) == Vector([2.0, 1.0])
+
+    def test_labeled_scalar_broadcast(self):
+        vec = Vector([1.0, 2.0])
+        assert vec * LabeledScalar(2.0, 5) == Vector([2.0, 4.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(RuntimeTypeError, match="different"):
+            Vector([1.0]) + Vector([1.0, 2.0])
+
+    def test_vector_matrix_arithmetic_rejected(self):
+        with pytest.raises(RuntimeTypeError):
+            Vector([1.0]) + Matrix([[1.0]])
+
+    def test_negation(self):
+        assert -Vector([1.0, -2.0]) == Vector([-1.0, 2.0])
+
+    def test_with_label_does_not_mutate(self):
+        vec = Vector([1.0])
+        labeled = vec.with_label(4)
+        assert labeled.label == 4
+        assert vec.label == DEFAULT_LABEL
+
+    def test_arithmetic_result_gets_default_label(self):
+        vec = Vector([1.0], label=9)
+        assert (vec + 1).label == DEFAULT_LABEL
+
+    def test_size_bytes(self):
+        assert Vector([0.0] * 10).size_bytes() == 88
+
+
+class TestMatrix:
+    def test_construction_and_shape(self):
+        mat = Matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert mat.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(RuntimeTypeError):
+            Matrix([1.0, 2.0])
+
+    def test_hadamard_product(self):
+        mat = Matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert mat * mat == Matrix([[1.0, 4.0], [9.0, 16.0]])
+
+    def test_scalar_ops(self):
+        mat = Matrix([[2.0]])
+        assert mat * 2 == Matrix([[4.0]])
+        assert 10 - mat == Matrix([[8.0]])
+        assert 8 / mat == Matrix([[4.0]])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(RuntimeTypeError):
+            Matrix([[1.0]]) + Matrix([[1.0, 2.0]])
+
+    def test_matrix_vector_arithmetic_rejected(self):
+        with pytest.raises(RuntimeTypeError):
+            Matrix([[1.0]]) * Vector([1.0])
+
+    def test_allclose(self):
+        assert Matrix([[1.0]]).allclose(Matrix([[1.0 + 1e-12]]))
+        assert not Matrix([[1.0]]).allclose(Matrix([[2.0]]))
+
+
+class TestLabeledScalar:
+    def test_defaults(self):
+        ls = LabeledScalar(3.5)
+        assert ls.value == 3.5
+        assert ls.label == DEFAULT_LABEL
+
+    def test_arithmetic_keeps_label(self):
+        ls = LabeledScalar(3.0, 7)
+        assert (ls * 2).value == 6.0
+        assert (ls * 2).label == 7
+        assert (1 + ls).value == 4.0
+        assert (1 + ls).label == 7
+        assert (-ls).value == -3.0
+        assert (ls / 2).value == 1.5
+        assert (6 / ls).value == 2.0
+        assert (ls - 1).value == 2.0
+        assert (10 - ls).value == 7.0
+
+    def test_left_label_wins(self):
+        left = LabeledScalar(1.0, 1)
+        right = LabeledScalar(2.0, 2)
+        assert (left + right).label == 1
+
+    def test_float_conversion(self):
+        assert float(LabeledScalar(2.25, 3)) == 2.25
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            LabeledScalar(1.0, -2)

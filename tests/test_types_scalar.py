@@ -1,0 +1,131 @@
+"""Tests for the scalar/tensor type objects and the declaration parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.types import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    LABELED_SCALAR,
+    STRING,
+    MatrixType,
+    VectorType,
+    common_numeric_type,
+    parse_type,
+)
+
+
+class TestScalarTypes:
+    def test_singletons_equal_by_type(self):
+        assert INTEGER == INTEGER
+        assert DOUBLE != INTEGER
+        assert hash(DOUBLE) == hash(DOUBLE)
+
+    def test_sizes(self):
+        assert INTEGER.size_bytes() == 8
+        assert DOUBLE.size_bytes() == 8
+        assert BOOLEAN.size_bytes() == 1
+        assert LABELED_SCALAR.size_bytes() == 16
+
+    def test_numeric_flags(self):
+        assert INTEGER.is_numeric()
+        assert DOUBLE.is_numeric()
+        assert LABELED_SCALAR.is_numeric()
+        assert not STRING.is_numeric()
+        assert not BOOLEAN.is_numeric()
+
+    def test_tensor_flags(self):
+        assert not INTEGER.is_tensor()
+        assert VectorType(3).is_tensor()
+        assert MatrixType(2, 2).is_tensor()
+
+
+class TestVectorType:
+    def test_equality_includes_length(self):
+        assert VectorType(10) == VectorType(10)
+        assert VectorType(10) != VectorType(11)
+        assert VectorType(None) == VectorType(None)
+        assert VectorType(10) != VectorType(None)
+
+    def test_size_bytes_known(self):
+        # 8 bytes per entry plus the 8-byte label
+        assert VectorType(100).size_bytes() == 808
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            VectorType(0)
+        with pytest.raises(ValueError):
+            VectorType(-5)
+
+    def test_repr(self):
+        assert repr(VectorType(10)) == "VECTOR[10]"
+        assert repr(VectorType(None)) == "VECTOR[]"
+
+
+class TestMatrixType:
+    def test_equality(self):
+        assert MatrixType(10, 20) == MatrixType(10, 20)
+        assert MatrixType(10, 20) != MatrixType(20, 10)
+        assert MatrixType(10, None) != MatrixType(10, 20)
+
+    def test_size_bytes(self):
+        assert MatrixType(10, 100000).size_bytes() == 8 * 10 * 100000 + 8
+
+    def test_partial_dims_allowed(self):
+        partial = MatrixType(10, None)
+        assert partial.rows == 10
+        assert partial.cols is None
+        assert repr(partial) == "MATRIX[10][]"
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            MatrixType(0, 5)
+        with pytest.raises(ValueError):
+            MatrixType(5, -1)
+
+
+class TestCommonNumericType:
+    def test_integer_pair_stays_integer(self):
+        assert common_numeric_type(INTEGER, INTEGER) == INTEGER
+
+    def test_double_promotes(self):
+        assert common_numeric_type(INTEGER, DOUBLE) == DOUBLE
+        assert common_numeric_type(DOUBLE, INTEGER) == DOUBLE
+        assert common_numeric_type(LABELED_SCALAR, INTEGER) == DOUBLE
+
+    def test_non_scalar_returns_none(self):
+        assert common_numeric_type(INTEGER, VectorType(3)) is None
+        assert common_numeric_type(STRING, INTEGER) is None
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("INTEGER", INTEGER),
+            ("int", INTEGER),
+            ("DOUBLE", DOUBLE),
+            ("float", DOUBLE),
+            ("BOOLEAN", BOOLEAN),
+            ("STRING", STRING),
+            ("varchar", STRING),
+            ("LABELED_SCALAR", LABELED_SCALAR),
+            ("VECTOR[100]", VectorType(100)),
+            ("VECTOR[]", VectorType(None)),
+            ("vector[ 5 ]", VectorType(5)),
+            ("MATRIX[10][20]", MatrixType(10, 20)),
+            ("MATRIX[][]", MatrixType(None, None)),
+            ("MATRIX[10][]", MatrixType(10, None)),
+            ("MATRIX[][7]", MatrixType(None, 7)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["VECTOR", "VECTOR[10][10]", "MATRIX[10]", "MATRIX", "TENSOR[3]"]
+    )
+    def test_invalid(self, text):
+        with pytest.raises(SqlSyntaxError):
+            parse_type(text)

@@ -1,0 +1,77 @@
+"""Tests for workload generation and ground truths."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    PAPER_BLOCK_SIZE,
+    PAPER_DIMENSIONS,
+    distance_truth,
+    distance_truth_ids,
+    generate,
+    gram_truth,
+    regression_truth,
+)
+
+
+class TestGeneration:
+    def test_shapes(self):
+        workload = generate(50, 7, seed=0)
+        assert workload.X.shape == (50, 7)
+        assert workload.y.shape == (50,)
+        assert workload.A.shape == (7, 7)
+        assert workload.n == 50 and workload.d == 7
+
+    def test_deterministic_by_seed(self):
+        first = generate(20, 3, seed=5)
+        second = generate(20, 3, seed=5)
+        assert np.array_equal(first.X, second.X)
+        assert np.array_equal(first.y, second.y)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(generate(20, 3, seed=1).X, generate(20, 3, seed=2).X)
+
+    def test_metric_is_spd(self):
+        workload = generate(10, 6, seed=3)
+        assert np.allclose(workload.A, workload.A.T)
+        eigenvalues = np.linalg.eigvalsh(workload.A)
+        assert (eigenvalues > 0).all()
+
+    def test_outcomes_near_linear_model(self):
+        workload = generate(500, 4, seed=4, noise=0.0)
+        assert np.allclose(workload.y, workload.X @ workload.beta)
+
+    def test_paper_constants(self):
+        assert PAPER_DIMENSIONS == (10, 100, 1000)
+        assert PAPER_BLOCK_SIZE == 1000
+
+
+class TestGroundTruths:
+    def test_gram(self):
+        workload = generate(30, 4, seed=6)
+        assert gram_truth(workload).shape == (4, 4)
+        assert np.allclose(gram_truth(workload), workload.X.T @ workload.X)
+
+    def test_regression_recovers_beta_without_noise(self):
+        workload = generate(200, 5, seed=7, noise=0.0)
+        assert np.allclose(regression_truth(workload), workload.beta)
+
+    def test_distance_consistent_with_ids(self):
+        workload = generate(40, 3, seed=8)
+        assert distance_truth(workload) in distance_truth_ids(workload)
+
+    def test_distance_is_one_based(self):
+        workload = generate(15, 3, seed=9)
+        assert 1 <= distance_truth(workload) <= 15
+
+    def test_distance_brute_force(self):
+        workload = generate(12, 3, seed=10)
+        X, A = workload.X, workload.A
+        best_value, best_index = -np.inf, None
+        for i in range(12):
+            closest = min(
+                float(X[i] @ A @ X[j]) for j in range(12) if j != i
+            )
+            if closest > best_value:
+                best_value, best_index = closest, i + 1
+        assert distance_truth(workload) == best_index
