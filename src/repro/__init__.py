@@ -23,6 +23,9 @@ from .errors import (
     ReproError,
     ResourceExhaustedError,
     RuntimeTypeError,
+    ServiceError,
+    ServiceOverloadedError,
+    SessionClosedError,
     SqlSyntaxError,
     TypeCheckError,
 )
@@ -44,6 +47,9 @@ __all__ = [
     "ResourceExhaustedError",
     "Result",
     "RuntimeTypeError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "SessionClosedError",
     "SqlSyntaxError",
     "TEST_CLUSTER",
     "TypeCheckError",

@@ -1,9 +1,11 @@
-"""Command line entry point: ``repro-bench {fig1,fig2,fig3,fig4,rst,all}``.
+"""Command line entry point: ``repro-bench {fig1,fig2,fig3,fig4,rst,serve,all}``.
 
 Regenerates the paper's tables and figures: paper-scale simulated times
 for all six platforms next to the paper's reported numbers, mini-scale
 real executions with correctness checks, the Figure 4 operation
-breakdown, and the section 4.1 optimizer ablation.
+breakdown, and the section 4.1 optimizer ablation. The ``serve`` target
+runs the closed-loop multi-client serving benchmark with the plan cache
+on and off.
 """
 
 from __future__ import annotations
@@ -20,7 +22,32 @@ from .figures import (
     rst_experiment,
 )
 
-TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "all")
+TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "serve", "all")
+
+
+def run_serve_target(
+    clients: int = 6,
+    queries: int = 20,
+    max_concurrency: int = 4,
+    queue_limit: int = 8,
+    think_time_s: float = 0.0,
+    seed: int = 0,
+) -> str:
+    from ..service import ServiceConfig
+    from .serve import ServeConfig, compare_cache, format_serve
+
+    config = ServeConfig(
+        clients=clients,
+        queries_per_client=queries,
+        think_time_s=think_time_s,
+        seed=seed,
+        service=ServiceConfig(
+            max_concurrency=max_concurrency,
+            admission_queue_limit=queue_limit,
+        ),
+    )
+    with_cache, without_cache = compare_cache(config)
+    return format_serve(with_cache, without_cache)
 
 
 def run_target(target: str, run_mini: bool = True) -> str:
@@ -34,7 +61,11 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return format_figure4(figure4())
     if target == "rst":
         return format_rst(rst_experiment())
+    if target == "serve":
+        return run_serve_target()
     if target == "all":
+        # "all" regenerates the paper artifacts; the serving benchmark
+        # is its own target so the golden figure outputs stay stable.
         return "\n\n".join(
             run_target(name, run_mini=run_mini)
             for name in ("fig1", "fig2", "fig3", "fig4", "rst")
@@ -54,7 +85,47 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the mini-scale real executions (model tables only)",
     )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--clients", type=int, default=6, help="closed-loop clients (serve)"
+    )
+    serve_group.add_argument(
+        "--queries", type=int, default=20, help="queries per client (serve)"
+    )
+    serve_group.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="execution gangs in the slot scheduler (serve)",
+    )
+    serve_group.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="admission queue bound before rejection (serve)",
+    )
+    serve_group.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        help="simulated seconds a client waits between queries (serve)",
+    )
+    serve_group.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (serve)"
+    )
     args = parser.parse_args(argv)
+    if args.target == "serve":
+        print(
+            run_serve_target(
+                clients=args.clients,
+                queries=args.queries,
+                max_concurrency=args.max_concurrency,
+                queue_limit=args.queue_limit,
+                think_time_s=args.think_time,
+                seed=args.seed,
+            )
+        )
+        return 0
     print(run_target(args.target, run_mini=not args.no_mini))
     return 0
 

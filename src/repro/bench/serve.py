@@ -1,0 +1,253 @@
+"""Closed-loop multi-client serving benchmark (``repro-bench serve``).
+
+Simulates a fleet of clients hammering one database through the query
+service: each client owns a session and runs closed-loop — it submits a
+query drawn from a small set of parameterized *templates* (the
+repeated-template shape of production analytical traffic), waits for its
+simulated completion, optionally thinks, then submits the next one.
+
+The driver reports serving metrics in **simulated time**: throughput
+(queries per simulated second), latency p50/p95, plan-cache hit rate,
+mean compile overhead, queueing delay, and admission rejections. Running
+the same workload with the plan cache disabled quantifies what compiled
+plans are worth on a SimSQL-era system that pays seconds of codegen per
+statement — the serving-path counterpart of the paper's Figure 1-3
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..db import Database
+from ..errors import ServiceOverloadedError
+from ..service import PendingQuery, QueryService, ServiceConfig
+
+#: The repeated query templates clients draw from; every one is
+#: parameterized so prepared-statement style reuse is what gets measured.
+TEMPLATES: Tuple[str, ...] = (
+    "SELECT SUM(outer_product(vec, vec)) FROM points WHERE i < :k",
+    "SELECT SUM(vec * :w) FROM points",
+    "SELECT COUNT(i) FROM points WHERE i < :k",
+    "SELECT SUM(vec * y_i) FROM points, outcomes WHERE points.i = outcomes.i "
+    "AND points.i < :k",
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Workload shape for the serving benchmark."""
+
+    clients: int = 6
+    queries_per_client: int = 20
+    dims: int = 6
+    rows: int = 80
+    think_time_s: float = 0.0
+    seed: int = 0
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    cluster: Optional[ClusterConfig] = None
+
+    def with_updates(self, **kwargs) -> "ServeConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ServeReport:
+    """Serving metrics of one closed-loop run (simulated time)."""
+
+    clients: int
+    completed: int
+    rejected: int
+    duration_seconds: float
+    throughput_qps: float
+    latency_p50: float
+    latency_p95: float
+    mean_compile_seconds: float
+    mean_queue_seconds: float
+    cache_hit_rate: float
+    cache_enabled: bool
+    queue_peak: int
+    utilisation: float
+    per_session_queries: Dict[str, int]
+
+
+def build_database(config: ServeConfig) -> Database:
+    """A small two-table database the templates run against."""
+    cluster = config.cluster or ClusterConfig(
+        machines=2, cores_per_machine=2, job_startup_s=1.0
+    )
+    db = Database(cluster)
+    db.execute("CREATE TABLE points (i INTEGER, vec VECTOR[])")
+    db.execute("CREATE TABLE outcomes (i INTEGER, y_i DOUBLE)")
+    rng = np.random.default_rng(config.seed)
+    data = rng.normal(size=(config.rows, config.dims))
+    beta = rng.normal(size=config.dims)
+    outcomes = data @ beta
+    db.load("points", [(i, data[i]) for i in range(config.rows)])
+    db.load("outcomes", [(i, float(outcomes[i])) for i in range(config.rows)])
+    return db
+
+
+class _Client:
+    """One closed-loop client: session + its private query stream."""
+
+    def __init__(self, session, templates: List[Tuple[str, Dict[str, object]]]):
+        self.session = session
+        self.queue = list(templates)
+
+    def next_query(self) -> Optional[Tuple[str, Dict[str, object]]]:
+        if not self.queue:
+            return None
+        return self.queue.pop(0)
+
+
+def _make_streams(config: ServeConfig) -> List[List[Tuple[str, Dict[str, object]]]]:
+    rng = np.random.default_rng(config.seed + 1)
+    streams = []
+    for _ in range(config.clients):
+        stream = []
+        for _ in range(config.queries_per_client):
+            template = TEMPLATES[int(rng.integers(len(TEMPLATES)))]
+            params: Dict[str, object] = {}
+            if ":k" in template:
+                params["k"] = int(rng.integers(1, config.rows))
+            if ":w" in template:
+                params["w"] = float(rng.normal())
+            stream.append((template, params))
+        streams.append(stream)
+    return streams
+
+
+def run_serve(
+    config: Optional[ServeConfig] = None,
+    db: Optional[Database] = None,
+) -> ServeReport:
+    """Run the closed-loop workload; returns the serving report."""
+    config = config or ServeConfig()
+    db = db or build_database(config)
+    service = QueryService(db, config.service)
+    streams = _make_streams(config)
+    clients = [
+        _Client(service.session(f"client{n + 1}"), stream)
+        for n, stream in enumerate(streams)
+    ]
+    by_session: Dict[str, _Client] = {c.session.name: c for c in clients}
+    completed: List[PendingQuery] = []
+    rejected = 0
+    parked: List[_Client] = []
+
+    def try_submit(client: _Client) -> bool:
+        """Submit the client's next query (arrival chains from the
+        session clock); on overload the query goes back on its stream
+        and the client parks until capacity frees."""
+        nonlocal rejected
+        item = client.next_query()
+        if item is None:
+            return False
+        sql, params = item
+        try:
+            client.session.submit(sql, params)
+            return True
+        except ServiceOverloadedError:
+            rejected += 1
+            client.queue.insert(0, (sql, params))
+            parked.append(client)
+            return False
+
+    for client in clients:
+        try_submit(client)
+
+    while True:
+        pending = service.next_completion()
+        if pending is None:
+            if parked:
+                # capacity is certainly free now: nothing is in flight
+                retry, parked[:] = parked[:], []
+                for client in retry:
+                    try_submit(client)
+                continue
+            break
+        completed.append(pending)
+        now = pending.ticket.finish
+        owner = by_session[pending.session.name]
+        if config.think_time_s:
+            owner.session.clock = now + config.think_time_s
+        try_submit(owner)
+        if parked:
+            retry, parked[:] = parked[:], []
+            for client in retry:
+                client.session.clock = max(client.session.clock, now)
+                try_submit(client)
+
+    duration = max(service.clock, 1e-12)
+    stats = service.stats()
+    cache = stats["plan_cache"]
+    sched = stats["scheduler"]
+    return ServeReport(
+        clients=config.clients,
+        completed=len(completed),
+        rejected=rejected,
+        duration_seconds=service.clock,
+        throughput_qps=len(completed) / duration,
+        latency_p50=stats["latency_p50"],
+        latency_p95=stats["latency_p95"],
+        mean_compile_seconds=stats["mean_compile_seconds"],
+        mean_queue_seconds=stats["mean_queue_seconds"],
+        cache_hit_rate=cache["hit_rate"],
+        cache_enabled=config.service.plan_cache_enabled,
+        queue_peak=sched["queue_peak"],
+        utilisation=sched["utilisation"],
+        per_session_queries={
+            name: session_stats["queries"]
+            for name, session_stats in stats["sessions"].items()
+        },
+    )
+
+
+def compare_cache(
+    config: Optional[ServeConfig] = None,
+) -> Tuple[ServeReport, ServeReport]:
+    """The same workload with and without the plan cache (fresh database
+    each run so catalog versions and statistics match exactly)."""
+    config = config or ServeConfig()
+    with_cache = run_serve(
+        config.with_updates(service=config.service.with_updates(plan_cache_enabled=True))
+    )
+    without_cache = run_serve(
+        config.with_updates(service=config.service.with_updates(plan_cache_enabled=False))
+    )
+    return with_cache, without_cache
+
+
+def format_serve(with_cache: ServeReport, without_cache: ServeReport) -> str:
+    """The ``repro-bench serve`` table."""
+    rows = [
+        ("queries completed", "{:d}", "completed"),
+        ("rejected (overload)", "{:d}", "rejected"),
+        ("simulated duration (s)", "{:.1f}", "duration_seconds"),
+        ("throughput (q/s)", "{:.3f}", "throughput_qps"),
+        ("latency p50 (s)", "{:.2f}", "latency_p50"),
+        ("latency p95 (s)", "{:.2f}", "latency_p95"),
+        ("mean compile (s)", "{:.2f}", "mean_compile_seconds"),
+        ("mean queued (s)", "{:.2f}", "mean_queue_seconds"),
+        ("plan-cache hit rate", "{:.1%}", "cache_hit_rate"),
+        ("queue peak", "{:d}", "queue_peak"),
+        ("cluster utilisation", "{:.1%}", "utilisation"),
+    ]
+    lines = [
+        "serving benchmark — closed loop, "
+        f"{with_cache.clients} client(s), plan cache on vs. off",
+        f"{'metric':<26}{'cache on':>12}{'cache off':>12}",
+    ]
+    for label, fmt, attr in rows:
+        on = fmt.format(getattr(with_cache, attr))
+        off = fmt.format(getattr(without_cache, attr))
+        lines.append(f"{label:<26}{on:>12}{off:>12}")
+    if without_cache.throughput_qps > 0:
+        speedup = with_cache.throughput_qps / without_cache.throughput_qps
+        lines.append(f"throughput gain from plan cache: {speedup:.2f}x")
+    return "\n".join(lines)

@@ -36,11 +36,24 @@ class ViewEntry:
 
 
 class Catalog:
-    """Name-to-object mapping with case-insensitive SQL semantics."""
+    """Name-to-object mapping with case-insensitive SQL semantics.
+
+    The catalog carries a monotonically increasing :attr:`version`,
+    bumped on every DDL change and on every statistics refresh. Cached
+    query plans are keyed on it: any version change invalidates them
+    (plans bake in resolved names, refined types, and size estimates).
+    """
 
     def __init__(self):
         self._tables: Dict[str, TableEntry] = {}
         self._views: Dict[str, ViewEntry] = {}
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Advance the catalog version (DDL or statistics change);
+        returns the new version."""
+        self.version += 1
+        return self.version
 
     # -- tables -----------------------------------------------------------
 
@@ -50,6 +63,7 @@ class Catalog:
             raise CatalogError(f"relation {name!r} already exists")
         entry = TableEntry(name=name, schema=schema)
         self._tables[key] = entry
+        self.bump_version()
         return entry
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -59,6 +73,7 @@ class Catalog:
                 return
             raise CatalogError(f"no table named {name!r}")
         del self._tables[key]
+        self.bump_version()
 
     def table(self, name: str) -> TableEntry:
         entry = self._tables.get(name.lower())
@@ -82,6 +97,7 @@ class Catalog:
             raise CatalogError(f"relation {name!r} already exists")
         entry = ViewEntry(name=name, query=query, column_names=column_names)
         self._views[key] = entry
+        self.bump_version()
         return entry
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
@@ -91,6 +107,7 @@ class Catalog:
                 return
             raise CatalogError(f"no view named {name!r}")
         del self._views[key]
+        self.bump_version()
 
     def view(self, name: str) -> Optional[ViewEntry]:
         return self._views.get(name.lower())

@@ -161,6 +161,9 @@ class Database:
 
     def _refresh_stats(self, entry: TableEntry) -> None:
         entry.stats = collect_stats(entry.schema, entry.storage.all_rows())
+        # statistics feed refined types and size estimates into plans, so
+        # every refresh invalidates cached plans via the catalog version
+        self.catalog.bump_version()
 
     # -- SQL ----------------------------------------------------------------------
 
@@ -229,6 +232,11 @@ class Database:
             self._refresh_stats(entry)
             return result
         if isinstance(statement, ast.CreateView):
+            if statement.temporary:
+                raise CompileError(
+                    "CREATE TEMPORARY VIEW is session-scoped; acquire a "
+                    "session from Database.service() and run it there"
+                )
             # bind once against the current catalog so errors surface now;
             # parameters may stay unbound until the view is queried
             binder = Binder(self.catalog, params, defer_params=True)
@@ -347,24 +355,55 @@ class Database:
             metrics = metrics.merge(result.metrics)
         return Result(results[0].columns, rows, metrics)
 
+    # -- service layer -------------------------------------------------------------
+
+    def service(self, config=None, **overrides):
+        """A :class:`repro.service.QueryService` in front of this
+        database: sessions, plan caching, admission control and the
+        fair-share slot scheduler. Keyword overrides update the
+        :class:`repro.service.ServiceConfig` (e.g.
+        ``db.service(max_concurrency=4)``)."""
+        from .service import QueryService, ServiceConfig
+
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = config.with_updates(**overrides)
+        return QueryService(self, config)
+
     # -- SELECT pipeline -------------------------------------------------------------
 
     def _plan_select(
-        self, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
+        self,
+        statement: ast.SelectStatement,
+        params: Optional[Dict[str, object]],
+        catalog=None,
+        param_cells=None,
     ):
+        """Bind and optimize a SELECT. ``catalog`` may be a session-level
+        overlay (temp views); ``param_cells`` switches parameters to
+        runtime slots so the service layer can cache the plan."""
         converted = {
             key: _convert_value(value) for key, value in (params or {}).items()
         }
-        binder = Binder(self.catalog, converted)
+        binder = Binder(
+            catalog or self.catalog, converted, param_cells=param_cells
+        )
         plan = binder.bind_select(statement)
         optimizer = Optimizer(self.cost_model)
         return optimizer.optimize(plan)
+
+    def _plan_physical(self, logical):
+        return PhysicalPlanner(self.cost_model).plan(logical)
+
+    def _execute_physical(self, logical, physical) -> Result:
+        rows, metrics = self._executor.run(physical)
+        columns = [column.name for column in logical.columns]
+        return Result(columns, rows, metrics)
 
     def _run_select(
         self, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
     ) -> Result:
         logical = self._plan_select(statement, params)
-        physical = PhysicalPlanner(self.cost_model).plan(logical)
-        rows, metrics = self._executor.run(physical)
-        columns = [column.name for column in logical.columns]
-        return Result(columns, rows, metrics)
+        physical = self._plan_physical(logical)
+        return self._execute_physical(logical, physical)

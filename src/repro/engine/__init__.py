@@ -1,6 +1,13 @@
 """Simulated-cluster execution engine."""
 
-from .cluster import Cluster, OperatorRun, row_bytes, stable_hash, value_bytes
+from .cluster import (
+    Cluster,
+    OperatorRun,
+    SlotTimeline,
+    row_bytes,
+    stable_hash,
+    value_bytes,
+)
 from .executor import Executor, count_job_boundaries
 from .metrics import OperatorMetrics, QueryMetrics
 from .storage import (
@@ -26,6 +33,7 @@ __all__ = [
     "ROUND_ROBIN",
     "RowView",
     "SINGLE",
+    "SlotTimeline",
     "count_job_boundaries",
     "row_bytes",
     "stable_hash",

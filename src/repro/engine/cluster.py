@@ -163,6 +163,60 @@ class OperatorRun:
         )
 
 
+class SlotTimeline:
+    """Simulated-time occupancy of the cluster's execution capacity.
+
+    The service layer carves the cluster's slots into ``gangs`` equal
+    slot groups (one admitted query per gang, i.e. gang scheduling with
+    max-concurrency = number of gangs). The timeline tracks, in
+    simulated seconds, when each gang next becomes free, so concurrently
+    admitted queries genuinely contend for slot-seconds: a query that
+    arrives while every gang is busy accrues queueing delay until one
+    frees up.
+    """
+
+    def __init__(self, gangs: int):
+        if gangs < 1:
+            raise ValueError("need at least one execution gang")
+        self._free_at: List[float] = [0.0] * gangs
+        #: total slot-seconds of service handed out (for utilisation)
+        self.busy_seconds = 0.0
+
+    @property
+    def gangs(self) -> int:
+        return len(self._free_at)
+
+    def earliest_free(self) -> float:
+        """The simulated time at which the next gang becomes free."""
+        return min(self._free_at)
+
+    def idle_gang(self, now: float) -> Optional[int]:
+        """A gang that is free at simulated time ``now``, if any."""
+        for gang, free_at in enumerate(self._free_at):
+            if free_at <= now:
+                return gang
+        return None
+
+    def occupy(self, gang: int, start: float, duration: float) -> float:
+        """Mark a gang busy for ``duration`` starting at ``start``;
+        returns the finish time."""
+        if self._free_at[gang] > start:
+            raise ValueError(
+                f"gang {gang} is busy until {self._free_at[gang]:.3f}, "
+                f"cannot start at {start:.3f}"
+            )
+        finish = start + duration
+        self._free_at[gang] = finish
+        self.busy_seconds += duration
+        return finish
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of gang-time busy over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (horizon * self.gangs))
+
+
 class Cluster:
     """A simulated cluster accumulating per-query metrics."""
 

@@ -425,10 +425,7 @@ class Executor:
             # SQL scalar aggregates yield exactly one row on empty input
             finished = []
             for spec in node.aggregates:
-                state = set() if spec.distinct else spec.aggregate.create()
-                if spec.distinct:
-                    state = spec.aggregate.create()
-                finished.append(spec.aggregate.finish(state))
+                finished.append(spec.aggregate.finish(spec.aggregate.create()))
             parts_out[0].append(tuple(finished))
             run.rows_out += 1
         self.cluster.record(run)

@@ -38,11 +38,27 @@ class OperatorMetrics:
 
 @dataclass
 class QueryMetrics:
-    """Metrics for one full query execution."""
+    """Metrics for one full query execution.
+
+    ``compile_seconds``, ``queue_seconds`` and ``stretch_seconds`` are
+    filled in by the query service layer when the statement runs through
+    a :class:`repro.service.QueryService`: simulated planning overhead
+    (zero on a plan-cache hit), time spent waiting in the admission
+    queue, and the slowdown from sharing the cluster's slots with other
+    concurrently admitted queries. They are zero for direct
+    ``Database.execute`` calls, which keeps ``total_seconds`` — the
+    dedicated-cluster execution time the paper's figures use — unchanged.
+    """
 
     operators: List[OperatorMetrics] = field(default_factory=list)
     jobs: int = 0
     startup_seconds: float = 0.0
+    #: simulated planning (parse/bind/optimize) overhead; 0 on cache hit
+    compile_seconds: float = 0.0
+    #: simulated time spent waiting for admission to the cluster
+    queue_seconds: float = 0.0
+    #: extra execution time from running on a share of the slots
+    stretch_seconds: float = 0.0
 
     @property
     def operator_seconds(self) -> float:
@@ -51,6 +67,17 @@ class QueryMetrics:
     @property
     def total_seconds(self) -> float:
         return self.operator_seconds + self.startup_seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """End-to-end simulated latency as a service client sees it:
+        compile + admission queueing + (possibly stretched) execution."""
+        return (
+            self.compile_seconds
+            + self.queue_seconds
+            + self.total_seconds
+            + self.stretch_seconds
+        )
 
     def seconds_by_operator(self) -> Dict[str, float]:
         """Aggregate wall seconds per operator name (Figure 4's bars)."""
@@ -69,6 +96,9 @@ class QueryMetrics:
             operators=self.operators + other.operators,
             jobs=self.jobs + other.jobs,
             startup_seconds=self.startup_seconds + other.startup_seconds,
+            compile_seconds=self.compile_seconds + other.compile_seconds,
+            queue_seconds=self.queue_seconds + other.queue_seconds,
+            stretch_seconds=self.stretch_seconds + other.stretch_seconds,
         )
         return merged
 
@@ -92,4 +122,11 @@ class QueryMetrics:
             f"{'':>7}  ({self.jobs} job(s), "
             f"{self.startup_seconds:.1f}s startup)"
         )
+        if self.compile_seconds or self.queue_seconds or self.stretch_seconds:
+            lines.append(
+                f"{'SERVICE':<24}compile {self.compile_seconds:.3f}s  "
+                f"queued {self.queue_seconds:.3f}s  "
+                f"stretch {self.stretch_seconds:.3f}s  "
+                f"elapsed {self.elapsed_seconds:.3f}s"
+            )
         return "\n".join(lines)

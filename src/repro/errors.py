@@ -56,3 +56,21 @@ class RuntimeTypeError(ExecutionError):
 class ResourceExhaustedError(ExecutionError):
     """The simulated cluster ran out of a resource (e.g. per-worker RAM),
     corresponding to the 'Fail' entries in the paper's Figure 3."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the multi-session query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a query because the bounded admission
+    queue is full; the client should back off and retry."""
+
+    def __init__(self, message: str, queue_depth: int = 0, queue_limit: int = 0):
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+        super().__init__(message)
+
+
+class SessionClosedError(ServiceError):
+    """A statement was submitted on a session that has been closed."""

@@ -12,6 +12,8 @@ from .expressions import (
     LiteralExpr,
     NegExpr,
     NotExpr,
+    ParamCell,
+    ParamExpr,
     TypedExpr,
     and_together,
     conjuncts,
@@ -52,6 +54,8 @@ __all__ = [
     "NotExpr",
     "Optimizer",
     "OutputColumn",
+    "ParamCell",
+    "ParamExpr",
     "PhysicalNode",
     "PhysicalPlanner",
     "ProjectNode",

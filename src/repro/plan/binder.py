@@ -45,6 +45,8 @@ from .expressions import (
     LiteralExpr,
     NegExpr,
     NotExpr,
+    ParamCell,
+    ParamExpr,
     TypedExpr,
 )
 from .logical import (
@@ -129,6 +131,7 @@ class Binder:
         catalog: Catalog,
         params: Optional[Dict[str, object]] = None,
         defer_params: bool = False,
+        param_cells: Optional[Dict[str, ParamCell]] = None,
     ):
         self._catalog = catalog
         self._params = params or {}
@@ -136,7 +139,19 @@ class Binder:
         #: value bind as numeric placeholders; real values arrive when the
         #: view is referenced by a query that supplies them
         self._defer_params = defer_params
+        #: when given (prepared statements / plan cache), parameters bind
+        #: as runtime ParamExpr slots instead of inlined literals; the
+        #: current values still type the expressions, and this dict is
+        #: filled with one cell per distinct parameter name
+        self._param_cells = param_cells
         self._ids = itertools.count(1)
+        #: names of views currently being expanded (a stack: the same
+        #: name may legitimately appear at several depths). Inside the
+        #: body of view N, a reference to N skips any session temp-view
+        #: overlay and resolves against the shared catalog — so a temp
+        #: view may shadow the relation it is defined over without
+        #: recursing into itself
+        self._view_stack: List[str] = []
 
     # -- public entry points ------------------------------------------------
 
@@ -222,9 +237,18 @@ class Binder:
         if isinstance(item, ast.SubqueryRef):
             return _Binding(item.alias, self.bind_select(item.query))
         assert isinstance(item, ast.TableName)
-        view = self._catalog.view(item.name)
+        name_key = item.name.lower()
+        if name_key in self._view_stack:
+            shared_view = getattr(self._catalog, "shared_view", self._catalog.view)
+            view = shared_view(item.name)
+        else:
+            view = self._catalog.view(item.name)
         if view is not None:
-            plan = self.bind_select(view.query)
+            self._view_stack.append(name_key)
+            try:
+                plan = self.bind_select(view.query)
+            finally:
+                self._view_stack.pop()
             if view.column_names is not None:
                 plan = self._rename(plan, view.column_names)
             return _Binding(item.binding_name, plan)
@@ -264,6 +288,12 @@ class Binder:
                     return LiteralExpr(None, DOUBLE)
                 raise CompileError(f"no value supplied for parameter :{expr.name}")
             value = self._params[expr.name]
+            if self._param_cells is not None:
+                cell = self._param_cells.get(expr.name)
+                if cell is None:
+                    cell = self._param_cells[expr.name] = ParamCell(expr.name)
+                cell.set(value)
+                return ParamExpr(expr.name, _literal_type(value), cell)
             return LiteralExpr(value, _literal_type(value))
         if isinstance(expr, ast.ColumnRef):
             output = scope.resolve(expr.column, expr.table)

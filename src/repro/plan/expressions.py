@@ -124,6 +124,56 @@ class LiteralExpr(TypedExpr):
         return f"Literal({self.value!r})"
 
 
+class ParamCell:
+    """Mutable holder for one named parameter's current value.
+
+    Prepared statements and the plan cache bind parameters to cells
+    instead of inlining them as literals, so a plan compiled once can be
+    re-executed with fresh values — the service layer writes the cells
+    immediately before each execution (execution is single-threaded per
+    database, so the shared cells are safe)."""
+
+    __slots__ = ("name", "value", "bound")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+        self.bound = False
+
+    def set(self, value) -> None:
+        self.value = value
+        self.bound = True
+
+    def __repr__(self):
+        return f"ParamCell(:{self.name}={self.value!r})"
+
+
+class ParamExpr(TypedExpr):
+    """A named parameter resolved at execution time from a
+    :class:`ParamCell` (prepared-statement placeholder). Its type is
+    fixed at plan time from the first bound value; the plan cache keys on
+    that type signature, so a value of a different shape compiles a new
+    plan instead of mis-executing this one."""
+
+    def __init__(self, name: str, data_type: DataType, cell: ParamCell):
+        self.name = name
+        self.data_type = data_type
+        self.cell = cell
+
+    def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        if not self.cell.bound:
+            raise ExecutionError(
+                f"parameter :{self.name} executed with no value bound"
+            )
+        return self.cell.value
+
+    def key(self):
+        return ("param", self.name)
+
+    def __repr__(self):
+        return f"Param(:{self.name})"
+
+
 class ColumnVar(TypedExpr):
     def __init__(self, column_id: int, data_type: DataType, name: str = ""):
         self.column_id = column_id
@@ -435,7 +485,7 @@ def remap_columns(expr: TypedExpr, mapping: Dict[int, TypedExpr]) -> TypedExpr:
     if isinstance(expr, ColumnVar):
         replacement = mapping.get(expr.column_id)
         return replacement if replacement is not None else expr
-    if isinstance(expr, LiteralExpr):
+    if isinstance(expr, (LiteralExpr, ParamExpr)):
         return expr
     if isinstance(expr, BinaryExpr):
         return BinaryExpr(

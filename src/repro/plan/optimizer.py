@@ -42,6 +42,7 @@ from .expressions import (
     LiteralExpr,
     NegExpr,
     NotExpr,
+    ParamExpr,
     TypedExpr,
     and_together,
     conjuncts,
@@ -74,7 +75,7 @@ def substitute(expr: TypedExpr, subst: Subst) -> TypedExpr:
     replacement = subst.get(expr.key())
     if replacement is not None:
         return replacement
-    if isinstance(expr, (ColumnVar, LiteralExpr)):
+    if isinstance(expr, (ColumnVar, LiteralExpr, ParamExpr)):
         return expr
     if isinstance(expr, BinaryExpr):
         return BinaryExpr(

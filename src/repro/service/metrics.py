@@ -1,0 +1,120 @@
+"""Service-level metrics: per-session counters and latency percentiles.
+
+Latencies here are the *client-observed* simulated latencies
+(``QueryMetrics.elapsed_seconds``: compile + admission queueing +
+possibly stretched execution), which is what a serving benchmark cares
+about — not the dedicated-cluster times of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..engine.metrics import QueryMetrics
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]) of ``values``;
+    0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters kept by the service facade."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    elapsed_seconds: float = 0.0
+    queue_seconds: float = 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregated serving metrics across all sessions."""
+
+    latencies: List[float] = field(default_factory=list)
+    compile_latencies: List[float] = field(default_factory=list)
+    queue_latencies: List[float] = field(default_factory=list)
+    per_session: Dict[str, SessionStats] = field(default_factory=dict)
+    rejected: int = 0
+
+    def session(self, name: str) -> SessionStats:
+        stats = self.per_session.get(name)
+        if stats is None:
+            stats = self.per_session[name] = SessionStats()
+        return stats
+
+    def observe(self, session_name: str, metrics: QueryMetrics, cache_hit: bool) -> None:
+        self.latencies.append(metrics.elapsed_seconds)
+        self.compile_latencies.append(metrics.compile_seconds)
+        self.queue_latencies.append(metrics.queue_seconds)
+        stats = self.session(session_name)
+        stats.queries += 1
+        stats.cache_hits += int(cache_hit)
+        stats.elapsed_seconds += metrics.elapsed_seconds
+        stats.queue_seconds += metrics.queue_seconds
+
+    def observe_rejection(self, session_name: str) -> None:
+        self.rejected += 1
+        self.session(session_name).rejected += 1
+
+    @property
+    def queries(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def latency_p50(self) -> float:
+        return percentile(self.latencies, 50.0)
+
+    @property
+    def latency_p95(self) -> float:
+        return percentile(self.latencies, 95.0)
+
+    @property
+    def mean_compile_seconds(self) -> float:
+        if not self.compile_latencies:
+            return 0.0
+        return sum(self.compile_latencies) / len(self.compile_latencies)
+
+    @property
+    def mean_queue_seconds(self) -> float:
+        if not self.queue_latencies:
+            return 0.0
+        return sum(self.queue_latencies) / len(self.queue_latencies)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries,
+            "rejected": self.rejected,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "mean_compile_seconds": self.mean_compile_seconds,
+            "mean_queue_seconds": self.mean_queue_seconds,
+            "sessions": {
+                name: {
+                    "queries": stats.queries,
+                    "cache_hits": stats.cache_hits,
+                    "rejected": stats.rejected,
+                    "elapsed_seconds": stats.elapsed_seconds,
+                    "queue_seconds": stats.queue_seconds,
+                }
+                for name, stats in sorted(self.per_session.items())
+            },
+        }

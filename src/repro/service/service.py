@@ -1,0 +1,307 @@
+"""The :class:`QueryService` facade.
+
+Sits in front of one :class:`~repro.db.Database` and provides the
+serving substrate: sessions, the plan cache, admission control, the
+fair-share slot scheduler, and service metrics. SELECT statements flow::
+
+    session.execute(sql, params)
+        -> plan cache lookup (normalized SQL, catalog version,
+           parameter type signature, session scope)
+           miss: bind/optimize once, parameters as runtime cells,
+                 charge simulated compile_seconds
+           hit:  rebind the cells, compile_seconds = 0
+        -> execute on the simulated cluster (real rows, dedicated-run
+           metrics)
+        -> admission + fair-share scheduling in simulated time
+           (queue_seconds / stretch_seconds land in the metrics)
+
+The scheduler runs in simulated time, so "concurrency" means logically
+concurrent clients of the simulation — the driver in
+``repro.bench.serve`` keeps many sessions in flight via
+:meth:`Session.submit` / :meth:`QueryService.next_completion`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, Optional
+
+from ..db import Database, Result, _convert_value
+from ..engine.metrics import QueryMetrics
+from ..errors import ServiceOverloadedError
+from ..sql import ast
+from .metrics import ServiceMetrics
+from .plan_cache import (
+    CachedPlan,
+    PlanCache,
+    PlanCacheKey,
+    count_nodes,
+    normalize_sql,
+    param_signature,
+)
+from .scheduler import SlotScheduler, Ticket
+from .session import Session
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the query service layer."""
+
+    #: execution gangs: how many admitted queries run concurrently
+    max_concurrency: int = 4
+    #: bounded admission queue; a full queue rejects with
+    #: ServiceOverloadedError
+    admission_queue_limit: int = 8
+    #: LRU bound of the plan cache
+    plan_cache_capacity: int = 128
+    #: disable to measure the cache's effect (every statement re-plans)
+    plan_cache_enabled: bool = True
+    #: simulated seconds of fixed planning overhead per compilation
+    #: (SimSQL-era systems compile statements to Java — it is not cheap)
+    compile_cost_s: float = 2.0
+    #: additional simulated compile seconds per physical operator
+    compile_cost_per_node_s: float = 0.25
+
+    def with_updates(self, **kwargs) -> "ServiceConfig":
+        return replace(self, **kwargs)
+
+
+class PendingQuery:
+    """A submitted SELECT: rows are computed, simulated completion may
+    still lie in the future until the scheduler resolves it."""
+
+    def __init__(
+        self,
+        session: Session,
+        sql: str,
+        result: Result,
+        ticket: Ticket,
+        cache_hit: bool,
+    ):
+        self.session = session
+        self.sql = sql
+        self.result = result
+        self.ticket = ticket
+        self.cache_hit = cache_hit
+        self.finalized = False
+
+    @property
+    def metrics(self) -> QueryMetrics:
+        return self.result.metrics
+
+    @property
+    def done(self) -> bool:
+        return self.finalized
+
+    def __repr__(self):
+        state = "done" if self.finalized else "in-flight"
+        return f"PendingQuery({self.sql!r}, {state})"
+
+
+class QueryService:
+    """Multi-session serving facade over one database."""
+
+    def __init__(self, db: Database, config: Optional[ServiceConfig] = None):
+        self.db = db
+        self.config = config or ServiceConfig()
+        self.plan_cache = PlanCache(self.config.plan_cache_capacity)
+        self.scheduler = SlotScheduler(
+            self.config.max_concurrency, self.config.admission_queue_limit
+        )
+        self.metrics = ServiceMetrics()
+        self._sessions: Dict[str, Session] = {}
+        self._session_counter = 0
+        self._inflight: Dict[int, PendingQuery] = {}
+        self._ready: Deque[PendingQuery] = deque()
+
+    # -- sessions ----------------------------------------------------------
+
+    def session(self, name: Optional[str] = None) -> Session:
+        """Acquire a new session (auto-named ``s1``, ``s2``, ... unless
+        a name is given)."""
+        if name is None:
+            self._session_counter += 1
+            name = f"s{self._session_counter}"
+        if name in self._sessions:
+            raise ValueError(f"session {name!r} already active")
+        session = Session(self, name)
+        self._sessions[name] = session
+        return session
+
+    def sessions(self) -> Dict[str, Session]:
+        return dict(self._sessions)
+
+    def _release(self, session: Session) -> None:
+        self._sessions.pop(session.name, None)
+
+    # -- planning ----------------------------------------------------------
+
+    def _plan(
+        self,
+        session: Session,
+        sql: str,
+        statement: ast.SelectStatement,
+        params: Dict[str, object],
+    ):
+        """Cached bind+optimize. Returns (cached_plan, cache_hit,
+        compile_seconds)."""
+        converted = {
+            name: _convert_value(value) for name, value in params.items()
+        }
+        key = PlanCacheKey(
+            sql=normalize_sql(sql),
+            catalog_version=self.db.catalog.version,
+            param_types=param_signature(converted),
+            scope=session.plan_scope,
+        )
+        if self.config.plan_cache_enabled:
+            cached = self.plan_cache.lookup(key)
+            if cached is not None:
+                cached.bind(converted)
+                return cached, True, 0.0
+        cells: Dict[str, object] = {}
+        logical = self.db._plan_select(
+            statement, converted, catalog=session.catalog, param_cells=cells
+        )
+        physical = self.db._plan_physical(logical)
+        plan = CachedPlan(
+            logical=logical,
+            physical=physical,
+            param_cells=cells,
+            node_count=count_nodes(physical),
+        )
+        compile_seconds = (
+            self.config.compile_cost_s
+            + self.config.compile_cost_per_node_s * plan.node_count
+        )
+        if self.config.plan_cache_enabled:
+            self.plan_cache.purge_stale(self.db.catalog.version)
+            self.plan_cache.store(key, plan)
+        return plan, False, compile_seconds
+
+    # -- execution ---------------------------------------------------------
+
+    def submit_select(
+        self,
+        session: Session,
+        sql: str,
+        statement: ast.SelectStatement,
+        params: Dict[str, object],
+        arrival: Optional[float] = None,
+    ) -> PendingQuery:
+        """Plan (via the cache), execute on the cluster, and admit the
+        query to the slot scheduler at simulated time ``arrival``.
+        Raises :class:`ServiceOverloadedError` when the admission queue
+        is full."""
+        plan, cache_hit, compile_seconds = self._plan(session, sql, statement, params)
+        result = self.db._execute_physical(plan.logical, plan.physical)
+        metrics = result.metrics
+        metrics.compile_seconds = compile_seconds
+        if arrival is None:
+            arrival = session.clock
+        # gang model: operator work stretches on slots/M cores, per-job
+        # startup does not (see service.scheduler)
+        stretch = metrics.operator_seconds * (self.scheduler.max_concurrency - 1)
+        service_seconds = compile_seconds + metrics.total_seconds + stretch
+        try:
+            ticket = self.scheduler.submit(session.name, service_seconds, arrival)
+        except ServiceOverloadedError:
+            self.metrics.observe_rejection(session.name)
+            raise
+        metrics.stretch_seconds = stretch
+        pending = PendingQuery(session, sql, result, ticket, cache_hit)
+        self._inflight[ticket.seq] = pending
+        if ticket.finish is not None:
+            # started immediately; timing fully known. It stays in
+            # _inflight so next_completion() still delivers it exactly
+            # once (unless a wait() claims it first).
+            self._finalize(pending)
+        return pending
+
+    def wait(self, pending: PendingQuery) -> Result:
+        """Advance the simulation until ``pending`` completes and claim
+        its completion; other queries completing on the way are parked
+        for :meth:`next_completion`."""
+        while not pending.finalized:
+            ticket = self.scheduler.next_completion()
+            if ticket is None:  # pragma: no cover - defensive
+                raise RuntimeError("pending query never completed")
+            other = self._inflight.pop(ticket.seq, None)
+            if other is None:
+                continue
+            self._finalize(other)
+            if other is not pending:
+                self._ready.append(other)
+        self._inflight.pop(pending.ticket.seq, None)
+        return pending.result
+
+    def next_completion(self) -> Optional[PendingQuery]:
+        """The next submitted query to complete in simulated time, or
+        ``None`` when nothing is in flight."""
+        while True:
+            if self._ready:
+                return self._ready.popleft()
+            ticket = self.scheduler.next_completion()
+            if ticket is None:
+                return None
+            pending = self._inflight.pop(ticket.seq, None)
+            if pending is None:
+                continue
+            self._finalize(pending)
+            return pending
+
+    def _finalize(self, pending: PendingQuery) -> None:
+        if pending.finalized:
+            return
+        metrics = pending.metrics
+        metrics.queue_seconds = pending.ticket.queue_seconds
+        pending.session.clock = max(pending.session.clock, pending.ticket.finish)
+        self.metrics.observe(pending.session.name, metrics, pending.cache_hit)
+        pending.finalized = True
+
+    def _execute_passthrough(
+        self, session: Session, statement: ast.Statement, params: Dict[str, object]
+    ) -> Result:
+        """Non-SELECT statements: run directly on the shared database.
+        DDL/DML bumps the catalog version, invalidating cached plans."""
+        result = self.db._execute_statement(statement, params)
+        self.metrics.session(session.name).queries += 1
+        return result
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """The scheduler's simulated clock (seconds)."""
+        return self.scheduler.clock
+
+    def stats(self) -> Dict[str, object]:
+        """One merged snapshot: service, cache, and scheduler metrics."""
+        snapshot = self.metrics.snapshot()
+        snapshot["plan_cache"] = self.plan_cache.stats()
+        snapshot["scheduler"] = self.scheduler.stats()
+        snapshot["active_sessions"] = sorted(self._sessions)
+        return snapshot
+
+    def report(self) -> str:
+        """Human-readable service dashboard."""
+        stats = self.stats()
+        cache = stats["plan_cache"]
+        sched = stats["scheduler"]
+        lines = [
+            f"queries {stats['queries']}  rejected {stats['rejected']}  "
+            f"sessions {len(stats['sessions'])}",
+            f"latency p50 {stats['latency_p50']:.3f}s  "
+            f"p95 {stats['latency_p95']:.3f}s  "
+            f"mean compile {stats['mean_compile_seconds']:.3f}s  "
+            f"mean queued {stats['mean_queue_seconds']:.3f}s",
+            f"plan cache: {cache['hits']} hit(s) / {cache['misses']} miss(es) "
+            f"({cache['hit_rate']:.1%}), {cache['entries']}/{cache['capacity']} "
+            f"entries, {cache['evictions']} evicted, "
+            f"{cache['invalidated']} invalidated",
+            f"scheduler: {sched['max_concurrency']} gang(s), "
+            f"queue peak {sched['queue_peak']}/{sched['queue_limit']}, "
+            f"utilisation {sched['utilisation']:.1%} over {sched['clock']:.1f}s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Sessions: per-client state in front of a shared :class:`Database`.
+
+A session owns
+
+* **temp views** — ``CREATE TEMP VIEW`` (or :meth:`Session.create_temp_view`)
+  registers a view visible only to this session, shadowing shared
+  relations of the same name; two sessions can hold same-named temp
+  views without observing each other;
+* **session parameters** — default values for the SQL front end's named
+  ``:param`` placeholders, merged under per-call parameters;
+* **prepared statements** — parse once, then execute repeatedly with
+  fresh parameter values; planning is delegated to the service's plan
+  cache, so repeated executions skip parse/bind/optimize entirely.
+
+Temp views are implemented as a catalog *overlay*: binding resolves
+views against the overlay first, then the shared catalog. Only SELECT
+statements (and prepared SELECTs) see temp views; DDL/DML statements
+operate on the shared catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..catalog.catalog import ViewEntry
+from ..errors import CatalogError, CompileError, SessionClosedError
+from ..plan import Binder
+from ..sql import ast, parse_statement
+
+
+class SessionCatalog:
+    """Read overlay: session temp views shadow the shared catalog."""
+
+    def __init__(self, shared):
+        self._shared = shared
+        self._temp_views: Dict[str, ViewEntry] = {}
+
+    # Binder resolves FROM items through these two methods.
+    def view(self, name: str) -> Optional[ViewEntry]:
+        entry = self._temp_views.get(name.lower())
+        if entry is not None:
+            return entry
+        return self._shared.view(name)
+
+    def table(self, name: str):
+        return self._shared.table(name)
+
+    def shared_view(self, name: str) -> Optional[ViewEntry]:
+        """Resolution skipping the temp-view overlay; the binder uses
+        this inside a view body that references its own name."""
+        return self._shared.view(name)
+
+    def has_relation(self, name: str) -> bool:
+        return name.lower() in self._temp_views or self._shared.has_relation(name)
+
+    @property
+    def version(self) -> int:
+        return self._shared.version
+
+    def temp_view_names(self) -> List[str]:
+        return sorted(self._temp_views)
+
+    def add_temp_view(self, entry: ViewEntry) -> None:
+        self._temp_views[entry.name.lower()] = entry
+
+    def drop_temp_view(self, name: str) -> bool:
+        return self._temp_views.pop(name.lower(), None) is not None
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return True
+
+
+class PreparedStatement:
+    """A parsed SELECT bound to a session; execution goes through the
+    service's plan cache, so repeated runs with same-typed parameters
+    never re-plan — the runtime parameter cells are simply rebound."""
+
+    def __init__(self, session: "Session", sql: str, statement: ast.SelectStatement):
+        self.session = session
+        self.sql = sql
+        self.statement = statement
+
+    def execute(self, params: Optional[Dict[str, object]] = None, **kw):
+        merged = dict(params or {})
+        merged.update(kw)
+        return self.session._execute_select(self.sql, self.statement, merged)
+
+    def __repr__(self):
+        return f"PreparedStatement({self.sql!r})"
+
+
+class Session:
+    """One client's handle on the query service."""
+
+    def __init__(self, service, name: str):
+        self._service = service
+        self.name = name
+        self.catalog = SessionCatalog(service.db.catalog)
+        self.params: Dict[str, object] = {}
+        self._view_version = 0
+        self._closed = False
+        #: simulated time of this session's latest completion; sequential
+        #: execute() calls chain their arrivals from it (a session is a
+        #: closed-loop client: it issues the next query after seeing the
+        #: previous result)
+        self.clock = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._service._release(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(f"session {self.name!r} is closed")
+
+    # -- session state -----------------------------------------------------
+
+    def set_param(self, name: str, value) -> None:
+        """Set a session-default value for ``:name``; per-call parameters
+        override it."""
+        self._check_open()
+        self.params[name] = value
+
+    def unset_param(self, name: str) -> None:
+        self._check_open()
+        self.params.pop(name, None)
+
+    def create_temp_view(
+        self,
+        name: str,
+        query: Union[str, ast.SelectStatement],
+        column_names: Optional[List[str]] = None,
+    ) -> None:
+        """Register a session-local view; shadows any shared relation of
+        the same name for this session's SELECTs."""
+        self._check_open()
+        if isinstance(query, str):
+            statement = parse_statement(query)
+            if not isinstance(statement, ast.SelectStatement):
+                raise CompileError("a temp view needs a SELECT query")
+        else:
+            statement = query
+        if name.lower() in self.catalog._temp_views:
+            raise CatalogError(
+                f"temp view {name!r} already exists in session {self.name!r}"
+            )
+        # validate eagerly against the overlay so errors surface now
+        binder = Binder(self.catalog, dict(self.params), defer_params=True)
+        plan = binder.bind_select(statement)
+        if column_names is not None and len(column_names) != len(plan.columns):
+            raise CompileError(
+                f"temp view {name!r}: {len(column_names)} column name(s) "
+                f"for {len(plan.columns)} column(s)"
+            )
+        self.catalog.add_temp_view(ViewEntry(name, statement, column_names))
+        self._view_version += 1
+
+    def drop_temp_view(self, name: str, if_exists: bool = False) -> None:
+        self._check_open()
+        if self.catalog.drop_temp_view(name):
+            self._view_version += 1
+        elif not if_exists:
+            raise CatalogError(
+                f"no temp view named {name!r} in session {self.name!r}"
+            )
+
+    def temp_views(self) -> List[str]:
+        return self.catalog.temp_view_names()
+
+    @property
+    def plan_scope(self) -> str:
+        """The session's contribution to the plan-cache key: empty (so
+        plans are shared across sessions) unless temp views could change
+        name resolution."""
+        if not self.catalog._temp_views:
+            return ""
+        return f"{self.name}#{self._view_version}"
+
+    # -- statements --------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Dict[str, object]] = None):
+        """Execute one statement through the service: SELECTs go through
+        the plan cache and the admission scheduler; ``CREATE TEMP VIEW``
+        is session-local; other statements run on the shared database
+        (and, being DDL/DML, invalidate cached plans via the catalog
+        version)."""
+        self._check_open()
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(sql, statement, params or {})
+        if isinstance(statement, ast.CreateView) and statement.temporary:
+            self.create_temp_view(
+                statement.name, statement.query, statement.column_names
+            )
+            from ..db import Result
+
+            return Result([], [])
+        return self._service._execute_passthrough(self, statement, self._merge(params))
+
+    def submit(self, sql: str, params: Optional[Dict[str, object]] = None):
+        """Asynchronous flavour of :meth:`execute` for SELECTs: admits
+        the query and returns a :class:`~repro.service.PendingQuery`
+        without waiting for its simulated completion (used by the
+        closed-loop benchmark driver)."""
+        self._check_open()
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise CompileError("submit() supports SELECT statements only")
+        return self._service.submit_select(self, sql, statement, self._merge(params))
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse a SELECT once for repeated parameterized execution."""
+        self._check_open()
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise CompileError("prepare() supports SELECT statements only")
+        return PreparedStatement(self, sql, statement)
+
+    def explain(self, sql: str, params: Optional[Dict[str, object]] = None) -> str:
+        """EXPLAIN against this session's name resolution (temp views)."""
+        self._check_open()
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise CompileError("EXPLAIN supports SELECT statements only")
+        db = self._service.db
+        logical = db._plan_select(statement, self._merge(params), catalog=self.catalog)
+        physical = db._plan_physical(logical)
+        return (
+            "== logical ==\n" + logical.pretty() + "\n== physical ==\n" + physical.pretty()
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _merge(self, params: Optional[Dict[str, object]]) -> Dict[str, object]:
+        merged = dict(self.params)
+        merged.update(params or {})
+        return merged
+
+    def _execute_select(
+        self, sql: str, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
+    ):
+        self._check_open()
+        pending = self._service.submit_select(self, sql, statement, self._merge(params))
+        return self._service.wait(pending)
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return f"Session({self.name!r}, {state}, temp_views={self.temp_views()})"

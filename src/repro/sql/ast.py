@@ -216,6 +216,9 @@ class CreateView(Statement):
     name: str
     query: SelectStatement
     column_names: Optional[List[str]] = None
+    #: CREATE TEMP VIEW — session-scoped, only meaningful inside a
+    #: service Session; Database.execute rejects it
+    temporary: bool = False
 
 
 @dataclass

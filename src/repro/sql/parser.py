@@ -112,6 +112,15 @@ class Parser:
 
     def _parse_create(self) -> ast.Statement:
         self._expect("KEYWORD", "CREATE")
+        # TEMP/TEMPORARY are contextual (not reserved keywords, so
+        # columns named "temp" keep working)
+        if self._peek().kind == "IDENT" and self._peek().text.upper() in (
+            "TEMP",
+            "TEMPORARY",
+        ):
+            self._next()
+            self._expect("KEYWORD", "VIEW")
+            return self._parse_create_view(temporary=True)
         if self._accept("KEYWORD", "VIEW"):
             return self._parse_create_view()
         self._expect("KEYWORD", "TABLE")
@@ -148,7 +157,7 @@ class Parser:
             return MatrixType(dims[0], dims[1])
         return parse_type(base)
 
-    def _parse_create_view(self) -> ast.CreateView:
+    def _parse_create_view(self, temporary: bool = False) -> ast.CreateView:
         name = self._expect("IDENT").text
         column_names = None
         if self._accept("OP", "("):
@@ -157,7 +166,9 @@ class Parser:
                 column_names.append(self._expect("IDENT").text)
             self._expect("OP", ")")
         self._expect("KEYWORD", "AS")
-        return ast.CreateView(name, self.parse_select(), column_names)
+        return ast.CreateView(
+            name, self.parse_select(), column_names, temporary=temporary
+        )
 
     def _parse_insert(self) -> ast.Statement:
         self._expect("KEYWORD", "INSERT")

@@ -1,0 +1,144 @@
+"""The closed-loop serving benchmark (`repro-bench serve`) and its
+acceptance criteria: >90% plan-cache hit rate with measurably lower
+compile overhead than cache-off, and visible queueing + fail-fast
+rejection under overload."""
+
+import pytest
+
+from repro import ServiceOverloadedError
+from repro.bench.cli import main, run_serve_target, run_target
+from repro.bench.serve import (
+    ServeConfig,
+    build_database,
+    compare_cache,
+    format_serve,
+    run_serve,
+)
+from repro.service import QueryService, ServiceConfig
+
+
+SMALL = ServeConfig(
+    clients=6,
+    queries_per_client=10,
+    rows=40,
+    dims=4,
+    service=ServiceConfig(max_concurrency=2, admission_queue_limit=8),
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return compare_cache(SMALL)
+
+
+def test_all_queries_complete(reports):
+    with_cache, without_cache = reports
+    expected = SMALL.clients * SMALL.queries_per_client
+    assert with_cache.completed == expected
+    assert without_cache.completed == expected
+
+
+def test_cache_hit_rate_exceeds_90_percent(reports):
+    with_cache, without_cache = reports
+    assert with_cache.cache_hit_rate > 0.90
+    assert without_cache.cache_hit_rate == 0.0
+
+
+def test_cache_cuts_compile_overhead_and_raises_throughput(reports):
+    with_cache, without_cache = reports
+    assert with_cache.mean_compile_seconds < without_cache.mean_compile_seconds / 4
+    assert with_cache.throughput_qps > without_cache.throughput_qps
+    assert with_cache.duration_seconds < without_cache.duration_seconds
+    assert with_cache.latency_p95 < without_cache.latency_p95
+
+
+def test_concurrency_beyond_gangs_shows_queueing(reports):
+    with_cache, _ = reports
+    # 6 closed-loop clients on 2 gangs: someone always waits
+    assert with_cache.mean_queue_seconds > 0
+    assert with_cache.queue_peak >= 1
+
+
+def test_serve_is_deterministic():
+    first = run_serve(SMALL)
+    second = run_serve(SMALL)
+    assert first == second
+
+
+def test_per_session_counts(reports):
+    with_cache, _ = reports
+    assert len(with_cache.per_session_queries) == SMALL.clients
+    assert (
+        sum(with_cache.per_session_queries.values())
+        == SMALL.clients * SMALL.queries_per_client
+    )
+
+
+def test_overload_rejects_excess_queries_fast():
+    """Admitted queries show queueing delay; queries beyond the
+    admission queue fail immediately with ServiceOverloadedError."""
+    config = SMALL.with_updates(
+        service=ServiceConfig(max_concurrency=1, admission_queue_limit=2)
+    )
+    db = build_database(config)
+    service = QueryService(db, config.service)
+    sessions = [service.session() for _ in range(6)]
+    admitted, rejected = [], 0
+    for session in sessions:
+        try:
+            admitted.append(session.submit("SELECT COUNT(i) FROM points"))
+        except ServiceOverloadedError as error:
+            rejected += 1
+            assert error.queue_limit == 2
+    assert len(admitted) == 3  # 1 running + 2 queued
+    assert rejected == 3
+    while service.next_completion() is not None:
+        pass
+    delays = sorted(p.metrics.queue_seconds for p in admitted)
+    assert delays[0] == 0.0
+    assert delays[1] > 0 and delays[2] > delays[1]
+
+
+def test_think_time_lowers_contention():
+    busy = run_serve(SMALL)
+    idle = run_serve(SMALL.with_updates(think_time_s=30.0))
+    assert idle.mean_queue_seconds < busy.mean_queue_seconds
+    assert idle.throughput_qps < busy.throughput_qps
+
+
+def test_format_serve_table(reports):
+    text = format_serve(*reports)
+    assert "cache on" in text and "cache off" in text
+    assert "throughput gain from plan cache" in text
+    assert "plan-cache hit rate" in text
+
+
+def test_cli_serve_target(capsys):
+    code = main(
+        [
+            "serve",
+            "--clients",
+            "3",
+            "--queries",
+            "4",
+            "--max-concurrency",
+            "2",
+            "--queue-limit",
+            "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "plan cache on vs. off" in out
+
+
+def test_run_serve_target_function():
+    text = run_serve_target(clients=2, queries=3, max_concurrency=2, queue_limit=2)
+    assert "throughput (q/s)" in text
+
+
+def test_serve_not_in_all_target():
+    # `all` regenerates the paper's figure artifacts only; serve is its
+    # own target so existing golden outputs stay stable
+    with pytest.raises(ValueError):
+        run_target("bogus")

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the query service layer.
+
+The plan-cache correctness property: under any interleaving of queries
+and cache-invalidating operations (DDL, deletes, loads/stats
+refreshes), a query served through the cache returns exactly the rows —
+and exactly the engine metrics — of a freshly planned execution, and a
+plan cached before an invalidating operation is never served after it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, TEST_CLUSTER
+
+QUERIES = (
+    "SELECT COUNT(i) FROM points WHERE i < :k",
+    "SELECT SUM(outer_product(vec, vec)) FROM points WHERE i < :k",
+    "SELECT i, SUM(vec * vec) FROM points WHERE i < :k GROUP BY i ORDER BY i",
+)
+
+#: (op name, callable) — each bumps the catalog version one way or another
+INVALIDATORS = {
+    "create_table": lambda db, n: db.execute(
+        f"CREATE TABLE scratch_{n} (x DOUBLE)"
+    ),
+    "delete": lambda db, n: db.execute(f"DELETE FROM points WHERE i = {20 + n}"),
+    "load": lambda db, n: db.load("points", [(200 + n, np.zeros(4))]),
+}
+
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(INVALIDATORS)) | st.none(),  # None: no invalidation
+        st.integers(min_value=0, max_value=len(QUERIES) - 1),
+        st.integers(min_value=1, max_value=20),  # :k
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_db():
+    db = Database(TEST_CLUSTER)
+    db.execute("CREATE TABLE points (i INTEGER, vec VECTOR[])")
+    rng = np.random.default_rng(11)
+    data = rng.normal(size=(24, 4))
+    db.load("points", [(i, data[i]) for i in range(24)])
+    return db
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(steps=steps)
+def test_cached_plans_always_match_fresh_planning(steps):
+    db = build_db()
+    service = db.service()
+    session = service.session()
+    seen_since_invalidation = set()
+    for n, (invalidator, query_index, k) in enumerate(steps):
+        if invalidator is not None:
+            version_before = db.catalog.version
+            INVALIDATORS[invalidator](db, n)
+            assert db.catalog.version > version_before
+            seen_since_invalidation.clear()
+        sql = QUERIES[query_index]
+        cached = session.execute(sql, {"k": k})
+        fresh = db.execute(sql, {"k": k})
+        # correctness: identical rows, columns, and engine metrics
+        assert cached.rows == fresh.rows
+        assert cached.columns == fresh.columns
+        assert cached.metrics.total_seconds == pytest.approx(
+            fresh.metrics.total_seconds
+        )
+        # staleness: a plan cached before an invalidation is never
+        # served after it — the first execution of each statement after
+        # any invalidating op must recompile
+        if sql in seen_since_invalidation:
+            assert cached.metrics.compile_seconds == 0.0
+        else:
+            assert cached.metrics.compile_seconds > 0.0
+        seen_since_invalidation.add(sql)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=24),
+    repeats=st.integers(min_value=2, max_value=5),
+)
+def test_prepared_statement_repeats_are_hits_and_exact(k, repeats):
+    db = build_db()
+    session = db.service().session()
+    stmt = session.prepare("SELECT SUM(outer_product(vec, vec)) FROM points WHERE i < :k")
+    results = [stmt.execute(k=k) for _ in range(repeats)]
+    fresh = db.execute(
+        "SELECT SUM(outer_product(vec, vec)) FROM points WHERE i < :k", {"k": k}
+    )
+    assert results[0].metrics.compile_seconds > 0
+    for result in results[1:]:
+        assert result.metrics.compile_seconds == 0.0
+    for result in results:
+        assert result.rows == fresh.rows
