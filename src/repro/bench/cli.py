@@ -22,7 +22,7 @@ from .figures import (
     rst_experiment,
 )
 
-TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "serve", "all")
+TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "serve", "exec", "all")
 
 
 def run_serve_target(
@@ -50,6 +50,14 @@ def run_serve_target(
     return format_serve(with_cache, without_cache)
 
 
+def run_exec_target(repeats: int = 3, smoke: bool = False) -> "tuple":
+    """Returns (report text, ok) for the execution-mode benchmark."""
+    from .execbench import format_exec, run_exec_bench
+
+    report = run_exec_bench(repeats=repeats, smoke=smoke)
+    return format_exec(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -63,6 +71,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return format_rst(rst_experiment())
     if target == "serve":
         return run_serve_target()
+    if target == "exec":
+        return run_exec_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -113,7 +123,27 @@ def main(argv=None) -> int:
     serve_group.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed (serve)"
     )
+    exec_group = parser.add_argument_group("exec options")
+    exec_group.add_argument(
+        "--check",
+        action="store_true",
+        help="smoke mode: smaller workloads, nonzero exit when the two "
+        "execution modes diverge or batch regresses wall-clock (exec)",
+    )
+    exec_group.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-clock repetitions per workload, best-of (exec)",
+    )
     args = parser.parse_args(argv)
+    if args.target == "exec":
+        text, ok = run_exec_target(repeats=args.repeats, smoke=args.check)
+        print(text)
+        if args.check and not ok:
+            print("exec check FAILED: modes diverged or batch regressed")
+            return 1
+        return 0
     if args.target == "serve":
         print(
             run_serve_target(

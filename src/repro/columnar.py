@@ -1,0 +1,213 @@
+"""Columnar value representation shared by the batch execution path.
+
+A :class:`ColumnData` holds one column of a batch: a numpy array plus an
+optional null mask. Columns whose values are homogeneous Python scalars
+are stored in typed arrays (``float64``/``int64``/``bool_``) so that
+expression evaluation can run as numpy kernels; everything else — SQL
+NULLs, strings, VECTOR/MATRIX/LABELED_SCALAR cells, mixed int/float
+columns — stays in an ``object`` array and is processed by per-row
+fallback loops that call exactly the same Python code the row-at-a-time
+interpreter runs.
+
+The invariant that makes the row/batch equivalence contract hold (see
+``docs/ENGINE.md``) is that materializing a column back to Python values
+(:meth:`ColumnData.pylist`) is lossless: ``float64 -> float``,
+``int64 -> int`` and ``bool_ -> bool`` conversions are exact, and object
+columns return the original objects untouched. In particular the runtime
+distinction between Python ``int`` and ``float`` values — which decides
+SQL division semantics and hash placement — is preserved, because a
+column is only promoted to a typed array when every value has exactly
+the same Python scalar type.
+
+This module deliberately imports nothing from ``repro.engine`` or
+``repro.plan`` so both layers can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: int64 bound under which vectorized integer add/sub cannot overflow
+#: (one binary op over two operands below 2**62 stays inside int64).
+_INT_ADD_BOUND = 2**62
+#: product bound for vectorized integer multiplication.
+_INT_MUL_BOUND = 2**63
+
+
+class ColumnData:
+    """One column of a batch: values plus an optional null mask.
+
+    ``data`` is a numpy array of length ``n``. ``nulls`` is either
+    ``None`` (no SQL NULLs) or a boolean array marking NULL positions;
+    for typed (non-object) arrays the data at null positions is
+    unspecified and must never be read without consulting ``nulls``.
+    Object arrays store ``None`` directly at null positions as well, so
+    per-row loops can consume them without a mask.
+    """
+
+    __slots__ = ("data", "nulls", "_pylist")
+
+    def __init__(self, data: np.ndarray, nulls: Optional[np.ndarray] = None):
+        self.data = data
+        if nulls is not None and not nulls.any():
+            nulls = None
+        self.nulls = nulls
+        self._pylist: Optional[list] = None
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_object(self) -> bool:
+        return self.data.dtype == object
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for float64/int64 columns (vectorizable arithmetic)."""
+        return self.data.dtype in (np.float64, np.int64)
+
+    @property
+    def is_bool(self) -> bool:
+        return self.data.dtype == np.bool_
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence) -> "ColumnData":
+        """Build a column from Python values, promoting to a typed array
+        only when every value is exactly the same scalar type."""
+        n = len(values)
+        if n:
+            first_type = type(values[0])
+            if first_type in (float, int, bool) and all(
+                type(value) is first_type for value in values
+            ):
+                if first_type is float:
+                    return cls(np.asarray(values, dtype=np.float64))
+                if first_type is bool:
+                    return cls(np.asarray(values, dtype=np.bool_))
+                try:
+                    return cls(np.asarray(values, dtype=np.int64))
+                except OverflowError:
+                    pass  # arbitrary-precision ints stay objects
+        data = np.empty(n, dtype=object)
+        nulls = np.zeros(n, dtype=np.bool_)
+        for i, value in enumerate(values):
+            if value is None:
+                nulls[i] = True
+            else:
+                data[i] = value
+        return cls(data, nulls)
+
+    @classmethod
+    def constant(cls, value, n: int) -> "ColumnData":
+        """A column repeating one value (literal / bound parameter)."""
+        if value is None:
+            return cls(np.empty(n, dtype=object), np.ones(n, dtype=np.bool_))
+        value_type = type(value)
+        if value_type is float:
+            return cls(np.full(n, value, dtype=np.float64))
+        if value_type is bool:
+            return cls(np.full(n, value, dtype=np.bool_))
+        if value_type is int and -_INT_ADD_BOUND < value < _INT_ADD_BOUND:
+            return cls(np.full(n, value, dtype=np.int64))
+        data = np.empty(n, dtype=object)
+        data[:] = [value] * n
+        return cls(data)
+
+    @classmethod
+    def from_object_array(cls, data: np.ndarray, nulls: Optional[np.ndarray] = None) -> "ColumnData":
+        """Wrap an object array built by a per-row loop; positions not
+        covered by the loop's mask hold ``None`` and are marked null."""
+        if nulls is None:
+            nulls = np.fromiter(
+                (value is None for value in data), dtype=np.bool_, count=len(data)
+            )
+        return cls(data, nulls)
+
+    # -- materialization ----------------------------------------------------
+
+    def pylist(self) -> list:
+        """The column as a list of Python values (``None`` for NULL).
+        Cached; conversion from typed arrays is exact."""
+        if self._pylist is None:
+            values = self.data.tolist()
+            if self.nulls is not None:
+                for i in np.flatnonzero(self.nulls):
+                    values[i] = None
+            self._pylist = values
+        return self._pylist
+
+    def object_array(self) -> np.ndarray:
+        """The column as an object array with ``None`` at nulls."""
+        if self.is_object:
+            return self.data
+        out = np.empty(len(self), dtype=object)
+        out[:] = self.pylist()
+        return out
+
+    def null_mask(self) -> np.ndarray:
+        if self.nulls is not None:
+            return self.nulls
+        return np.zeros(len(self), dtype=np.bool_)
+
+    # -- slicing ------------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "ColumnData":
+        return ColumnData(
+            self.data[mask], None if self.nulls is None else self.nulls[mask]
+        )
+
+    def take(self, indices: np.ndarray) -> "ColumnData":
+        return ColumnData(
+            self.data[indices], None if self.nulls is None else self.nulls[indices]
+        )
+
+    @classmethod
+    def concat(cls, columns: List["ColumnData"]) -> "ColumnData":
+        if len(columns) == 1:
+            return columns[0]
+        datas = [column.data for column in columns]
+        if any(column.data.dtype == object for column in columns) and not all(
+            column.data.dtype == object for column in columns
+        ):
+            datas = [column.object_array() for column in columns]
+        data = np.concatenate(datas)
+        if any(column.nulls is not None for column in columns):
+            nulls = np.concatenate([column.null_mask() for column in columns])
+        else:
+            nulls = None
+        return cls(data, nulls)
+
+
+def truth(column: ColumnData) -> np.ndarray:
+    """Row-mode ``bool(value)`` per entry, with SQL NULL treated as
+    false — the coercion filters and AND/OR apply to predicate values."""
+    if column.is_bool:
+        if column.nulls is None:
+            return column.data
+        return column.data & ~column.nulls
+    if column.is_numeric:
+        result = column.data != 0
+        if column.nulls is not None:
+            result &= ~column.nulls
+        return result
+    n = len(column)
+    return np.fromiter(
+        (bool(value) for value in column.pylist()), dtype=np.bool_, count=n
+    )
+
+
+def full_mask(mask: Optional[np.ndarray], n: int) -> np.ndarray:
+    return np.ones(n, dtype=np.bool_) if mask is None else mask
+
+
+def mask_indices(mask: Optional[np.ndarray], n: int):
+    """Iteration order of a per-row fallback loop under a mask."""
+    if mask is None:
+        return range(n)
+    return np.flatnonzero(mask)

@@ -50,6 +50,11 @@ class ClusterConfig:
     balanced_placement: bool = False
     #: seed for any randomized placement decisions
     seed: int = 0
+    #: interpreter back end: "batch" runs the columnar vectorized
+    #: pipeline, "row" the original tuple-at-a-time loops. Both charge
+    #: identical simulated costs and return identical rows (see
+    #: docs/ENGINE.md); the knob only changes *real* wall-clock time.
+    execution_mode: str = "batch"
 
     @property
     def slots(self) -> int:

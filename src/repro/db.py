@@ -106,12 +106,23 @@ class Database:
         self,
         config: Optional[ClusterConfig] = None,
         size_blind_optimizer: bool = False,
+        execution_mode: Optional[str] = None,
     ):
         self.cluster = Cluster(config)
         self.config = self.cluster.config
         self.catalog = Catalog()
         self.cost_model = CostModel(self.config, size_blind=size_blind_optimizer)
-        self._executor = Executor(self.cluster)
+        self._executor = Executor(self.cluster, execution_mode)
+
+    @property
+    def execution_mode(self) -> str:
+        """Which interpreter back end this database runs ("row" or
+        "batch"); both produce identical rows and simulated metrics."""
+        return self._executor.execution_mode
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch interpreter back ends between statements."""
+        self._executor = Executor(self.cluster, mode)
 
     # -- persistence --------------------------------------------------------------
 
@@ -328,6 +339,7 @@ class Database:
             entry.storage.partitions[slot] = [
                 row for row in rows if not predicate.evaluate(RowView(row, index))
             ]
+        entry.storage.mutated()
         self._refresh_stats(entry)
         return Result([], [])
 

@@ -257,6 +257,20 @@ class Cluster:
                     f"{limit / 1e9:.2f} GB"
                 )
 
+    def check_memory_relation(self, name: str, relation) -> None:
+        """Like :meth:`check_memory`, but takes a DistributedRelation so
+        partition sizes computed (and cached) while executing the
+        operator are reused instead of re-walking every row."""
+        limit = self.config.memory_per_slot
+        for slot in range(len(relation.partitions)):
+            used = relation.partition_total_bytes(slot)
+            if used > limit:
+                raise ResourceExhaustedError(
+                    f"operator {name}: partition on slot {slot} needs "
+                    f"{used / 1e9:.2f} GB but slots have "
+                    f"{limit / 1e9:.2f} GB"
+                )
+
     def placement_slot(self, key_hash: int, index_hint: int = 0) -> int:
         """Map a hash value to a slot; with balanced placement the hint
         (a running counter) is used instead, giving round-robin layout."""

@@ -12,15 +12,32 @@ MapReduce-style execution model SimSQL inherits from Hadoop), processing
 
 Per-operator wall clocks land in :class:`QueryMetrics`, giving the
 Figure 4 breakdown for free; per-slot busy times expose skew.
+
+Two interpreter back ends share this file, selected by
+``ClusterConfig.execution_mode``:
+
+* ``"row"`` — the original tuple-at-a-time loops;
+* ``"batch"`` — columnar :class:`~repro.engine.storage.Batch` chunks
+  with vectorized expression evaluation (``TypedExpr.evaluate_batch``).
+
+Both charge identical simulated costs and produce identical rows; the
+batch path only improves *real* wall-clock time. The equivalence
+contract is documented in ``docs/ENGINE.md`` and enforced by
+``tests/test_exec_modes.py``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..columnar import truth
 from ..errors import ExecutionError
+from ..la.aggregates import SumAggregate
 from ..plan.expressions import EvalCost
+from ..types import Matrix, Vector
 from ..plan.physical import (
     PDistinct,
     PExchange,
@@ -36,7 +53,17 @@ from ..plan.physical import (
 )
 from .cluster import Cluster, row_bytes, stable_hash, value_bytes
 from .metrics import QueryMetrics
-from .storage import BROADCAST, ROUND_ROBIN, SINGLE, DistributedRelation, Partitioning
+from .storage import (
+    BROADCAST,
+    ROUND_ROBIN,
+    SINGLE,
+    Batch,
+    DistributedRelation,
+    Partitioning,
+    partition_rows,
+)
+
+EXECUTION_MODES = ("row", "batch")
 
 
 def count_job_boundaries(node: PhysicalNode) -> int:
@@ -49,9 +76,41 @@ def count_job_boundaries(node: PhysicalNode) -> int:
 
 
 class Executor:
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster, execution_mode: Optional[str] = None):
         self.cluster = cluster
         self.slots = cluster.config.slots
+        mode = execution_mode or cluster.config.execution_mode
+        if mode not in EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution_mode {mode!r}; pick one of {EXECUTION_MODES}"
+            )
+        self.execution_mode = mode
+        if mode == "batch":
+            self._handlers = {
+                PScan: self._scan_batch,
+                PFilter: self._filter_batch,
+                PProject: self._project_batch,
+                PExchange: self._exchange_batch,
+                PHashJoin: self._hash_join_batch,
+                PNestedLoopJoin: self._nested_loop_join_batch,
+                PPartialAggregate: self._partial_aggregate_batch,
+                PFinalAggregate: self._final_aggregate_batch,
+                PDistinct: self._distinct_batch,
+                PSortLimit: self._sort_limit_batch,
+            }
+        else:
+            self._handlers = {
+                PScan: self._scan,
+                PFilter: self._filter,
+                PProject: self._project,
+                PExchange: self._exchange,
+                PHashJoin: self._hash_join,
+                PNestedLoopJoin: self._nested_loop_join,
+                PPartialAggregate: self._partial_aggregate,
+                PFinalAggregate: self._final_aggregate,
+                PDistinct: self._distinct,
+                PSortLimit: self._sort_limit,
+            }
 
     def run(self, plan: PhysicalNode) -> Tuple[List[tuple], QueryMetrics]:
         """Execute a plan; returns (all result rows, metrics for this
@@ -66,29 +125,18 @@ class Executor:
     # -- dispatch ------------------------------------------------------------
 
     def execute(self, node: PhysicalNode) -> DistributedRelation:
-        handler = {
-            PScan: self._scan,
-            PFilter: self._filter,
-            PProject: self._project,
-            PExchange: self._exchange,
-            PHashJoin: self._hash_join,
-            PNestedLoopJoin: self._nested_loop_join,
-            PPartialAggregate: self._partial_aggregate,
-            PFinalAggregate: self._final_aggregate,
-            PDistinct: self._distinct,
-            PSortLimit: self._sort_limit,
-        }.get(type(node))
+        handler = self._handlers.get(type(node))
         if handler is None:
             raise ExecutionError(f"no executor for {type(node).__name__}")
         relation = handler(node)
-        self.cluster.check_memory(node.describe(), relation.partitions)
+        self.cluster.check_memory_relation(node.describe(), relation)
         return relation
 
     # -- helpers ------------------------------------------------------------
 
     def _effective_partitions(
         self, relation: DistributedRelation
-    ) -> Tuple[List[List[tuple]], bool]:
+    ) -> Tuple[list, bool]:
         """For row-wise operators: the partitions to process and whether
         the input was broadcast (process one copy, stay broadcast)."""
         if relation.partitioning.kind == "broadcast":
@@ -98,15 +146,32 @@ class Executor:
     def _wrap_output(
         self,
         column_ids,
-        parts: List[List[tuple]],
+        parts: list,
         was_broadcast: bool,
         partitioning: Partitioning,
+        row_bytes_lists: Optional[list] = None,
     ) -> DistributedRelation:
         if was_broadcast:
-            return DistributedRelation(column_ids, [parts[0]] * self.slots, BROADCAST)
-        return DistributedRelation(column_ids, parts, partitioning)
+            part = parts[0]
+            if not isinstance(part, Batch):
+                # share one immutable copy: a list aliased across slots
+                # would let an in-place mutation corrupt every "copy"
+                part = tuple(part)
+            shared_bytes = (
+                [row_bytes_lists[0]] * self.slots
+                if row_bytes_lists is not None
+                else None
+            )
+            return DistributedRelation(
+                column_ids, [part] * self.slots, BROADCAST, row_bytes=shared_bytes
+            )
+        return DistributedRelation(
+            column_ids, parts, partitioning, row_bytes=row_bytes_lists
+        )
 
-    # -- operators ------------------------------------------------------------
+    # =======================================================================
+    # row-at-a-time operators
+    # =======================================================================
 
     def _scan(self, node: PScan) -> DistributedRelation:
         storage = node.table.storage
@@ -114,40 +179,54 @@ class Executor:
             raise ExecutionError(f"table {node.table.name!r} has no data loaded")
         run = self.cluster.operator(f"Scan({node.table.name})")
         parts: List[List[tuple]] = []
+        parts_bytes: List[List[float]] = []
         for slot in range(self.slots):
             rows = (
                 list(storage.partitions[slot]) if slot < len(storage.partitions) else []
             )
-            scanned = sum(row_bytes(row) for row in rows)
+            sizes = [row_bytes(row) for row in rows]
+            scanned = sum(sizes)
             run.charge_disk(slot, scanned)
             run.charge_cpu(slot, tuples=len(rows))
             run.rows_out += len(rows)
             run.bytes_out += scanned
             parts.append(rows)
+            parts_bytes.append(sizes)
         run.rows_in = run.rows_out
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
-        return DistributedRelation(column_ids, parts, node.partitioning)
+        return DistributedRelation(
+            column_ids, parts, node.partitioning, row_bytes=parts_bytes
+        )
 
     def _filter(self, node: PFilter) -> DistributedRelation:
         child = self.execute(node.child)
         run = self.cluster.operator("Filter")
         parts_in, was_broadcast = self._effective_partitions(child)
         parts_out: List[List[tuple]] = []
+        parts_bytes: List[List[float]] = []
         for slot, rows in enumerate(parts_in):
             cost = EvalCost()
+            child_bytes = child.partition_row_bytes(slot)
             kept = []
-            for row in rows:
+            kept_bytes = []
+            for i, row in enumerate(rows):
                 view = child.view(row)
                 if node.predicate.evaluate(view, cost):
                     kept.append(row)
+                    kept_bytes.append(child_bytes[i])
             run.charge_eval(slot, len(rows), cost)
             run.rows_in += len(rows)
             run.rows_out += len(kept)
             parts_out.append(kept)
+            parts_bytes.append(kept_bytes)
         self.cluster.record(run)
         return self._wrap_output(
-            child.column_ids, parts_out, was_broadcast, child.partitioning
+            child.column_ids,
+            parts_out,
+            was_broadcast,
+            child.partitioning,
+            row_bytes_lists=parts_bytes,
         )
 
     def _project(self, node: PProject) -> DistributedRelation:
@@ -155,20 +234,31 @@ class Executor:
         run = self.cluster.operator("Project")
         parts_in, was_broadcast = self._effective_partitions(child)
         parts_out: List[List[tuple]] = []
+        parts_bytes: List[List[float]] = []
         for slot, rows in enumerate(parts_in):
             cost = EvalCost()
             out = []
+            sizes = []
             for row in rows:
                 view = child.view(row)
-                out.append(tuple(expr.evaluate(view, cost) for expr in node.exprs))
+                projected = tuple(expr.evaluate(view, cost) for expr in node.exprs)
+                out.append(projected)
+                sizes.append(row_bytes(projected))
             run.charge_eval(slot, len(rows), cost)
             run.rows_in += len(rows)
             run.rows_out += len(out)
-            run.bytes_out += sum(row_bytes(row) for row in out)
+            run.bytes_out += sum(sizes)
             parts_out.append(out)
+            parts_bytes.append(sizes)
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
-        return self._wrap_output(column_ids, parts_out, was_broadcast, node.partitioning)
+        return self._wrap_output(
+            column_ids,
+            parts_out,
+            was_broadcast,
+            node.partitioning,
+            row_bytes_lists=parts_bytes,
+        )
 
     def _exchange(self, node: PExchange) -> DistributedRelation:
         child = self.execute(node.child)
@@ -177,9 +267,11 @@ class Executor:
 
         if node.kind == "broadcast":
             rows = []
-            for part in source_parts:
+            all_bytes: List[float] = []
+            for slot, part in enumerate(source_parts):
                 rows.extend(part)
-            total = sum(row_bytes(row) for row in rows)
+                all_bytes.extend(child.partition_row_bytes(slot))
+            total = sum(all_bytes)
             run.charge_network(total * self.cluster.config.machines)
             cores = self.cluster.config.cores_per_machine
             for machine in range(self.cluster.config.machines):
@@ -188,34 +280,42 @@ class Executor:
             run.bytes_out = total * self.cluster.config.machines
             self.cluster.record(run)
             return DistributedRelation(
-                child.column_ids, [rows] * self.slots, BROADCAST
+                child.column_ids,
+                [tuple(rows)] * self.slots,
+                BROADCAST,
+                row_bytes=[all_bytes] * self.slots,
             )
 
         parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
+        bytes_out: List[List[float]] = [[] for _ in range(self.slots)]
         if node.kind == "gather":
             gathered = 0.0
-            for slot, rows in enumerate(source_parts):
-                moved = sum(row_bytes(row) for row in rows)
-                run.charge_cpu(slot, tuples=len(rows))
+            for slot, part in enumerate(source_parts):
+                moved = child.partition_total_bytes(slot)
+                run.charge_cpu(slot, tuples=len(part))
                 run.charge_disk(slot, moved)  # map output spill
                 run.charge_network(moved)
                 gathered += moved
-                parts_out[0].extend(rows)
-                run.rows_in += len(rows)
+                parts_out[0].extend(part)
+                bytes_out[0].extend(child.partition_row_bytes(slot))
+                run.rows_in += len(part)
             # the single reducer owns the whole machine's disk bandwidth
             cores = self.cluster.config.cores_per_machine
             run.charge_disk(0, gathered / cores)
             run.charge_cpu(0, tuples=len(parts_out[0]))
             run.rows_out = len(parts_out[0])
             self.cluster.record(run)
-            return DistributedRelation(child.column_ids, parts_out, SINGLE)
+            return DistributedRelation(
+                child.column_ids, parts_out, SINGLE, row_bytes=bytes_out
+            )
 
         # hash repartition
         balanced_assignment: Dict[tuple, int] = {}
-        for slot, rows in enumerate(source_parts):
+        for slot, part in enumerate(source_parts):
             cost = EvalCost()
+            child_bytes = child.partition_row_bytes(slot)
             moved = 0.0
-            for row in rows:
+            for i, row in enumerate(part):
                 view = child.view(row)
                 key = tuple(expr.evaluate(view, cost) for expr in node.keys)
                 if self.cluster.config.balanced_placement:
@@ -225,19 +325,22 @@ class Executor:
                 else:
                     target = stable_hash(key) % self.slots
                 parts_out[target].append(row)
-                moved += row_bytes(row)
-            run.charge_eval(slot, len(rows), cost)
+                bytes_out[target].append(child_bytes[i])
+                moved += child_bytes[i]
+            run.charge_eval(slot, len(part), cost)
             run.charge_disk(slot, moved)  # map output spill
             run.charge_network(moved)
-            run.rows_in += len(rows)
+            run.rows_in += len(part)
         for slot, rows in enumerate(parts_out):
-            received = sum(row_bytes(row) for row in rows)
+            received = sum(bytes_out[slot])
             run.charge_disk(slot, received)  # reduce-side read
             run.charge_cpu(slot, tuples=len(rows))
             run.rows_out += len(rows)
             run.bytes_out += received
         self.cluster.record(run)
-        return DistributedRelation(child.column_ids, parts_out, node.partitioning)
+        return DistributedRelation(
+            child.column_ids, parts_out, node.partitioning, row_bytes=bytes_out
+        )
 
     def _hash_join(self, node: PHashJoin) -> DistributedRelation:
         probe_rel = self.execute(node.probe)
@@ -388,7 +491,8 @@ class Executor:
         key_count = len(node.group_columns)
         parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
         saw_rows = False
-        for slot, rows in enumerate(child.partitions):
+        for slot, part in enumerate(child.partitions):
+            rows = partition_rows(part)
             cost = EvalCost()
             merged: Dict[tuple, list] = {}
             for row in rows:
@@ -445,7 +549,7 @@ class Executor:
             run.charge_cpu(
                 slot,
                 tuples=len(rows),
-                stream_bytes=sum(row_bytes(row) for row in rows),
+                stream_bytes=child.partition_total_bytes(slot),
             )
             run.rows_in += len(rows)
             run.rows_out += len(out)
@@ -481,6 +585,526 @@ class Executor:
             child.column_ids, parts_out, was_broadcast, child.partitioning
         )
 
+    # =======================================================================
+    # batch-columnar operators
+    #
+    # Every handler mirrors its row twin charge for charge: the same
+    # tuples/flops/stream-bytes/disk/network totals land on the same
+    # slots, so simulated metrics are identical in both modes (byte and
+    # cost totals are sums of integer-valued floats, which float
+    # addition computes exactly in any order).
+    # =======================================================================
+
+    def _wrap_output_batch(
+        self, column_ids, parts: List[Batch], was_broadcast: bool, partitioning
+    ) -> DistributedRelation:
+        if was_broadcast:
+            # a Batch is immutable, so every slot can share one chunk
+            return DistributedRelation(column_ids, [parts[0]] * self.slots, BROADCAST)
+        return DistributedRelation(column_ids, parts, partitioning)
+
+    def _scan_batch(self, node: PScan) -> DistributedRelation:
+        storage = node.table.storage
+        if storage is None:
+            raise ExecutionError(f"table {node.table.name!r} has no data loaded")
+        run = self.cluster.operator(f"Scan({node.table.name})")
+        column_ids = [column.column_id for column in node.columns]
+        parts: List[Batch] = []
+        for slot in range(self.slots):
+            columns, sizes = storage.columnar(slot)
+            batch = Batch(column_ids, columns, len(sizes), row_bytes=sizes)
+            scanned = batch.total_bytes()
+            run.charge_disk(slot, scanned)
+            run.charge_cpu(slot, tuples=batch.length)
+            run.rows_out += batch.length
+            run.bytes_out += scanned
+            parts.append(batch)
+        run.rows_in = run.rows_out
+        self.cluster.record(run)
+        return DistributedRelation(column_ids, parts, node.partitioning)
+
+    def _filter_batch(self, node: PFilter) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("Filter")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(parts_in):
+            cost = EvalCost()
+            mask = truth(node.predicate.evaluate_batch(batch, cost))
+            kept = batch.filter(mask)
+            run.charge_eval(slot, batch.length, cost)
+            run.rows_in += batch.length
+            run.rows_out += kept.length
+            parts_out.append(kept)
+        self.cluster.record(run)
+        return self._wrap_output_batch(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+    def _project_batch(self, node: PProject) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("Project")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        column_ids = [column.column_id for column in node.columns]
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(parts_in):
+            cost = EvalCost()
+            columns = [expr.evaluate_batch(batch, cost) for expr in node.exprs]
+            out = Batch(column_ids, columns, batch.length)
+            run.charge_eval(slot, batch.length, cost)
+            run.rows_in += batch.length
+            run.rows_out += out.length
+            run.bytes_out += out.total_bytes()
+            parts_out.append(out)
+        self.cluster.record(run)
+        return self._wrap_output_batch(
+            column_ids, parts_out, was_broadcast, node.partitioning
+        )
+
+    def _exchange_batch(self, node: PExchange) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"Exchange({node.kind})")
+        source_parts, _ = self._effective_partitions(child)
+
+        if node.kind == "broadcast":
+            merged = Batch.concat(child.column_ids, list(source_parts))
+            total = merged.total_bytes()
+            run.charge_network(total * self.cluster.config.machines)
+            cores = self.cluster.config.cores_per_machine
+            for machine in range(self.cluster.config.machines):
+                run.charge_cpu(machine * cores, tuples=merged.length)
+            run.rows_in = run.rows_out = merged.length
+            run.bytes_out = total * self.cluster.config.machines
+            self.cluster.record(run)
+            return DistributedRelation(
+                child.column_ids, [merged] * self.slots, BROADCAST
+            )
+
+        if node.kind == "gather":
+            gathered = 0.0
+            for slot, batch in enumerate(source_parts):
+                moved = batch.total_bytes()
+                run.charge_cpu(slot, tuples=batch.length)
+                run.charge_disk(slot, moved)  # map output spill
+                run.charge_network(moved)
+                gathered += moved
+                run.rows_in += batch.length
+            merged = Batch.concat(child.column_ids, list(source_parts))
+            parts_out = [merged] + [
+                Batch.empty_like(child.column_ids) for _ in range(self.slots - 1)
+            ]
+            # the single reducer owns the whole machine's disk bandwidth
+            cores = self.cluster.config.cores_per_machine
+            run.charge_disk(0, gathered / cores)
+            run.charge_cpu(0, tuples=merged.length)
+            run.rows_out = merged.length
+            self.cluster.record(run)
+            return DistributedRelation(child.column_ids, parts_out, SINGLE)
+
+        # hash repartition: vectorized key evaluation, per-row placement
+        balanced = self.cluster.config.balanced_placement
+        balanced_assignment: Dict[tuple, int] = {}
+        scattered: List[List[Batch]] = [[] for _ in range(self.slots)]
+        for slot, batch in enumerate(source_parts):
+            cost = EvalCost()
+            keys = self._join_keys_batch(batch, node.keys, cost)
+            buckets: List[List[int]] = [[] for _ in range(self.slots)]
+            for i, key in enumerate(keys):
+                if balanced:
+                    target = balanced_assignment.setdefault(
+                        key, len(balanced_assignment) % self.slots
+                    )
+                else:
+                    target = stable_hash(key) % self.slots
+                buckets[target].append(i)
+            for target, indices in enumerate(buckets):
+                if indices:
+                    scattered[target].append(
+                        batch.take(np.asarray(indices, dtype=np.int64))
+                    )
+            moved = batch.total_bytes()
+            run.charge_eval(slot, batch.length, cost)
+            run.charge_disk(slot, moved)  # map output spill
+            run.charge_network(moved)
+            run.rows_in += batch.length
+        parts_out = []
+        for slot in range(self.slots):
+            received_batch = Batch.concat(child.column_ids, scattered[slot])
+            received = received_batch.total_bytes()
+            run.charge_disk(slot, received)  # reduce-side read
+            run.charge_cpu(slot, tuples=received_batch.length)
+            run.rows_out += received_batch.length
+            run.bytes_out += received
+            parts_out.append(received_batch)
+        self.cluster.record(run)
+        return DistributedRelation(child.column_ids, parts_out, node.partitioning)
+
+    def _join_keys_batch(
+        self, batch: Batch, key_exprs, cost: EvalCost
+    ) -> List[tuple]:
+        """Per-row key tuples for a join side (None keys included; the
+        callers skip them like the row path does)."""
+        key_lists = [
+            expr.evaluate_batch(batch, cost).pylist() for expr in key_exprs
+        ]
+        if not key_lists:
+            return [()] * batch.length
+        return list(zip(*key_lists))
+
+    def _build_join_table(
+        self, batch: Batch, key_exprs
+    ) -> Tuple[EvalCost, Dict[tuple, List[int]]]:
+        cost = EvalCost()
+        table: Dict[tuple, List[int]] = {}
+        for i, key in enumerate(self._join_keys_batch(batch, key_exprs, cost)):
+            if any(value is None for value in key):
+                continue
+            table.setdefault(_hashable(key), []).append(i)
+        return cost, table
+
+    def _assemble_join(
+        self,
+        column_ids,
+        probe_batch: Batch,
+        build_batch: Batch,
+        probe_indices: List[int],
+        build_indices: List[int],
+        probe_is_left: bool,
+    ) -> Batch:
+        probe_take = probe_batch.take(np.asarray(probe_indices, dtype=np.int64))
+        build_take = build_batch.take(np.asarray(build_indices, dtype=np.int64))
+        if probe_is_left:
+            columns = list(probe_take.columns) + list(build_take.columns)
+        else:
+            columns = list(build_take.columns) + list(probe_take.columns)
+        # a joined row's serialized size is both sides' sizes minus one
+        # double-counted per-row overhead (sums of integral floats: exact)
+        joined_bytes = (
+            probe_take.row_bytes_array() + build_take.row_bytes_array() - 16.0
+        )
+        return Batch(column_ids, columns, probe_take.length, row_bytes=joined_bytes)
+
+    def _hash_join_batch(self, node: PHashJoin) -> DistributedRelation:
+        probe_rel = self.execute(node.probe)
+        build_rel = self.execute(node.build)
+        run = self.cluster.operator("HashJoin")
+
+        build_broadcast = build_rel.partitioning.kind == "broadcast"
+        probe_parts, probe_was_broadcast = self._effective_partitions(probe_rel)
+        if probe_was_broadcast:
+            raise ExecutionError("hash join probe side cannot be broadcast")
+        column_ids = [column.column_id for column in node.columns]
+
+        # build per-slot hash tables; a broadcast build side is one shared
+        # chunk, but the row path re-evaluates its keys on every slot, so
+        # the identical cost is charged per slot here as well
+        tables: List[Dict[tuple, List[int]]] = []
+        build_batches: List[Batch] = []
+        if build_broadcast:
+            shared = build_rel.partitions[0]
+            shared_cost, shared_table = self._build_join_table(
+                shared, node.build_keys
+            )
+            for slot in range(self.slots):
+                run.charge_eval(slot, shared.length, shared_cost)
+                run.rows_in += shared.length
+                tables.append(shared_table)
+                build_batches.append(shared)
+        else:
+            for slot in range(self.slots):
+                batch = build_rel.partitions[slot]
+                cost, table = self._build_join_table(batch, node.build_keys)
+                run.charge_eval(slot, batch.length, cost)
+                run.rows_in += batch.length
+                tables.append(table)
+                build_batches.append(batch)
+
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(probe_parts):
+            cost = EvalCost()
+            table = tables[slot]
+            probe_indices: List[int] = []
+            build_indices: List[int] = []
+            for i, key in enumerate(
+                self._join_keys_batch(batch, node.probe_keys, cost)
+            ):
+                if any(value is None for value in key):
+                    continue
+                matches = table.get(_hashable(key))
+                if not matches:
+                    continue
+                for j in matches:
+                    probe_indices.append(i)
+                    build_indices.append(j)
+            joined = self._assemble_join(
+                column_ids,
+                batch,
+                build_batches[slot],
+                probe_indices,
+                build_indices,
+                node.probe_is_left,
+            )
+            if node.residual is not None and joined.length:
+                residual_mask = truth(node.residual.evaluate_batch(joined, cost))
+                joined = joined.filter(residual_mask)
+            run.charge_eval(slot, batch.length + joined.length, cost)
+            run.rows_in += batch.length
+            run.rows_out += joined.length
+            parts_out.append(joined)
+        self.cluster.record(run)
+        return DistributedRelation(column_ids, parts_out, node.partitioning)
+
+    def _nested_loop_join_batch(self, node: PNestedLoopJoin) -> DistributedRelation:
+        probe_rel = self.execute(node.probe)
+        build_rel = self.execute(node.build)
+        if build_rel.partitioning.kind != "broadcast":
+            raise ExecutionError("nested-loop build side must be broadcast")
+        run = self.cluster.operator("NestedLoopJoin")
+        build_batch = build_rel.partitions[0]
+        probe_parts, probe_was_broadcast = self._effective_partitions(probe_rel)
+        if probe_was_broadcast:
+            raise ExecutionError("nested-loop probe side cannot be broadcast")
+        column_ids = [column.column_id for column in node.columns]
+        build_count = build_batch.length
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(probe_parts):
+            cost = EvalCost()
+            probe_count = batch.length
+            # probe-major cross product, matching the row path's loop order
+            probe_indices = np.repeat(
+                np.arange(probe_count, dtype=np.int64), build_count
+            )
+            build_indices = np.tile(
+                np.arange(build_count, dtype=np.int64), probe_count
+            )
+            joined = self._assemble_join(
+                column_ids,
+                batch,
+                build_batch,
+                probe_indices,
+                build_indices,
+                node.probe_is_left,
+            )
+            if node.residual is not None and joined.length:
+                residual_mask = truth(node.residual.evaluate_batch(joined, cost))
+                joined = joined.filter(residual_mask)
+            run.charge_eval(
+                slot, probe_count * max(build_count, 1) + joined.length, cost
+            )
+            run.rows_in += probe_count
+            run.rows_out += joined.length
+            parts_out.append(joined)
+        self.cluster.record(run)
+        return DistributedRelation(column_ids, parts_out, node.partitioning)
+
+    def _partial_aggregate_batch(self, node: PPartialAggregate) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("PartialAggregate")
+        parts_in, _ = self._effective_partitions(child)
+        if child.partitioning.kind == "broadcast":
+            raise ExecutionError("aggregating a broadcast relation")
+        column_ids = [column.column_id for column in node.columns]
+        specs = node.aggregates
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(parts_in):
+            cost = EvalCost()
+            key_lists = [
+                expr.evaluate_batch(batch, cost).pylist()
+                for expr in node.group_exprs
+            ]
+            value_lists = [
+                spec.arg.evaluate_batch(batch, cost).pylist()
+                if spec.arg is not None
+                else None
+                for spec in specs
+            ]
+            # bucket row indices by group key, then aggregate column by
+            # column: states see exactly the per-group row subsequence
+            # the row path feeds them, and the (integral) streamed-bytes
+            # totals are order-independent
+            groups: Dict[tuple, List[int]] = {}
+            for i in range(batch.length):
+                key = tuple(values[i] for values in key_lists)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = bucket = []
+                bucket.append(i)
+            group_indices = list(groups.values())
+            spec_states = [
+                self._aggregate_column(spec, value_lists[j], group_indices, cost)
+                for j, spec in enumerate(specs)
+            ]
+            out_rows = [
+                tuple(key) + tuple(states[g] for states in spec_states)
+                for g, key in enumerate(groups)
+            ]
+            parts_out.append(Batch.from_rows(column_ids, out_rows))
+            run.charge_eval(slot, 2 * batch.length + len(out_rows), cost)
+            run.rows_in += batch.length
+            run.rows_out += len(out_rows)
+        self.cluster.record(run)
+        return DistributedRelation(column_ids, parts_out, ROUND_ROBIN)
+
+    def _aggregate_column(
+        self,
+        spec,
+        values: Optional[list],
+        group_indices: List[List[int]],
+        cost: EvalCost,
+    ) -> list:
+        """Partial-aggregate one column over pre-bucketed groups,
+        returning one state per group (in group-first-seen order)."""
+        if spec.distinct:
+            states = []
+            for indices in group_indices:
+                state = set()
+                for i in indices:
+                    value = values[i] if values is not None else 1
+                    if value is not None:
+                        state.add(value)
+                        cost.stream_bytes += value_bytes(value)
+                states.append(state)
+            return states
+        aggregate = spec.aggregate
+        if (
+            values is not None
+            and isinstance(aggregate, SumAggregate)
+            and _uniform_tensor_column(values)
+        ):
+            # SUM over same-shaped vectors/matrices: accumulate in place
+            # in row order — each np.add performs the identical IEEE
+            # addition the chain of Vector/Matrix __add__ calls performs,
+            # so the state is bit-identical to the row path's
+            wrap = type(values[0])
+            size = value_bytes(values[0])
+            states = []
+            for indices in group_indices:
+                if len(indices) == 1:
+                    states.append(values[indices[0]])
+                else:
+                    acc = values[indices[0]].data + values[indices[1]].data
+                    for i in indices[2:]:
+                        np.add(acc, values[i].data, out=acc)
+                    states.append(wrap(acc))
+                cost.stream_bytes += size * len(indices)
+            return states
+        states = []
+        for indices in group_indices:
+            state = aggregate.create()
+            for i in indices:
+                value = values[i] if values is not None else 1
+                state = aggregate.add(state, value)
+                if value is not None:
+                    cost.stream_bytes += value_bytes(value)
+            states.append(state)
+        return states
+
+    def _final_aggregate_batch(self, node: PFinalAggregate) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator("FinalAggregate")
+        key_count = len(node.group_columns)
+        column_ids = [column.column_id for column in node.columns]
+        parts_out: List[Batch] = []
+        saw_rows = False
+        for slot, part in enumerate(child.partitions):
+            # state merging is inherently value-at-a-time; materialize rows
+            rows = partition_rows(part)
+            cost = EvalCost()
+            merged: Dict[tuple, list] = {}
+            for row in rows:
+                saw_rows = True
+                key = row[:key_count]
+                states = row[key_count:]
+                bucket = merged.get(_hashable(key))
+                if bucket is None:
+                    merged[_hashable(key)] = [key, list(states)]
+                else:
+                    existing = bucket[1]
+                    for i, spec in enumerate(node.aggregates):
+                        if spec.distinct:
+                            existing[i] |= states[i]
+                        else:
+                            existing[i] = spec.aggregate.merge(existing[i], states[i])
+                for state in states:
+                    cost.stream_bytes += value_bytes(state) if state is not None else 1.0
+            out_rows: List[tuple] = []
+            for key, states in merged.values():
+                finished = []
+                for spec, state in zip(node.aggregates, states):
+                    if spec.distinct:
+                        fold = spec.aggregate.create()
+                        for value in state:
+                            fold = spec.aggregate.add(fold, value)
+                        state = fold
+                    finished.append(spec.aggregate.finish(state))
+                out_rows.append(tuple(key) + tuple(finished))
+            run.charge_eval(slot, len(rows), cost)
+            run.rows_in += len(rows)
+            run.rows_out += len(out_rows)
+            parts_out.append(Batch.from_rows(column_ids, out_rows))
+        if key_count == 0 and not saw_rows:
+            # SQL scalar aggregates yield exactly one row on empty input
+            finished = []
+            for spec in node.aggregates:
+                finished.append(spec.aggregate.finish(spec.aggregate.create()))
+            parts_out[0] = Batch.from_rows(column_ids, [tuple(finished)])
+            run.rows_out += 1
+        self.cluster.record(run)
+        return DistributedRelation(column_ids, parts_out, node.partitioning)
+
+    def _distinct_batch(self, node: PDistinct) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"Distinct({'local' if node.local else 'final'})")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(parts_in):
+            rows = batch.rows()
+            seen: Dict[tuple, int] = {}
+            keep: List[int] = []
+            for i, row in enumerate(rows):
+                if _hashable(row) not in seen:
+                    seen[_hashable(row)] = i
+                    keep.append(i)
+            out = batch.take(np.asarray(keep, dtype=np.int64))
+            run.charge_cpu(
+                slot, tuples=batch.length, stream_bytes=batch.total_bytes()
+            )
+            run.rows_in += batch.length
+            run.rows_out += out.length
+            parts_out.append(out)
+        self.cluster.record(run)
+        return self._wrap_output_batch(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+    def _sort_limit_batch(self, node: PSortLimit) -> DistributedRelation:
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"Sort({'final' if node.final else 'local'})")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        parts_out: List[Batch] = []
+        for slot, batch in enumerate(parts_in):
+            order = list(range(batch.length))
+            for expr, ascending in reversed(node.keys):
+                cost = EvalCost()
+                sort_keys = [
+                    _sort_key(value)
+                    for value in expr.evaluate_batch(batch, cost).pylist()
+                ]
+                order.sort(key=sort_keys.__getitem__, reverse=not ascending)
+                run.charge_eval(slot, 0, cost)
+            if node.limit is not None:
+                order = order[: node.limit]
+            out = batch.take(np.asarray(order, dtype=np.int64))
+            comparisons = batch.length * max(1.0, math.log2(batch.length + 1))
+            run.charge_cpu(slot, tuples=comparisons)
+            run.rows_in += batch.length
+            run.rows_out += out.length
+            parts_out.append(out)
+        self.cluster.record(run)
+        return self._wrap_output_batch(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
 
 class RowJoinView:
     """Column-id lookup over a freshly joined row."""
@@ -493,6 +1117,27 @@ class RowJoinView:
 
     def __getitem__(self, column_id: int):
         return self.values[self.index[column_id]]
+
+
+def _uniform_tensor_column(values: list) -> bool:
+    """True when every value is a Vector of one length or a Matrix of
+    one shape (no NULLs), so SUM can accumulate them in place."""
+    if not values:
+        return False
+    first = values[0]
+    cls = type(first)
+    if cls is Vector:
+        length = first.length
+        return all(
+            type(value) is Vector and value.length == length for value in values
+        )
+    if cls is Matrix:
+        shape = (first.rows, first.cols)
+        return all(
+            type(value) is Matrix and (value.rows, value.cols) == shape
+            for value in values
+        )
+    return False
 
 
 def _hashable(key: tuple) -> tuple:

@@ -102,6 +102,12 @@ class BuiltinFunction:
     cost: CostFormula
     doc: str = ""
     kind: str = "blas1"
+    #: optional vectorized kernel for the batch interpreter, called as
+    #: ``batch_impl(arg_lists, indices)`` over rows that passed the
+    #: (uniform) shape check. Only registered where the batched kernel
+    #: performs the exact same IEEE operations as ``impl`` per row, so
+    #: results are bit-identical to the row-at-a-time path.
+    batch_impl: Optional[Callable] = None
 
     def bind(self, arg_types: Sequence[DataType]) -> DataType:
         """Compile-time type check; returns the concrete result type."""
@@ -216,6 +222,20 @@ def vector_matrix_multiply(vector: Vector, matrix: Matrix) -> Vector:
 )
 def outer_product(left: Vector, right: Vector) -> Matrix:
     return Matrix(np.outer(left.data, right.data))
+
+
+def _outer_product_batch(arg_lists, indices):
+    # one broadcast multiply over the whole chunk performs exactly the
+    # per-row elementwise multiplies np.outer performs, so each slice is
+    # bit-identical to the row path's result (einsum is NOT: it loses
+    # the sign of -0.0 products)
+    left = np.stack([arg_lists[0][i].data for i in indices])
+    right = np.stack([arg_lists[1][i].data for i in indices])
+    products = left[:, :, None] * right[:, None, :]
+    return [Matrix(products[k]) for k in range(len(indices))]
+
+
+outer_product.batch_impl = _outer_product_batch
 
 
 @register(

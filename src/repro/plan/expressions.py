@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..errors import ExecutionError, TypeCheckError
+import numpy as np
+
+from ..columnar import _INT_ADD_BOUND, _INT_MUL_BOUND, ColumnData, full_mask, truth
+from ..errors import ExecutionError, RuntimeTypeError, TypeCheckError
 from ..la import (
     arithmetic_flops,
     arithmetic_result_type,
@@ -27,10 +30,68 @@ from ..la import (
     python_operator,
 )
 from ..la.functions import BuiltinFunction
-from ..types import BOOLEAN, DOUBLE, DataType, LabeledScalar
+from ..types import BOOLEAN, DOUBLE, DataType, LabeledScalar, Matrix, Vector
+from ..types.signature import runtime_shape_check
 from ..types.scalar import DoubleType, IntegerType
 
 Row = Dict[int, object]
+
+#: largest int64 magnitude float64 can represent exactly; mixed
+#: int/float comparisons above this must go through Python's exact path
+_EXACT_FLOAT_INT = 2**53
+
+
+def _int64_within(data: np.ndarray, valid: np.ndarray, bound: int) -> bool:
+    """True when every selected value lies strictly inside ±bound (so a
+    single vectorized add/sub cannot overflow int64)."""
+    selected = data[valid]
+    if not len(selected):
+        return True
+    return int(selected.min()) > -bound and int(selected.max()) < bound
+
+
+def _int64_max_abs(data: np.ndarray, valid: np.ndarray) -> int:
+    selected = data[valid]
+    if not len(selected):
+        return 0
+    return max(abs(int(selected.min())), abs(int(selected.max())))
+
+
+def _masked_elements(values: list, valid: np.ndarray) -> float:
+    total = 0.0
+    for i in np.flatnonzero(valid):
+        total += _value_elements(values[i])
+    return total
+
+
+def _uniform_tensor_args(arg_values: list, indices: np.ndarray, first: list) -> bool:
+    """True when every active row passes the same argument shapes to a
+    builtin — same Python type per position and same Vector length /
+    Matrix dims — so the shape check and per-call flop price computed
+    for the first row hold for all of them."""
+    for position, value in enumerate(first):
+        column = arg_values[position]
+        if len(indices) == len(column):
+            rest = column
+        else:
+            rest = [column[i] for i in indices]
+        cls = type(value)
+        if cls is Vector:
+            length = value.length
+            if not all(
+                type(other) is Vector and other.length == length for other in rest
+            ):
+                return False
+        elif cls is Matrix:
+            shape = (value.rows, value.cols)
+            if not all(
+                type(other) is Matrix and (other.rows, other.cols) == shape
+                for other in rest
+            ):
+                return False
+        elif not all(type(other) is cls for other in rest):
+            return False
+    return True
 
 
 class EvalCost:
@@ -70,6 +131,23 @@ class TypedExpr:
     data_type: DataType
 
     def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
+        raise NotImplementedError
+
+    def evaluate_batch(
+        self,
+        batch,
+        cost: Optional[EvalCost] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> ColumnData:
+        """Evaluate over a :class:`~repro.engine.storage.Batch`.
+
+        Returns one :class:`ColumnData` with an entry per batch row.
+        ``mask`` marks the active rows; entries outside it are
+        unspecified (null) and must never be read. Costs are charged
+        only for active rows, matching what the per-row path would have
+        charged row by row — see the equivalence contract in
+        ``docs/ENGINE.md``.
+        """
         raise NotImplementedError
 
     def children(self) -> Sequence["TypedExpr"]:
@@ -116,6 +194,9 @@ class LiteralExpr(TypedExpr):
 
     def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
         return self.value
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        return ColumnData.constant(self.value, batch.length)
 
     def key(self):
         return ("lit", repr(self.value))
@@ -167,6 +248,17 @@ class ParamExpr(TypedExpr):
             )
         return self.cell.value
 
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        if not self.cell.bound:
+            # the row path raises per evaluated row, so an unbound
+            # parameter is an error only when active rows exist
+            if batch.length and (mask is None or mask.any()):
+                raise ExecutionError(
+                    f"parameter :{self.name} executed with no value bound"
+                )
+            return ColumnData.constant(None, batch.length)
+        return ColumnData.constant(self.cell.value, batch.length)
+
     def key(self):
         return ("param", self.name)
 
@@ -182,6 +274,9 @@ class ColumnVar(TypedExpr):
 
     def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
         return row[self.column_id]
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        return batch.col(self.column_id)
 
     def key(self):
         return ("col", self.column_id)
@@ -204,6 +299,7 @@ class BinaryExpr(TypedExpr):
             self.data_type = comparison_result_type(op, left.data_type, right.data_type)
             self._bytes = 8.0
         self._fn = python_operator(op)
+        self._comparison = op not in ("+", "-", "*", "/")
 
     def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
         left = self.left.evaluate(row, cost)
@@ -218,6 +314,88 @@ class BinaryExpr(TypedExpr):
             left = _plain(left)
             right = _plain(right)
         return self._fn(left, right)
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        n = batch.length
+        left = self.left.evaluate_batch(batch, cost, mask)
+        right = self.right.evaluate_batch(batch, cost, mask)
+        valid = full_mask(mask, n)
+        if left.nulls is not None:
+            valid = valid & ~left.nulls
+        if right.nulls is not None:
+            valid = valid & ~right.nulls
+        if cost is not None:
+            if left.is_object or right.is_object:
+                left_values, right_values = left.pylist(), right.pylist()
+                total = 0.0
+                for i in np.flatnonzero(valid):
+                    total += max(
+                        _value_elements(left_values[i]),
+                        _value_elements(right_values[i]),
+                    )
+                cost.stream_bytes += 8.0 * total
+            else:
+                cost.stream_bytes += 8.0 * float(np.count_nonzero(valid))
+        if left.is_numeric and right.is_numeric:
+            result = self._numeric_batch(left.data, right.data, valid)
+            if result is not None:
+                return ColumnData(result, ~valid)
+        out = np.empty(n, dtype=object)
+        fn = self._fn
+        left_values, right_values = left.pylist(), right.pylist()
+        if self._comparison:
+            for i in np.flatnonzero(valid):
+                out[i] = fn(_plain(left_values[i]), _plain(right_values[i]))
+        else:
+            for i in np.flatnonzero(valid):
+                out[i] = fn(left_values[i], right_values[i])
+        return ColumnData(out, ~valid)
+
+    def _numeric_batch(
+        self, left: np.ndarray, right: np.ndarray, valid: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorized kernel over float64/int64 operand arrays, or None
+        when the per-row path must run instead (possible int64 overflow,
+        division by zero, or a mixed comparison float64 cannot express
+        exactly) — the guards keep results bit-identical to Python."""
+        if self._comparison:
+            if left.dtype != right.dtype:
+                int_side = left if left.dtype == np.int64 else right
+                if not _int64_within(int_side, valid, _EXACT_FLOAT_INT):
+                    return None
+            return self._fn(left, right)
+        both_int = left.dtype == np.int64 and right.dtype == np.int64
+        left = np.where(valid, left, 0)
+        right = np.where(valid, right, 1 if self.op == "/" else 0)
+        if self.op == "/":
+            if np.any(right[valid] == 0):
+                return None  # Python raises ZeroDivisionError per row
+            if not both_int:
+                return left / right
+            if not (
+                _int64_within(left, valid, _INT_ADD_BOUND)
+                and _int64_within(right, valid, _INT_ADD_BOUND)
+            ):
+                return None
+            quotient = np.abs(left) // np.abs(right)
+            return np.where((left >= 0) == (right >= 0), quotient, -quotient)
+        if both_int:
+            if self.op == "*":
+                if (
+                    _int64_max_abs(left, valid) * _int64_max_abs(right, valid)
+                    >= _INT_MUL_BOUND
+                ):
+                    return None
+            elif not (
+                _int64_within(left, valid, _INT_ADD_BOUND)
+                and _int64_within(right, valid, _INT_ADD_BOUND)
+            ):
+                return None
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        return left * right
 
     def children(self):
         return (self.left, self.right)
@@ -261,6 +439,24 @@ class BoolExpr(TypedExpr):
             return left and bool(self.right.evaluate(row, cost))
         return left or bool(self.right.evaluate(row, cost))
 
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        n = batch.length
+        left = truth(self.left.evaluate_batch(batch, cost, mask))
+        active = full_mask(mask, n)
+        if self.op == "AND":
+            # the row path skips the right side when the left is falsy,
+            # so the right is evaluated (and costed) only under the
+            # narrowed mask
+            narrowed = active & left
+            result = np.zeros(n, dtype=np.bool_)
+        else:
+            narrowed = active & ~left
+            result = left.copy()
+        if narrowed.any():
+            right = truth(self.right.evaluate_batch(batch, cost, narrowed))
+            result[narrowed] = right[narrowed]
+        return ColumnData(result)
+
     def children(self):
         return (self.left, self.right)
 
@@ -281,6 +477,9 @@ class NotExpr(TypedExpr):
 
     def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
         return not bool(self.operand.evaluate(row, cost))
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        return ColumnData(~truth(self.operand.evaluate_batch(batch, cost, mask)))
 
     def children(self):
         return (self.operand,)
@@ -313,6 +512,27 @@ class NegExpr(TypedExpr):
             cost.stream_bytes += 8.0 * _value_elements(value)
         return None if value is None else -value
 
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        n = batch.length
+        value = self.operand.evaluate_batch(batch, cost, mask)
+        valid = full_mask(mask, n)
+        if value.nulls is not None:
+            valid = valid & ~value.nulls
+        if cost is not None:
+            if value.is_object:
+                cost.stream_bytes += 8.0 * _masked_elements(value.pylist(), valid)
+            else:
+                cost.stream_bytes += 8.0 * float(np.count_nonzero(valid))
+        if value.is_numeric:
+            data = np.where(valid, value.data, 0)
+            if data.dtype != np.int64 or _int64_within(data, valid, _INT_ADD_BOUND):
+                return ColumnData(-data, ~valid)
+        out = np.empty(n, dtype=object)
+        values = value.pylist()
+        for i in np.flatnonzero(valid):
+            out[i] = -values[i]
+        return ColumnData(out, ~valid)
+
     def children(self):
         return (self.operand,)
 
@@ -336,6 +556,10 @@ class IsNullExpr(TypedExpr):
     def evaluate(self, row: Row, cost: Optional[EvalCost] = None):
         is_null = self.operand.evaluate(row, cost) is None
         return not is_null if self.negated else is_null
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        nulls = self.operand.evaluate_batch(batch, cost, mask).null_mask()
+        return ColumnData(~nulls if self.negated else nulls)
 
     def children(self):
         return (self.operand,)
@@ -381,6 +605,31 @@ class CaseExpr(TypedExpr):
         if self.otherwise is not None:
             return self.otherwise.evaluate(row, cost)
         return None
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        n = batch.length
+        remaining = full_mask(mask, n).copy()
+        out = np.empty(n, dtype=object)  # object arrays initialize to None
+        nulls = np.ones(n, dtype=np.bool_)
+        for condition, value in self.whens:
+            if not remaining.any():
+                break
+            # conditions run in order, each over only the rows no earlier
+            # branch claimed — the per-row path's sequential WHEN scan
+            condition_truth = truth(
+                condition.evaluate_batch(batch, cost, remaining)
+            )
+            matched = remaining & condition_truth
+            if matched.any():
+                column = value.evaluate_batch(batch, cost, matched)
+                out[matched] = column.object_array()[matched]
+                nulls[matched] = column.null_mask()[matched]
+            remaining &= ~matched
+        if self.otherwise is not None and remaining.any():
+            column = self.otherwise.evaluate_batch(batch, cost, remaining)
+            out[remaining] = column.object_array()[remaining]
+            nulls[remaining] = column.null_mask()[remaining]
+        return ColumnData(out, nulls)
 
     def children(self):
         out: List[TypedExpr] = []
@@ -444,6 +693,60 @@ class FuncExpr(TypedExpr):
             else:
                 cost.blas1_flops += self.builtin.runtime_flops(values)
         return self.builtin(*values)
+
+    def evaluate_batch(self, batch, cost=None, mask=None) -> ColumnData:
+        n = batch.length
+        args = [arg.evaluate_batch(batch, cost, mask) for arg in self.args]
+        valid = full_mask(mask, n)
+        for column in args:
+            if column.nulls is not None:
+                valid = valid & ~column.nulls
+        out = np.empty(n, dtype=object)
+        indices = np.flatnonzero(valid)
+        if len(indices):
+            builtin = self.builtin
+            arg_values = [column.pylist() for column in args]
+            first = [values[indices[0]] for values in arg_values]
+            per_flops = builtin.runtime_flops(first)
+            flops = None
+            if float(per_flops).is_integer() and _uniform_tensor_args(
+                arg_values, indices, first
+            ):
+                # every row has the same argument shapes, so the shape
+                # check and the flop price are hoisted out of the loop
+                # (integral per-call flops make count * per_flops equal
+                # the row path's running float sum exactly)
+                ok, message = runtime_shape_check(builtin.signature, first)
+                if not ok:
+                    raise RuntimeTypeError(message)
+                flops = per_flops * len(indices)
+                if builtin.batch_impl is not None:
+                    results = builtin.batch_impl(arg_values, indices)
+                    for k, i in enumerate(indices):
+                        out[i] = results[k]
+                else:
+                    impl = builtin.impl
+                    for i in indices:
+                        out[i] = impl(*[values[i] for values in arg_values])
+            elif cost is None:
+                # non-uniform shapes: each call runs the same shape
+                # check + kernel the row path runs
+                for i in indices:
+                    out[i] = builtin(*[values[i] for values in arg_values])
+            else:
+                runtime_flops = builtin.runtime_flops
+                flops = 0.0
+                for i in indices:
+                    values = [column[i] for column in arg_values]
+                    flops += runtime_flops(values)
+                    out[i] = builtin(*values)
+            if cost is not None and flops is not None:
+                cost.calls += len(indices)
+                if builtin.kind == "blas3":
+                    cost.flops += flops
+                else:
+                    cost.blas1_flops += flops
+        return ColumnData(out, ~valid)
 
     def children(self):
         return tuple(self.args)

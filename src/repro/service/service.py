@@ -62,6 +62,9 @@ class ServiceConfig:
     compile_cost_s: float = 2.0
     #: additional simulated compile seconds per physical operator
     compile_cost_per_node_s: float = 0.25
+    #: when set, force the database onto this interpreter back end
+    #: ("row" or "batch"); None keeps the database's configured mode
+    execution_mode: Optional[str] = None
 
     def with_updates(self, **kwargs) -> "ServiceConfig":
         return replace(self, **kwargs)
@@ -105,6 +108,8 @@ class QueryService:
     def __init__(self, db: Database, config: Optional[ServiceConfig] = None):
         self.db = db
         self.config = config or ServiceConfig()
+        if self.config.execution_mode is not None:
+            db.set_execution_mode(self.config.execution_mode)
         self.plan_cache = PlanCache(self.config.plan_cache_capacity)
         self.scheduler = SlotScheduler(
             self.config.max_concurrency, self.config.admission_queue_limit

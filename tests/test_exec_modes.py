@@ -1,0 +1,369 @@
+"""Row/batch interpreter equivalence and batch-columnar unit coverage.
+
+The contract (docs/ENGINE.md): ``execution_mode`` is a pure interpreter
+optimization. For any query both back ends must produce identical result
+rows and *bit-identical* simulated :class:`QueryMetrics`, and every
+:class:`TypedExpr` must accumulate identical :class:`EvalCost` totals
+whether evaluated row-at-a-time or over a whole :class:`Batch`. The
+hypothesis tests here drive randomized SELECT / WHERE / GROUP BY / join
+queries (scalar and linear-algebra flavored) through both modes; the
+unit tests cover :class:`ColumnData`, :class:`Batch` and the
+``execution_mode`` knob itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, TEST_CLUSTER
+from repro.columnar import ColumnData, truth
+from repro.engine import stable_hash
+from repro.engine.cluster import row_bytes
+from repro.engine.storage import Batch
+from repro.errors import ExecutionError
+from repro.la import lookup
+from repro.plan.expressions import (
+    BinaryExpr,
+    ColumnVar,
+    EvalCost,
+    FuncExpr,
+    IsNullExpr,
+    NegExpr,
+)
+from repro.service import QueryService, ServiceConfig
+from repro.types import DOUBLE, INTEGER, Vector, VectorType
+
+# -- randomized query equivalence --------------------------------------------
+
+TABLE_A_ROWS = [(i % 7, float(i) - 3.5, i % 3) for i in range(40)]
+TABLE_B_ROWS = [(i % 5, float(i * 2)) for i in range(15)]
+VECTOR_DIM = 4
+TABLE_V_ROWS = [
+    (i, i % 3, Vector([float(i + j * j) - 5.0 for j in range(VECTOR_DIM)]))
+    for i in range(24)
+]
+
+
+def _db(mode):
+    db = Database(TEST_CLUSTER, execution_mode=mode)
+    db.execute("CREATE TABLE ta (k INTEGER, x DOUBLE, g INTEGER)")
+    db.execute("CREATE TABLE tb (k INTEGER, y DOUBLE)")
+    db.execute("CREATE TABLE tv (id INTEGER, g INTEGER, v VECTOR[])")
+    db.load("ta", TABLE_A_ROWS)
+    db.load("tb", TABLE_B_ROWS)
+    db.load("tv", TABLE_V_ROWS)
+    return db
+
+
+def _fingerprint(metrics):
+    """Every simulated number an operator charges, bit-for-bit."""
+    return (
+        metrics.jobs,
+        metrics.startup_seconds,
+        metrics.total_seconds,
+        tuple(
+            (
+                op.name,
+                op.rows_in,
+                op.rows_out,
+                op.bytes_out,
+                op.wall_seconds,
+                op.max_worker_seconds,
+                op.mean_worker_seconds,
+                op.network_bytes,
+            )
+            for op in metrics.operators
+        ),
+    )
+
+
+def _assert_modes_agree(sql):
+    row_result = _db("row").execute(sql)
+    batch_result = _db("batch").execute(sql)
+    row_digest = sorted(stable_hash(tuple(r)) for r in row_result.rows)
+    batch_digest = sorted(stable_hash(tuple(r)) for r in batch_result.rows)
+    assert row_digest == batch_digest
+    assert _fingerprint(row_result.metrics) == _fingerprint(batch_result.metrics)
+
+
+comparisons = st.sampled_from(["=", "<>", "<", ">", "<=", ">="])
+
+_A_PREDICATES = st.one_of(
+    st.tuples(st.just("ta.k"), comparisons, st.integers(0, 7)).map(
+        lambda t: f"{t[0]} {t[1]} {t[2]}"
+    ),
+    st.tuples(st.just("ta.x"), comparisons, st.integers(-4, 40)).map(
+        lambda t: f"{t[0]} {t[1]} {t[2]}"
+    ),
+)
+_B_PREDICATES = st.tuples(st.just("tb.y"), comparisons, st.integers(0, 30)).map(
+    lambda t: f"{t[0]} {t[1]} {t[2]}"
+)
+
+
+@st.composite
+def scalar_queries(draw):
+    join = draw(st.booleans())
+    pred_pool = (
+        st.one_of(_A_PREDICATES, _B_PREDICATES) if join else _A_PREDICATES
+    )
+    preds = draw(st.lists(pred_pool, max_size=2))
+    if join:
+        where = ["ta.k = tb.k"] + preds
+        from_clause = "ta, tb"
+        if draw(st.booleans()):
+            select = "ta.g, COUNT(*), SUM(ta.x + tb.y)"
+            tail = " GROUP BY ta.g"
+        else:
+            select = "ta.k, ta.x, tb.y"
+            tail = ""
+    else:
+        where = preds
+        from_clause = "ta"
+        if draw(st.booleans()):
+            select = "ta.g, SUM(ta.x), MIN(ta.k), MAX(ta.x), COUNT(*)"
+            tail = " GROUP BY ta.g"
+        else:
+            select = "ta.k, ta.x * 2 + 1"
+            tail = ""
+    where_clause = f" WHERE {' AND '.join(where)}" if where else ""
+    return f"SELECT {select} FROM {from_clause}{where_clause}{tail}"
+
+
+@st.composite
+def vector_queries(draw):
+    """LA-flavored queries exercising the vectorized builtin paths."""
+    threshold = draw(st.integers(0, 24))
+    shape = draw(st.integers(0, 3))
+    where = f" WHERE t.id {draw(comparisons)} {threshold}"
+    if shape == 0:
+        return f"SELECT SUM(outer_product(t.v, t.v)) FROM tv AS t{where}"
+    if shape == 1:
+        return (
+            "SELECT t.g, SUM(outer_product(t.v, t.v)), COUNT(*) "
+            f"FROM tv AS t{where} GROUP BY t.g"
+        )
+    if shape == 2:
+        return (
+            "SELECT t.id, inner_product(t.v, t.v) "
+            f"FROM tv AS t{where} ORDER BY id LIMIT 10"
+        )
+    return (
+        "SELECT a.id, b.id, inner_product(a.v, b.v) "
+        f"FROM tv AS a, tv AS b WHERE a.g = b.g AND a.id {draw(comparisons)} "
+        f"{threshold}"
+    )
+
+
+class TestModeEquivalence:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scalar_queries())
+    def test_scalar_queries_agree(self, sql):
+        _assert_modes_agree(sql)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(vector_queries())
+    def test_vector_queries_agree(self, sql):
+        _assert_modes_agree(sql)
+
+    def test_distinct_and_subquery_agree(self):
+        _assert_modes_agree("SELECT DISTINCT ta.g FROM ta")
+        _assert_modes_agree(
+            "SELECT s.g, s.total FROM "
+            "(SELECT ta.g AS g, SUM(ta.x) AS total FROM ta GROUP BY ta.g) AS s "
+            "WHERE s.total > 0"
+        )
+
+
+# -- expression-level EvalCost equivalence -----------------------------------
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _vector_rows(draw_lists, dim):
+    return [
+        (float(x), Vector(vec))
+        for x, vec in draw_lists
+        if len(vec) == dim
+    ]
+
+
+class TestEvalCostEquivalence:
+    """evaluate() per row and evaluate_batch() over the same rows must
+    accumulate identical EvalCost totals and produce identical values."""
+
+    @staticmethod
+    def _compare(expr, rows, column_ids):
+        row_cost = EvalCost()
+        expected = [expr.evaluate(row, row_cost) for row in rows]
+        batch = Batch.from_rows(column_ids, rows)
+        batch_cost = EvalCost()
+        actual = expr.evaluate_batch(batch, batch_cost).pylist()
+        for want, got in zip(expected, actual):
+            if isinstance(want, (Vector,)):
+                assert got.data.tobytes() == want.data.tobytes()
+            elif want is None:
+                assert got is None
+            elif hasattr(want, "data"):  # Matrix
+                assert got.data.tobytes() == want.data.tobytes()
+            else:
+                assert got == want
+        assert batch_cost.flops == row_cost.flops
+        assert batch_cost.blas1_flops == row_cost.blas1_flops
+        assert batch_cost.stream_bytes == row_cost.stream_bytes
+        assert batch_cost.calls == row_cost.calls
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                finite, st.lists(finite, min_size=3, max_size=3)
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_builtin_and_arithmetic_costs(self, raw):
+        rows = [(x, Vector(vec)) for x, vec in raw]
+        x = ColumnVar(0, DOUBLE, "x")
+        v = ColumnVar(1, VectorType(3), "v")
+        outer = FuncExpr(lookup("outer_product"), [v, v])
+        inner = FuncExpr(lookup("inner_product"), [v, v])
+        scale = BinaryExpr("*", v, x)
+        arith = BinaryExpr("+", BinaryExpr("*", x, x), x)
+        compare = BinaryExpr(">", x, x)
+        for expr in (outer, inner, scale, arith, compare, NegExpr(x)):
+            self._compare(expr, rows, (0, 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.none(), finite), min_size=1, max_size=20
+        )
+    )
+    def test_null_handling_costs(self, values):
+        rows = [(value,) for value in values]
+        x = ColumnVar(0, DOUBLE, "x")
+        for expr in (
+            BinaryExpr("+", x, x),
+            BinaryExpr("<", x, x),
+            IsNullExpr(x),
+            IsNullExpr(x, negated=True),
+        ):
+            self._compare(expr, rows, (0,))
+
+    def test_mixed_vector_lengths_fall_back(self):
+        """Non-uniform tensor shapes must use the per-row path yet still
+        match the row interpreter's cost and values."""
+        rows = [
+            (1.0, Vector([1.0, 2.0])),
+            (2.0, Vector([3.0, 4.0, 5.0])),
+            (3.0, Vector([6.0, 7.0])),
+        ]
+        v = ColumnVar(1, VectorType(None), "v")
+        self._compare(FuncExpr(lookup("outer_product"), [v, v]), rows, (0, 1))
+
+
+# -- columnar building blocks ------------------------------------------------
+
+
+class TestColumnData:
+    def test_typed_promotion_and_exact_roundtrip(self):
+        col = ColumnData.from_values([1.5, 2.0, -0.25])
+        assert col.data.dtype == np.float64
+        assert col.pylist() == [1.5, 2.0, -0.25]
+        assert all(type(v) is float for v in col.pylist())
+
+    def test_mixed_types_stay_object(self):
+        col = ColumnData.from_values([1, 2.0, 3])
+        assert col.data.dtype == object
+        assert col.pylist() == [1, 2.0, 3]
+        assert [type(v) for v in col.pylist()] == [int, float, int]
+
+    def test_nulls_roundtrip(self):
+        col = ColumnData.from_values([1.0, None, 3.0])
+        assert col.pylist() == [1.0, None, 3.0]
+
+    def test_truth_treats_null_as_false(self):
+        col = ColumnData.from_values([True, None, False, True])
+        assert truth(col).tolist() == [True, False, False, True]
+
+
+class TestBatch:
+    ROWS = [(1, "a", Vector([1.0, 2.0])), (2, "bc", None), (3, "", Vector([3.0, 4.0]))]
+
+    def test_rows_roundtrip(self):
+        batch = Batch.from_rows((10, 11, 12), self.ROWS)
+        assert batch.rows() == self.ROWS
+        assert batch.col(11).pylist() == ["a", "bc", ""]
+
+    def test_row_bytes_match_cluster_accounting(self):
+        batch = Batch.from_rows((0, 1, 2), self.ROWS)
+        expected = [row_bytes(row) for row in self.ROWS]
+        assert batch.row_bytes_array().tolist() == expected
+        assert batch.total_bytes() == float(sum(expected))
+
+    def test_filter_and_take_slice_cached_bytes(self):
+        batch = Batch.from_rows((0, 1, 2), self.ROWS)
+        sizes = batch.row_bytes_array()
+        kept = batch.filter(np.array([True, False, True]))
+        assert kept.rows() == [self.ROWS[0], self.ROWS[2]]
+        assert kept.row_bytes_array().tolist() == [sizes[0], sizes[2]]
+        taken = batch.take(np.array([2, 0]))
+        assert taken.rows() == [self.ROWS[2], self.ROWS[0]]
+        assert taken.row_bytes_array().tolist() == [sizes[2], sizes[0]]
+
+    def test_concat(self):
+        left = Batch.from_rows((0, 1, 2), self.ROWS[:1])
+        right = Batch.from_rows((0, 1, 2), self.ROWS[1:])
+        merged = Batch.concat((0, 1, 2), [left, right])
+        assert merged.rows() == self.ROWS
+        assert merged.total_bytes() == float(
+            sum(row_bytes(row) for row in self.ROWS)
+        )
+
+
+# -- the execution_mode knob -------------------------------------------------
+
+
+class TestExecutionModeKnob:
+    def test_default_is_batch(self):
+        assert TEST_CLUSTER.execution_mode == "batch"
+        assert Database(TEST_CLUSTER).execution_mode == "batch"
+
+    def test_constructor_override_and_setter(self):
+        db = Database(TEST_CLUSTER, execution_mode="row")
+        assert db.execution_mode == "row"
+        db.set_execution_mode("batch")
+        assert db.execution_mode == "batch"
+
+    def test_config_override(self):
+        config = TEST_CLUSTER.with_updates(execution_mode="row")
+        assert Database(config).execution_mode == "row"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExecutionError):
+            Database(TEST_CLUSTER, execution_mode="columnar-ish")
+
+    def test_service_config_forces_mode(self):
+        db = Database(TEST_CLUSTER)
+        QueryService(db, ServiceConfig(execution_mode="row"))
+        assert db.execution_mode == "row"
+
+    def test_mode_survives_ddl_and_queries(self):
+        db = Database(TEST_CLUSTER, execution_mode="row")
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.load("t", [(1,), (2,)])
+        assert sorted(db.execute("SELECT t.a FROM t").rows) == [(1,), (2,)]
+        assert db.execution_mode == "row"
