@@ -19,7 +19,9 @@ from .errors import (
     CatalogError,
     CompileError,
     ExecutionError,
+    FaultRecoveryExhaustedError,
     NameResolutionError,
+    QueryTimeoutError,
     ReproError,
     ResourceExhaustedError,
     RuntimeTypeError,
@@ -27,8 +29,10 @@ from .errors import (
     ServiceOverloadedError,
     SessionClosedError,
     SqlSyntaxError,
+    TransientClusterError,
     TypeCheckError,
 )
+from .faults import DEFAULT_FAULT_PLAN, FaultInjector, FaultPlan
 from .types import LabeledScalar, Matrix, Vector
 
 __version__ = "1.0.0"
@@ -37,12 +41,17 @@ __all__ = [
     "CatalogError",
     "ClusterConfig",
     "CompileError",
+    "DEFAULT_FAULT_PLAN",
     "Database",
     "ExecutionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecoveryExhaustedError",
     "LabeledScalar",
     "Matrix",
     "NameResolutionError",
     "PAPER_CLUSTER",
+    "QueryTimeoutError",
     "ReproError",
     "ResourceExhaustedError",
     "Result",
@@ -52,6 +61,7 @@ __all__ = [
     "SessionClosedError",
     "SqlSyntaxError",
     "TEST_CLUSTER",
+    "TransientClusterError",
     "TypeCheckError",
     "Vector",
     "__version__",

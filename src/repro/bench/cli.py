@@ -22,7 +22,7 @@ from .figures import (
     rst_experiment,
 )
 
-TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "serve", "exec", "all")
+TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "serve", "exec", "faults", "all")
 
 
 def run_serve_target(
@@ -58,6 +58,14 @@ def run_exec_target(repeats: int = 3, smoke: bool = False) -> "tuple":
     return format_exec(report), report.ok()
 
 
+def run_faults_target(seed: int = 0, smoke: bool = False) -> "tuple":
+    """Returns (report text, ok) for the fault-injection benchmark."""
+    from .faultbench import format_faults, run_fault_bench
+
+    report = run_fault_bench(seed=seed, smoke=smoke)
+    return format_faults(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -73,6 +81,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return run_serve_target()
     if target == "exec":
         return run_exec_target()[0]
+    if target == "faults":
+        return run_faults_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -123,12 +133,14 @@ def main(argv=None) -> int:
     serve_group.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed (serve)"
     )
-    exec_group = parser.add_argument_group("exec options")
+    exec_group = parser.add_argument_group("exec/faults options")
     exec_group.add_argument(
         "--check",
         action="store_true",
         help="smoke mode: smaller workloads, nonzero exit when the two "
-        "execution modes diverge or batch regresses wall-clock (exec)",
+        "execution modes diverge or batch regresses wall-clock (exec), "
+        "or when a fault-injected run fails or diverges from the "
+        "fault-free baseline (faults)",
     )
     exec_group.add_argument(
         "--repeats",
@@ -142,6 +154,17 @@ def main(argv=None) -> int:
         print(text)
         if args.check and not ok:
             print("exec check FAILED: modes diverged or batch regressed")
+            return 1
+        return 0
+    if args.target == "faults":
+        text, ok = run_faults_target(seed=args.seed, smoke=args.check)
+        print(text)
+        if args.check and not ok:
+            print(
+                "faults check FAILED: a fault-injected run failed, "
+                "diverged from the fault-free baseline, or injected "
+                "no faults"
+            )
             return 1
         return 0
     if args.target == "serve":

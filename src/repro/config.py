@@ -16,6 +16,10 @@ paper's 100-blocks-on-80-cores skew effect reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,11 @@ class ClusterConfig:
     #: identical simulated costs and return identical rows (see
     #: docs/ENGINE.md); the knob only changes *real* wall-clock time.
     execution_mode: str = "batch"
+    #: seeded deterministic fault injection (slot crashes, lost
+    #: partitions, transient exchange errors, stragglers); None runs a
+    #: healthy cluster. Faults perturb the simulated timeline only —
+    #: result rows stay bit-identical (see docs/FAULTS.md).
+    fault_plan: Optional["FaultPlan"] = None
 
     @property
     def slots(self) -> int:

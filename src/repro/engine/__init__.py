@@ -8,7 +8,7 @@ from .cluster import (
     stable_hash,
     value_bytes,
 )
-from .executor import Executor, count_job_boundaries
+from .executor import CheckpointStore, Executor, count_job_boundaries
 from .metrics import OperatorMetrics, QueryMetrics
 from .storage import (
     BROADCAST,
@@ -22,6 +22,7 @@ from .storage import (
 
 __all__ = [
     "BROADCAST",
+    "CheckpointStore",
     "Cluster",
     "DistributedRelation",
     "Executor",

@@ -160,6 +160,7 @@ class OperatorRun:
             max_worker_seconds=busiest,
             mean_worker_seconds=mean,
             network_bytes=self.network_bytes,
+            slot_seconds=tuple(self._slot_seconds),
         )
 
 

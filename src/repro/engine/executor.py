@@ -34,7 +34,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..columnar import truth
-from ..errors import ExecutionError
+from ..errors import (
+    ExecutionError,
+    FaultRecoveryExhaustedError,
+    TransientClusterError,
+)
+from ..faults import FaultInjector
 from ..la.aggregates import SumAggregate
 from ..plan.expressions import EvalCost
 from ..types import Matrix, Vector
@@ -52,7 +57,7 @@ from ..plan.physical import (
     PSortLimit,
 )
 from .cluster import Cluster, row_bytes, stable_hash, value_bytes
-from .metrics import QueryMetrics
+from .metrics import OperatorMetrics, QueryMetrics
 from .storage import (
     BROADCAST,
     ROUND_ROBIN,
@@ -73,6 +78,45 @@ def count_job_boundaries(node: PhysicalNode) -> int:
     for child in node.children():
         count += count_job_boundaries(child)
     return count
+
+
+class CheckpointStore:
+    """Simulated checkpoints of exchange (shuffle) outputs.
+
+    Job-boundary exchanges materialize their partitions to distributed
+    storage — Hadoop's model, which is what makes lineage-based recovery
+    possible: a consumer that finds a partition lost recomputes it from
+    the checkpointed producer instead of restarting the query. Entries
+    live for the duration of one ``Executor.run`` and are evicted when
+    the query completes (success or failure)."""
+
+    def __init__(self):
+        self._entries: Dict[int, Tuple[DistributedRelation, OperatorMetrics]] = {}
+        #: total entries evicted over this store's lifetime
+        self.evicted = 0
+
+    def put(
+        self,
+        node_id: int,
+        relation: DistributedRelation,
+        op: OperatorMetrics,
+    ) -> None:
+        self._entries[node_id] = (relation, op)
+
+    def get(
+        self, node_id: int
+    ) -> Optional[Tuple[DistributedRelation, OperatorMetrics]]:
+        return self._entries.get(node_id)
+
+    def clear(self) -> int:
+        """Evict everything; returns how many entries were dropped."""
+        dropped = len(self._entries)
+        self.evicted += dropped
+        self._entries.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class Executor:
@@ -111,26 +155,254 @@ class Executor:
                 PDistinct: self._distinct,
                 PSortLimit: self._sort_limit,
             }
+        fault_plan = cluster.config.fault_plan
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
+        #: relations memoized by plan-node identity — the lineage store.
+        #: A child executed once is never re-executed when a faulted
+        #: parent retries; retries replay against these memoized inputs,
+        #: which is what keeps recovery deterministic.
+        self._materialized: Dict[int, DistributedRelation] = {}
+        #: simulated checkpoints of job-boundary exchange outputs,
+        #: evicted when the query completes
+        self.checkpoints = CheckpointStore()
+        #: pre-order position of the operator currently being dispatched
+        self._op_sequence = 0
 
     def run(self, plan: PhysicalNode) -> Tuple[List[tuple], QueryMetrics]:
         """Execute a plan; returns (all result rows, metrics for this
         statement). The cluster's running metrics are reset first."""
         self.cluster.reset_metrics()
-        for _ in range(max(1, count_job_boundaries(plan))):
-            self.cluster.record_job()
-        relation = self.execute(plan)
-        metrics = self.cluster.reset_metrics()
-        return relation.all_rows(), metrics
+        self._materialized.clear()
+        self._op_sequence = 0
+        try:
+            for _ in range(max(1, count_job_boundaries(plan))):
+                self.cluster.record_job()
+            relation = self.execute(plan)
+            metrics = self.cluster.reset_metrics()
+            return relation.all_rows(), metrics
+        finally:
+            # the query is over (either way): drop lineage memos and
+            # evict this query's checkpointed exchange outputs
+            self._materialized.clear()
+            self.checkpoints.clear()
 
     # -- dispatch ------------------------------------------------------------
 
     def execute(self, node: PhysicalNode) -> DistributedRelation:
+        cached = self._materialized.get(id(node))
+        if cached is not None:
+            return cached
         handler = self._handlers.get(type(node))
         if handler is None:
             raise ExecutionError(f"no executor for {type(node).__name__}")
-        relation = handler(node)
-        self.cluster.check_memory_relation(node.describe(), relation)
+        op_index = self._op_sequence
+        self._op_sequence += 1
+        try:
+            relation = self._run_operator(node, handler, op_index)
+            self.cluster.check_memory_relation(node.describe(), relation)
+        except ExecutionError as exc:
+            # annotate with the operator the failure surfaced in; inner
+            # frames win (the first annotation sticks), and the original
+            # cause chain stays intact — no string concatenation
+            if exc.operator is None:
+                exc.operator = node.describe()
+                exc.plan_position = op_index
+            raise
+        self._materialized[id(node)] = relation
         return relation
+
+    def _run_operator(self, node, handler, op_index: int) -> DistributedRelation:
+        """Run one operator's handler, injecting faults and charging
+        recovery when a FaultPlan is active.
+
+        Transient exchange errors trigger *genuine* re-execution: the
+        handler runs again against its memoized (checkpointed) inputs —
+        lineage-based recompute — and produces bit-identical output.
+        Slot crashes and stragglers are applied to the successful
+        attempt's per-slot timings; lost input partitions extend the
+        checkpointed producer's timeline with the recompute."""
+        injector = self.injector
+        if injector is None:
+            return handler(node)
+        metrics = self.cluster.metrics
+        plan = injector.plan
+        failures = 0
+        while True:
+            before = len(metrics.operators)
+            relation = handler(node)
+            own = metrics.operators[-1] if len(metrics.operators) > before else None
+            if not (
+                isinstance(node, PExchange)
+                and injector.transient_error(op_index, failures)
+            ):
+                break
+            # this exchange job attempt died to a transient network
+            # error: its full wall clock is wasted, and a replacement
+            # job is launched against the memoized child relations
+            self._count("transient_error")
+            failures += 1
+            if own is not None:
+                metrics.wasted_seconds += own.wall_seconds
+                own.name += " [failed attempt]"
+            if failures > plan.max_partition_retries:
+                raise FaultRecoveryExhaustedError(
+                    f"exchange job failed {failures} attempt(s); retry "
+                    f"budget ({plan.max_partition_retries}) exhausted"
+                ) from TransientClusterError(
+                    "injected transient network error during exchange"
+                )
+            self.cluster.record_job()
+            metrics.recovery_seconds += self.cluster.config.job_startup_s
+        if own is not None:
+            self._apply_slot_faults(node, relation, own, op_index)
+            self._apply_lost_inputs(node, op_index)
+            if isinstance(node, PExchange) and node.is_job_boundary:
+                self.checkpoints.put(id(node), relation, own)
+        return relation
+
+    def _count(self, kind: str) -> None:
+        """Record one injected fault, both per-statement (QueryMetrics)
+        and cumulatively (the injector's counters)."""
+        self.injector.count(kind)
+        events = self.cluster.metrics.fault_events
+        events[kind] = events.get(kind, 0) + 1
+
+    def _apply_slot_faults(
+        self,
+        node: PhysicalNode,
+        relation: DistributedRelation,
+        op: OperatorMetrics,
+        op_index: int,
+    ) -> None:
+        """Inject stragglers (with speculative backups) and slot crashes
+        (with bounded re-execution) into one operator's per-slot busy
+        times, then rewrite the operator's wall clock."""
+        injector = self.injector
+        plan = injector.plan
+        metrics = self.cluster.metrics
+        base = list(op.slot_seconds)
+        busy = sorted(s for s in base if s > 0.0)
+        if not busy:
+            return
+        # the scheduler's notion of this operator's "typical" task time,
+        # used to decide when a backup copy launches
+        typical = busy[len(busy) // 2]
+        adjusted = list(base)
+        changed = False
+        for slot, s0 in enumerate(base):
+            if s0 <= 0.0:
+                continue
+            run_time = s0
+            factor = injector.straggler_factor(op_index, slot)
+            if factor > 1.0:
+                self._count("straggler")
+                slowed = s0 * factor
+                if plan.speculation:
+                    launch = typical * plan.speculation_threshold
+                    backup_finish = launch + s0
+                    if backup_finish < slowed:
+                        # the backup copy wins; the straggling original
+                        # is killed when the backup commits, and
+                        # everything it consumed was duplicated work
+                        run_time = backup_finish
+                        metrics.speculative_seconds += run_time
+                        self._count("speculation_win")
+                    else:
+                        # the original limps across first; the backup
+                        # ran from launch until then for nothing
+                        run_time = slowed
+                        metrics.speculative_seconds += max(0.0, slowed - launch)
+                else:
+                    run_time = slowed
+            crashes = 0
+            total = 0.0
+            while True:
+                frac = injector.crash_fraction(op_index, slot, crashes)
+                if frac is None:
+                    total += run_time
+                    break
+                self._count("slot_crash")
+                crashes += 1
+                lost = run_time * frac
+                refetch = self._refetch_seconds(node, relation, slot)
+                total += lost + plan.crash_detection_s + refetch
+                metrics.wasted_seconds += lost
+                metrics.recovery_seconds += plan.crash_detection_s + refetch
+                if crashes > plan.max_partition_retries:
+                    raise FaultRecoveryExhaustedError(
+                        f"slot {slot} crashed {crashes} time(s) in a row; "
+                        f"retry budget ({plan.max_partition_retries}) "
+                        f"exhausted"
+                    ) from TransientClusterError(
+                        f"injected slot crash on slot {slot}"
+                    )
+            if total != s0:
+                adjusted[slot] = total
+                changed = True
+        if changed:
+            op.rewrite_slot_seconds(adjusted)
+
+    def _refetch_seconds(self, node: PhysicalNode, relation, slot: int) -> float:
+        """Simulated cost of re-reading a restarted task's inputs from
+        the lineage store (local checkpoint/scan re-read)."""
+        config = self.cluster.config
+        sources = [
+            rel
+            for rel in (
+                self._materialized.get(id(child)) for child in node.children()
+            )
+            if rel is not None
+        ]
+        if not sources:
+            # a leaf (scan): the restarted task re-reads its own
+            # partition of the base table
+            sources = [relation]
+        seconds = 0.0
+        for rel in sources:
+            if slot < len(rel.partitions):
+                seconds += (
+                    rel.partition_total_bytes(slot) / config.disk_rate_per_slot
+                )
+        return seconds
+
+    def _apply_lost_inputs(self, node: PhysicalNode, op_index: int) -> None:
+        """When a consumer finds one of its checkpointed input
+        partitions lost, the producing exchange recomputes it from
+        lineage and the partition is refetched; the producer's timeline
+        is extended accordingly."""
+        injector = self.injector
+        config = self.cluster.config
+        metrics = self.cluster.metrics
+        for child in node.children():
+            entry = self.checkpoints.get(id(child))
+            if entry is None:
+                continue
+            relation, op = entry
+            base = list(op.slot_seconds)
+            adjusted = list(base)
+            changed = False
+            for slot in range(len(relation.partitions)):
+                if len(relation.partitions[slot]) == 0:
+                    continue
+                if not injector.partition_lost(op_index, slot):
+                    continue
+                self._count("lost_partition")
+                nbytes = relation.partition_total_bytes(slot)
+                redo = base[slot] if slot < len(base) else 0.0
+                refetch = nbytes / config.disk_rate_per_slot + nbytes / (
+                    config.network_rate / config.cores_per_machine
+                )
+                charge = redo + refetch
+                if slot < len(adjusted):
+                    adjusted[slot] += charge
+                metrics.recovery_seconds += charge
+                changed = True
+            if changed:
+                op.rewrite_slot_seconds(adjusted)
 
     # -- helpers ------------------------------------------------------------
 

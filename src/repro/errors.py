@@ -10,6 +10,8 @@ time (section 3.1).
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro system."""
@@ -44,7 +46,26 @@ class CatalogError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """A query failed while executing."""
+    """A query failed while executing.
+
+    When the failure surfaces from inside a physical plan, the executor
+    annotates the exception with the operator it failed in: ``operator``
+    holds the operator's ``describe()`` string and ``plan_position`` its
+    pre-order position in the physical plan. The original, unannotated
+    exception is chained via ``__cause__`` (never flattened into the
+    message), so fault-path failures stay diagnosable end to end.
+    """
+
+    #: ``describe()`` of the physical operator the error surfaced in
+    operator: Optional[str] = None
+    #: pre-order position of that operator in the physical plan
+    plan_position: Optional[int] = None
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.operator is None:
+            return base
+        return f"{base} [in {self.operator}, plan position {self.plan_position}]"
 
 
 class RuntimeTypeError(ExecutionError):
@@ -58,17 +79,52 @@ class ResourceExhaustedError(ExecutionError):
     corresponding to the 'Fail' entries in the paper's Figure 3."""
 
 
+class TransientClusterError(ExecutionError):
+    """An injected transient fault (network error, crashed slot) that the
+    recovery machinery normally retries away; it only escapes to the
+    caller — chained under a plain :class:`ExecutionError` — when the
+    bounded retry budget is exhausted."""
+
+
+class FaultRecoveryExhaustedError(ExecutionError):
+    """Recovery gave up: a partition kept failing past the
+    ``FaultPlan.max_partition_retries`` budget."""
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the multi-session query service."""
 
 
 class ServiceOverloadedError(ServiceError):
-    """Admission control rejected a query because the bounded admission
-    queue is full; the client should back off and retry."""
+    """Admission control rejected a query — the bounded admission queue
+    is full, or the circuit breaker is shedding load.
 
-    def __init__(self, message: str, queue_depth: int = 0, queue_limit: int = 0):
+    ``retry_after_s`` is a machine-readable backoff hint in simulated
+    seconds: the service's estimate of when capacity frees up, computed
+    from the current queue backlog (or the breaker's remaining cooldown).
+    Clients should wait at least that long before resubmitting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int = 0,
+        queue_limit: int = 0,
+        retry_after_s: float = 0.0,
+    ):
         self.queue_depth = queue_depth
         self.queue_limit = queue_limit
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class QueryTimeoutError(ServiceError):
+    """The query exceeded the service's per-query timeout, either
+    waiting in the admission queue or executing."""
+
+    def __init__(self, message: str, timeout_s: float = 0.0, elapsed_s: float = 0.0):
+        self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
         super().__init__(message)
 
 

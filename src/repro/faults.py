@@ -1,0 +1,165 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's platform, SimSQL, runs on Hadoop precisely because MapReduce
+gives it transparent task-level fault tolerance: a lost map output is
+re-fetched from disk, a crashed task is re-executed from its inputs, and
+stragglers are speculatively re-launched. This module supplies the
+*failure side* of that story for the simulated cluster: a seeded
+:class:`FaultPlan` describes which faults to inject, and a
+:class:`FaultInjector` turns the plan into reproducible per-operator,
+per-slot fault draws.
+
+Determinism contract (see ``docs/FAULTS.md``):
+
+* every draw is a pure function of ``(seed, fault kind, operator
+  position in the plan, slot, attempt)`` — no global RNG state, so the
+  same statement under the same plan always sees the same fault
+  sequence, independent of what ran before it;
+* faults perturb only the *simulated* timeline (and trigger genuine
+  re-execution of exchange jobs); result rows and their ordering are
+  bit-identical to a fault-free run.
+
+Injection happens in :class:`repro.engine.executor.Executor`, which
+consults the injector at operator boundaries; recovery time lands in
+:class:`~repro.engine.metrics.QueryMetrics` as ``recovery_seconds`` /
+``wasted_seconds`` / ``speculative_seconds`` plus a ``fault_events``
+breakdown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how often, and how hard — all seeded.
+
+    Rates are per-opportunity probabilities: a *slot crash* is drawn
+    once per (operator, busy slot, attempt); a *lost partition* once per
+    checkpointed exchange output partition at consumption time; a
+    *transient error* once per exchange job attempt; a *straggler* once
+    per (operator, busy slot).
+    """
+
+    seed: int = 0
+    #: probability a busy slot crashes partway through an operator
+    slot_crash_rate: float = 0.0
+    #: probability a checkpointed exchange output partition is lost
+    #: before its consumer reads it (recomputed from lineage)
+    lost_partition_rate: float = 0.0
+    #: probability an exchange job attempt dies to a network error and
+    #: the whole job is re-executed from its (checkpointed) inputs
+    transient_error_rate: float = 0.0
+    #: probability a busy slot runs slow by ``straggler_multiplier``
+    straggler_rate: float = 0.0
+    #: slowdown factor of a straggling slot
+    straggler_multiplier: float = 6.0
+    #: bounded retries: attempts per partition / exchange job before the
+    #: query fails with an ExecutionError carrying operator context
+    max_partition_retries: int = 3
+    #: simulated seconds to notice a crashed slot (heartbeat timeout)
+    crash_detection_s: float = 1.0
+    #: speculatively re-launch straggler work on a backup slot
+    speculation: bool = True
+    #: the backup copy launches once a slot has run this multiple of the
+    #: operator's typical (median busy-slot) time
+    speculation_threshold: float = 2.0
+
+    def with_updates(self, **kwargs) -> "FaultPlan":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can actually fire."""
+        return (
+            self.slot_crash_rate > 0.0
+            or self.lost_partition_rate > 0.0
+            or self.transient_error_rate > 0.0
+            or self.straggler_rate > 0.0
+        )
+
+
+#: the default injection used by ``repro-bench faults``: a cluster that
+#: is unhealthy enough that every query sees faults, but recoverable
+#: within the default retry budget
+DEFAULT_FAULT_PLAN = FaultPlan(
+    seed=0,
+    slot_crash_rate=0.05,
+    lost_partition_rate=0.05,
+    transient_error_rate=0.05,
+    straggler_rate=0.08,
+)
+
+_SCALE = float(2**64)
+
+
+class FaultInjector:
+    """Reproducible fault draws plus cumulative counters.
+
+    Stateless with respect to the draws themselves (every decision is a
+    hash of its coordinates), stateful only in the ``events`` counters
+    the benchmark reads across queries.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.events: Dict[str, int] = {}
+
+    # -- draws -------------------------------------------------------------
+
+    def _uniform(self, kind: str, *coords: int) -> float:
+        """A deterministic uniform in [0, 1) for one fault opportunity."""
+        hasher = hashlib.blake2b(digest_size=8)
+        hasher.update(struct.pack("<q", self.plan.seed))
+        hasher.update(kind.encode("ascii"))
+        for coord in coords:
+            hasher.update(struct.pack("<q", coord))
+        return int.from_bytes(hasher.digest(), "little") / _SCALE
+
+    def count(self, kind: str, n: int = 1) -> None:
+        self.events[kind] = self.events.get(kind, 0) + n
+
+    def crash_fraction(
+        self, op_index: int, slot: int, attempt: int
+    ) -> Optional[float]:
+        """If this (operator, slot) attempt crashes, the fraction of the
+        attempt's work completed before the crash; ``None`` otherwise."""
+        if self._uniform("crash", op_index, slot, attempt) >= self.plan.slot_crash_rate:
+            return None
+        return self._uniform("crash-frac", op_index, slot, attempt)
+
+    def transient_error(self, op_index: int, attempt: int) -> bool:
+        """Does this exchange job attempt die to a transient network
+        error (forcing a genuine re-execution of the job)?"""
+        return (
+            self._uniform("transient", op_index, attempt)
+            < self.plan.transient_error_rate
+        )
+
+    def partition_lost(self, op_index: int, slot: int) -> bool:
+        """Is this checkpointed output partition lost before its
+        consumer (operator ``op_index``) reads it?"""
+        return (
+            self._uniform("lost", op_index, slot) < self.plan.lost_partition_rate
+        )
+
+    def straggler_factor(self, op_index: int, slot: int) -> float:
+        """Slowdown multiplier for one slot of one operator (1.0 when
+        the slot is healthy)."""
+        if self._uniform("straggle", op_index, slot) < self.plan.straggler_rate:
+            return self.plan.straggler_multiplier
+        return 1.0
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.events)

@@ -22,7 +22,12 @@ Quickstart::
     print(service.report())
 """
 
-from ..errors import ServiceError, ServiceOverloadedError, SessionClosedError
+from ..errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    SessionClosedError,
+)
 from .metrics import ServiceMetrics, SessionStats, percentile
 from .plan_cache import (
     CachedPlan,
@@ -32,16 +37,18 @@ from .plan_cache import (
     param_signature,
 )
 from .scheduler import SlotScheduler, Ticket
-from .service import PendingQuery, QueryService, ServiceConfig
+from .service import CircuitBreaker, PendingQuery, QueryService, ServiceConfig
 from .session import PreparedStatement, Session, SessionCatalog
 
 __all__ = [
     "CachedPlan",
+    "CircuitBreaker",
     "PendingQuery",
     "PlanCache",
     "PlanCacheKey",
     "PreparedStatement",
     "QueryService",
+    "QueryTimeoutError",
     "ServiceConfig",
     "ServiceError",
     "ServiceMetrics",

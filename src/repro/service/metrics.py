@@ -41,6 +41,8 @@ class SessionStats:
     queries: int = 0
     cache_hits: int = 0
     rejected: int = 0
+    timeouts: int = 0
+    retries: int = 0
     elapsed_seconds: float = 0.0
     queue_seconds: float = 0.0
 
@@ -54,6 +56,8 @@ class ServiceMetrics:
     queue_latencies: List[float] = field(default_factory=list)
     per_session: Dict[str, SessionStats] = field(default_factory=dict)
     rejected: int = 0
+    timeouts: int = 0
+    retries: int = 0
 
     def session(self, name: str) -> SessionStats:
         stats = self.per_session.get(name)
@@ -74,6 +78,14 @@ class ServiceMetrics:
     def observe_rejection(self, session_name: str) -> None:
         self.rejected += 1
         self.session(session_name).rejected += 1
+
+    def observe_timeout(self, session_name: str) -> None:
+        self.timeouts += 1
+        self.session(session_name).timeouts += 1
+
+    def observe_retry(self, session_name: str) -> None:
+        self.retries += 1
+        self.session(session_name).retries += 1
 
     @property
     def queries(self) -> int:
@@ -103,6 +115,8 @@ class ServiceMetrics:
         return {
             "queries": self.queries,
             "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
             "latency_p50": self.latency_p50,
             "latency_p95": self.latency_p95,
             "mean_compile_seconds": self.mean_compile_seconds,
@@ -112,6 +126,8 @@ class ServiceMetrics:
                     "queries": stats.queries,
                     "cache_hits": stats.cache_hits,
                     "rejected": stats.rejected,
+                    "timeouts": stats.timeouts,
+                    "retries": stats.retries,
                     "elapsed_seconds": stats.elapsed_seconds,
                     "queue_seconds": stats.queue_seconds,
                 }

@@ -127,6 +127,7 @@ class SlotScheduler:
                 f"waiting, {len(self._running)} running)",
                 queue_depth=len(self._waiting),
                 queue_limit=self.queue_limit,
+                retry_after_s=self.retry_after_estimate(arrival),
             )
         else:
             self._waiting.append(ticket)
@@ -134,6 +135,17 @@ class SlotScheduler:
             self.queue_peak = max(self.queue_peak, len(self._waiting))
         self.admitted += 1
         return ticket
+
+    def retry_after_estimate(self, now: Optional[float] = None) -> float:
+        """A backoff hint for rejected clients: time until the next gang
+        frees up, plus the waiting room's aggregate service demand
+        spread over all gangs. A resubmission after this long sees a
+        drained (or at least shorter) queue."""
+        if now is None:
+            now = self.clock
+        next_free = max(0.0, self.timeline.earliest_free() - now)
+        backlog = sum(t.service_seconds for t in self._waiting)
+        return next_free + backlog / self.max_concurrency
 
     def next_completion(self) -> Optional[Ticket]:
         """The next query (by simulated finish time) to complete; frees

@@ -29,7 +29,7 @@ from typing import Deque, Dict, Optional
 
 from ..db import Database, Result, _convert_value
 from ..engine.metrics import QueryMetrics
-from ..errors import ServiceOverloadedError
+from ..errors import QueryTimeoutError, ServiceOverloadedError
 from ..sql import ast
 from .metrics import ServiceMetrics
 from .plan_cache import (
@@ -65,9 +65,93 @@ class ServiceConfig:
     #: when set, force the database onto this interpreter back end
     #: ("row" or "batch"); None keeps the database's configured mode
     execution_mode: Optional[str] = None
+    #: per-query budget on client-observed simulated latency (compile +
+    #: queueing + stretched execution); None disables timeouts
+    query_timeout_s: Optional[float] = None
+    #: total submission attempts per execute() when admission rejects
+    #: with ServiceOverloadedError; 1 means fail on the first rejection
+    retry_max_attempts: int = 1
+    #: base delay of the exponential backoff between retries (simulated
+    #: seconds of client-side sleep)
+    retry_backoff_s: float = 0.5
+    #: backoff growth factor per retry
+    retry_backoff_multiplier: float = 2.0
+    #: deterministic jitter: each delay is stretched by up to this
+    #: fraction, seeded from (session name, attempt)
+    retry_jitter: float = 0.1
+    #: consecutive admission rejections that trip the circuit breaker;
+    #: 0 disables the breaker
+    breaker_threshold: int = 0
+    #: simulated seconds the breaker stays open, shedding submissions
+    #: without touching the scheduler
+    breaker_cooldown_s: float = 30.0
 
     def with_updates(self, **kwargs) -> "ServiceConfig":
         return replace(self, **kwargs)
+
+
+class CircuitBreaker:
+    """Sheds load after repeated admission rejections.
+
+    ``threshold`` consecutive rejections open the breaker for
+    ``cooldown_s`` simulated seconds; while open, submissions fail fast
+    with :class:`ServiceOverloadedError` (``retry_after_s`` = remaining
+    cooldown) without planning, executing, or touching the scheduler.
+    After the cooldown the breaker half-opens: the next submission goes
+    through as a probe, and its outcome closes or re-opens the breaker.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.consecutive_rejections = 0
+        self.open_until: Optional[float] = None
+        #: times the breaker tripped open
+        self.opened = 0
+        #: submissions fast-failed while open
+        self.shed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def check(self, now: float) -> None:
+        """Raise if the breaker is open at simulated time ``now``."""
+        if not self.enabled or self.open_until is None:
+            return
+        if now >= self.open_until:
+            # cooldown elapsed: half-open, let one probe through
+            self.open_until = None
+            return
+        self.shed += 1
+        raise ServiceOverloadedError(
+            f"circuit breaker open for another "
+            f"{self.open_until - now:.3f}s (tripped by "
+            f"{self.threshold} consecutive rejections)",
+            retry_after_s=self.open_until - now,
+        )
+
+    def record_rejection(self, now: float) -> None:
+        if not self.enabled:
+            return
+        self.consecutive_rejections += 1
+        if self.consecutive_rejections >= self.threshold:
+            self.open_until = now + self.cooldown_s
+            self.opened += 1
+            self.consecutive_rejections = 0
+
+    def record_success(self) -> None:
+        self.consecutive_rejections = 0
+        self.open_until = None
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "open": self.open_until is not None,
+            "opened": self.opened,
+            "shed": self.shed,
+            "consecutive_rejections": self.consecutive_rejections,
+        }
 
 
 class PendingQuery:
@@ -88,6 +172,9 @@ class PendingQuery:
         self.ticket = ticket
         self.cache_hit = cache_hit
         self.finalized = False
+        #: set at finalization when the client-observed latency blew the
+        #: service's per-query timeout; wait() then raises
+        self.timed_out = False
 
     @property
     def metrics(self) -> QueryMetrics:
@@ -113,6 +200,9 @@ class QueryService:
         self.plan_cache = PlanCache(self.config.plan_cache_capacity)
         self.scheduler = SlotScheduler(
             self.config.max_concurrency, self.config.admission_queue_limit
+        )
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown_s
         )
         self.metrics = ServiceMetrics()
         self._sessions: Dict[str, Session] = {}
@@ -198,22 +288,38 @@ class QueryService:
         """Plan (via the cache), execute on the cluster, and admit the
         query to the slot scheduler at simulated time ``arrival``.
         Raises :class:`ServiceOverloadedError` when the admission queue
-        is full."""
+        is full or the circuit breaker is open, and
+        :class:`QueryTimeoutError` when the query's own service demand
+        already exceeds the per-query timeout."""
+        if arrival is None:
+            arrival = session.clock
+        self.breaker.check(max(arrival, self.scheduler.clock))
         plan, cache_hit, compile_seconds = self._plan(session, sql, statement, params)
         result = self.db._execute_physical(plan.logical, plan.physical)
         metrics = result.metrics
         metrics.compile_seconds = compile_seconds
-        if arrival is None:
-            arrival = session.clock
         # gang model: operator work stretches on slots/M cores, per-job
         # startup does not (see service.scheduler)
         stretch = metrics.operator_seconds * (self.scheduler.max_concurrency - 1)
         service_seconds = compile_seconds + metrics.total_seconds + stretch
+        timeout = self.config.query_timeout_s
+        if timeout is not None and service_seconds > timeout:
+            # can never finish in budget even with zero queueing:
+            # fail fast instead of occupying a gang
+            self.metrics.observe_timeout(session.name)
+            raise QueryTimeoutError(
+                f"query needs {service_seconds:.3f}s of service, over the "
+                f"{timeout:.3f}s per-query timeout",
+                timeout_s=timeout,
+                elapsed_s=service_seconds,
+            )
         try:
             ticket = self.scheduler.submit(session.name, service_seconds, arrival)
         except ServiceOverloadedError:
             self.metrics.observe_rejection(session.name)
+            self.breaker.record_rejection(self.scheduler.clock)
             raise
+        self.breaker.record_success()
         metrics.stretch_seconds = stretch
         pending = PendingQuery(session, sql, result, ticket, cache_hit)
         self._inflight[ticket.seq] = pending
@@ -227,7 +333,8 @@ class QueryService:
     def wait(self, pending: PendingQuery) -> Result:
         """Advance the simulation until ``pending`` completes and claim
         its completion; other queries completing on the way are parked
-        for :meth:`next_completion`."""
+        for :meth:`next_completion`. Raises :class:`QueryTimeoutError`
+        when the completed query blew the per-query timeout."""
         while not pending.finalized:
             ticket = self.scheduler.next_completion()
             if ticket is None:  # pragma: no cover - defensive
@@ -239,6 +346,15 @@ class QueryService:
             if other is not pending:
                 self._ready.append(other)
         self._inflight.pop(pending.ticket.seq, None)
+        if pending.timed_out:
+            timeout = self.config.query_timeout_s or 0.0
+            raise QueryTimeoutError(
+                f"query took {pending.metrics.elapsed_seconds:.3f}s "
+                f"(compile + queueing + execution), over the "
+                f"{timeout:.3f}s per-query timeout",
+                timeout_s=timeout,
+                elapsed_s=pending.metrics.elapsed_seconds,
+            )
         return pending.result
 
     def next_completion(self) -> Optional[PendingQuery]:
@@ -263,6 +379,10 @@ class QueryService:
         metrics.queue_seconds = pending.ticket.queue_seconds
         pending.session.clock = max(pending.session.clock, pending.ticket.finish)
         self.metrics.observe(pending.session.name, metrics, pending.cache_hit)
+        timeout = self.config.query_timeout_s
+        if timeout is not None and metrics.elapsed_seconds > timeout:
+            pending.timed_out = True
+            self.metrics.observe_timeout(pending.session.name)
         pending.finalized = True
 
     def _execute_passthrough(
@@ -286,6 +406,7 @@ class QueryService:
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.plan_cache.stats()
         snapshot["scheduler"] = self.scheduler.stats()
+        snapshot["breaker"] = self.breaker.stats()
         snapshot["active_sessions"] = sorted(self._sessions)
         return snapshot
 
@@ -296,6 +417,7 @@ class QueryService:
         sched = stats["scheduler"]
         lines = [
             f"queries {stats['queries']}  rejected {stats['rejected']}  "
+            f"timeouts {stats['timeouts']}  retries {stats['retries']}  "
             f"sessions {len(stats['sessions'])}",
             f"latency p50 {stats['latency_p50']:.3f}s  "
             f"p95 {stats['latency_p95']:.3f}s  "

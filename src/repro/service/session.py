@@ -20,12 +20,29 @@ operate on the shared catalog.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Dict, List, Optional, Union
 
 from ..catalog.catalog import ViewEntry
-from ..errors import CatalogError, CompileError, SessionClosedError
+from ..errors import (
+    CatalogError,
+    CompileError,
+    ServiceOverloadedError,
+    SessionClosedError,
+)
 from ..plan import Binder
 from ..sql import ast, parse_statement
+
+
+def _jitter_fraction(session_name: str, attempt: int) -> float:
+    """A deterministic uniform in [0, 1) seeded from (session, attempt),
+    so backoff jitter de-synchronizes retrying clients without making
+    the simulation non-reproducible."""
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(session_name.encode("utf-8"))
+    hasher.update(struct.pack("<q", attempt))
+    return int.from_bytes(hasher.digest(), "little") / float(2**64)
 
 
 class SessionCatalog:
@@ -252,9 +269,34 @@ class Session:
     def _execute_select(
         self, sql: str, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
     ):
+        """Submit-and-wait with client-side retry: admission rejections
+        (queue full, breaker open) are retried up to
+        ``ServiceConfig.retry_max_attempts`` times with exponential
+        backoff plus deterministic jitter. The backoff is a *simulated*
+        sleep — it advances this session's clock, so by the retry's
+        arrival time the scheduler has drained whatever the rejection's
+        ``retry_after_s`` hint predicted."""
         self._check_open()
-        pending = self._service.submit_select(self, sql, statement, self._merge(params))
-        return self._service.wait(pending)
+        config = self._service.config
+        attempts = max(1, config.retry_max_attempts)
+        delay = config.retry_backoff_s
+        merged = self._merge(params)
+        for attempt in range(1, attempts + 1):
+            try:
+                pending = self._service.submit_select(self, sql, statement, merged)
+            except ServiceOverloadedError as exc:
+                if attempt == attempts:
+                    raise
+                jitter = delay * config.retry_jitter * _jitter_fraction(
+                    self.name, attempt
+                )
+                # honor the service's hint when it is longer than our
+                # own backoff — retrying earlier would just be shed again
+                self.clock += max(delay + jitter, exc.retry_after_s)
+                delay *= config.retry_backoff_multiplier
+                self._service.metrics.observe_retry(self.name)
+                continue
+            return self._service.wait(pending)
 
     def __repr__(self):
         state = "closed" if self._closed else "open"

@@ -1,0 +1,356 @@
+"""Fault injection and recovery (repro.faults + the executor's recovery
+engine + docs/FAULTS.md determinism contract).
+
+The headline property: for any query and any seeded :class:`FaultPlan`,
+result rows AND their ordering are identical to a fault-free run, in
+both ``execution_mode="row"`` and ``"batch"`` — and the two modes charge
+bit-identical simulated metrics under injection too. Faults only
+perturb the simulated timeline (recovery/wasted/speculative seconds).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, TEST_CLUSTER
+from repro.engine.metrics import QueryMetrics
+from repro.errors import (
+    ExecutionError,
+    FaultRecoveryExhaustedError,
+    ResourceExhaustedError,
+    RuntimeTypeError,
+    TransientClusterError,
+)
+from repro.faults import DEFAULT_FAULT_PLAN, FaultInjector, FaultPlan
+from repro.types import Vector
+
+from tests.test_exec_modes import (
+    TABLE_A_ROWS,
+    TABLE_B_ROWS,
+    TABLE_V_ROWS,
+    _fingerprint,
+    scalar_queries,
+    vector_queries,
+)
+
+
+def _db(mode, fault_plan=None):
+    db = Database(
+        TEST_CLUSTER.with_updates(execution_mode=mode, fault_plan=fault_plan)
+    )
+    db.execute("CREATE TABLE ta (k INTEGER, x DOUBLE, g INTEGER)")
+    db.execute("CREATE TABLE tb (k INTEGER, y DOUBLE)")
+    db.execute("CREATE TABLE tv (id INTEGER, g INTEGER, v VECTOR[])")
+    db.load("ta", TABLE_A_ROWS)
+    db.load("tb", TABLE_B_ROWS)
+    db.load("tv", TABLE_V_ROWS)
+    return db
+
+
+#: randomized-but-recoverable plans: modest rates with a deep retry
+#: budget, so no draw sequence can exhaust recovery
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**16),
+    slot_crash_rate=st.floats(0.0, 0.12),
+    lost_partition_rate=st.floats(0.0, 0.12),
+    transient_error_rate=st.floats(0.0, 0.12),
+    straggler_rate=st.floats(0.0, 0.2),
+    straggler_multiplier=st.floats(1.5, 12.0),
+    max_partition_retries=st.just(8),
+)
+
+
+class TestFaultTransparencyProperty:
+    """Satellite 3: randomized queries x randomized seeded FaultPlans
+    produce rows and ordering identical to a fault-free run, in both
+    execution modes."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scalar_queries(), fault_plans)
+    def test_scalar_queries_fault_transparent(self, sql, plan):
+        self._assert_fault_transparent(sql, plan)
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(vector_queries(), fault_plans)
+    def test_vector_queries_fault_transparent(self, sql, plan):
+        self._assert_fault_transparent(sql, plan)
+
+    @staticmethod
+    def _assert_fault_transparent(sql, plan):
+        baseline = _db("batch").execute(sql).rows
+        row_result = _db("row", plan).execute(sql)
+        batch_result = _db("batch", plan).execute(sql)
+        # rows AND ordering identical to the fault-free run
+        assert row_result.rows == baseline
+        assert batch_result.rows == baseline
+        # both modes draw identical faults and charge identical time
+        assert _fingerprint(row_result.metrics) == _fingerprint(
+            batch_result.metrics
+        )
+        assert (
+            row_result.metrics.fault_events
+            == batch_result.metrics.fault_events
+        )
+
+
+class TestFaultPlan:
+    def test_enabled_only_with_nonzero_rates(self):
+        assert not FaultPlan().enabled
+        assert not FaultPlan(seed=42).enabled
+        assert FaultPlan(slot_crash_rate=0.01).enabled
+        assert FaultPlan(straggler_rate=0.01).enabled
+        assert DEFAULT_FAULT_PLAN.enabled
+
+    def test_with_updates(self):
+        plan = DEFAULT_FAULT_PLAN.with_updates(seed=9, straggler_rate=0.0)
+        assert plan.seed == 9
+        assert plan.straggler_rate == 0.0
+        assert plan.slot_crash_rate == DEFAULT_FAULT_PLAN.slot_crash_rate
+
+    def test_all_zero_plan_is_a_healthy_cluster(self):
+        """A configured-but-disabled plan costs nothing: identical
+        metrics to fault_plan=None."""
+        sql = "SELECT ta.g, SUM(ta.x) FROM ta GROUP BY ta.g"
+        none_result = _db("batch").execute(sql)
+        zero_result = _db("batch", FaultPlan(seed=7)).execute(sql)
+        assert _fingerprint(none_result.metrics) == _fingerprint(
+            zero_result.metrics
+        )
+        assert zero_result.metrics.recovery_seconds == 0.0
+
+
+class TestFaultInjector:
+    def test_draws_are_pure_functions_of_coordinates(self):
+        a = FaultInjector(FaultPlan(seed=5, slot_crash_rate=0.5))
+        b = FaultInjector(FaultPlan(seed=5, slot_crash_rate=0.5))
+        for op_index in range(8):
+            for slot in range(4):
+                assert a.crash_fraction(op_index, slot, 0) == b.crash_fraction(
+                    op_index, slot, 0
+                )
+                assert a.straggler_factor(op_index, slot) == b.straggler_factor(
+                    op_index, slot
+                )
+                assert a.partition_lost(op_index, slot) == b.partition_lost(
+                    op_index, slot
+                )
+            assert a.transient_error(op_index, 0) == b.transient_error(
+                op_index, 0
+            )
+
+    def test_seed_changes_the_draw_sequence(self):
+        a = FaultInjector(FaultPlan(seed=1, transient_error_rate=0.5))
+        b = FaultInjector(FaultPlan(seed=2, transient_error_rate=0.5))
+        draws_a = [a.transient_error(i, 0) for i in range(64)]
+        draws_b = [b.transient_error(i, 0) for i in range(64)]
+        assert draws_a != draws_b
+
+    def test_event_counters(self):
+        injector = FaultInjector(DEFAULT_FAULT_PLAN)
+        injector.count("slot_crash")
+        injector.count("slot_crash")
+        injector.count("straggler", 3)
+        assert injector.total_events == 5
+        assert injector.snapshot() == {"slot_crash": 2, "straggler": 3}
+
+
+GROUPED_SQL = "SELECT ta.g, SUM(ta.x), COUNT(*) FROM ta GROUP BY ta.g"
+
+
+class TestRecovery:
+    def test_transient_error_reruns_the_exchange(self):
+        """A transient exchange failure triggers genuine re-execution:
+        the failed attempt stays in the profile, an extra job startup is
+        charged, and rows stay identical."""
+        baseline = _db("batch").execute(GROUPED_SQL)
+        plan = FaultPlan(seed=3, transient_error_rate=0.5)
+        result = _db("batch", plan).execute(GROUPED_SQL)
+        assert result.rows == baseline.rows
+        metrics = result.metrics
+        assert metrics.fault_events.get("transient_error", 0) > 0
+        failed = [
+            op for op in metrics.operators if "[failed attempt]" in op.name
+        ]
+        assert len(failed) == metrics.fault_events["transient_error"]
+        assert metrics.jobs == baseline.metrics.jobs + len(failed)
+        assert metrics.recovery_seconds > 0.0
+
+    def test_transient_retry_budget_exhaustion(self):
+        plan = FaultPlan(seed=0, transient_error_rate=1.0)
+        with pytest.raises(FaultRecoveryExhaustedError) as excinfo:
+            _db("batch", plan).execute(GROUPED_SQL)
+        exc = excinfo.value
+        assert exc.operator is not None and "Exchange" in exc.operator
+        assert isinstance(exc.plan_position, int)
+        assert isinstance(exc.__cause__, TransientClusterError)
+
+    def test_slot_crashes_extend_the_timeline_only(self):
+        baseline = _db("batch").execute(GROUPED_SQL)
+        plan = FaultPlan(seed=1, slot_crash_rate=0.4, max_partition_retries=12)
+        result = _db("batch", plan).execute(GROUPED_SQL)
+        assert result.rows == baseline.rows
+        metrics = result.metrics
+        assert metrics.fault_events.get("slot_crash", 0) > 0
+        assert metrics.wasted_seconds > 0.0
+        assert metrics.recovery_seconds > 0.0
+        # crash detection + redo make the run strictly slower
+        assert metrics.total_seconds > baseline.metrics.total_seconds
+
+    def test_stragglers_and_speculation(self):
+        baseline = _db("batch").execute(GROUPED_SQL)
+        plan = FaultPlan(
+            seed=2, straggler_rate=1.0, straggler_multiplier=20.0
+        )
+        result = _db("batch", plan).execute(GROUPED_SQL)
+        assert result.rows == baseline.rows
+        metrics = result.metrics
+        assert metrics.fault_events.get("straggler", 0) > 0
+        assert metrics.fault_events.get("speculation_win", 0) > 0
+        assert metrics.speculative_seconds > 0.0
+        # speculation caps the slowdown: without it the same plan is
+        # strictly slower
+        no_spec = plan.with_updates(speculation=False)
+        slower = _db("batch", no_spec).execute(GROUPED_SQL)
+        assert slower.rows == baseline.rows
+        assert slower.metrics.total_seconds > metrics.total_seconds
+        assert slower.metrics.speculative_seconds == 0.0
+
+    def test_lost_partitions_recomputed_from_lineage(self):
+        baseline = _db("batch").execute(GROUPED_SQL)
+        plan = FaultPlan(seed=0, lost_partition_rate=1.0)
+        result = _db("batch", plan).execute(GROUPED_SQL)
+        assert result.rows == baseline.rows
+        metrics = result.metrics
+        assert metrics.fault_events.get("lost_partition", 0) > 0
+        assert metrics.recovery_seconds > 0.0
+        assert metrics.total_seconds > baseline.metrics.total_seconds
+
+    def test_same_seed_is_bit_identical_and_seeds_differ(self):
+        plan = DEFAULT_FAULT_PLAN
+        first = _db("batch", plan).execute(GROUPED_SQL)
+        second = _db("batch", plan).execute(GROUPED_SQL)
+        assert _fingerprint(first.metrics) == _fingerprint(second.metrics)
+        reseeded = _db(
+            "batch", plan.with_updates(seed=12345)
+        ).execute(GROUPED_SQL)
+        assert reseeded.rows == first.rows  # rows never depend on seed
+
+
+class TestOperatorContext:
+    """Satellite 1: mid-plan failures carry operator name and plan
+    position via attributes and chaining, never string concatenation."""
+
+    def test_runtime_error_is_annotated(self):
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE mixed (id INTEGER, v VECTOR[])")
+        db.load(
+            "mixed", [(1, Vector([1.0, 2.0])), (2, Vector([1.0, 2.0, 3.0]))]
+        )
+        with pytest.raises(RuntimeTypeError) as excinfo:
+            db.execute(
+                "SELECT a.id, b.id, inner_product(a.v, b.v) "
+                "FROM mixed a, mixed b"
+            )
+        exc = excinfo.value
+        assert exc.operator is not None
+        assert isinstance(exc.plan_position, int)
+        # the context is rendered, not baked into the message payload
+        assert "plan position" in str(exc)
+        assert "plan position" not in exc.args[0]
+
+    def test_unannotated_execution_error_renders_plain(self):
+        assert str(ExecutionError("boom")) == "boom"
+
+    def test_resource_exhaustion_is_annotated(self):
+        """Satellite 4: the ResourceExhaustedError path in
+        engine/cluster.py, surfaced with operator context."""
+        db = Database(TEST_CLUSTER.with_updates(worker_memory=4000.0))
+        db.execute("CREATE TABLE t (k INTEGER, x DOUBLE)")
+        db.load("t", [(i % 2, float(i)) for i in range(200)])
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            db.execute(
+                "SELECT a.k, SUM(a.x * b.x) FROM t a, t b "
+                "WHERE a.k = b.k GROUP BY a.k"
+            )
+        exc = excinfo.value
+        assert exc.operator is not None
+        assert isinstance(exc.plan_position, int)
+        assert "needs" in exc.args[0]
+
+
+class TestCheckpointLifecycle:
+    """Satellite 4: checkpointed exchange outputs are evicted when the
+    query completes — on success and on failure."""
+
+    def test_eviction_on_success(self):
+        db = _db("batch", DEFAULT_FAULT_PLAN)
+        store = db._executor.checkpoints
+        evicted_before = store.evicted
+        db.execute(GROUPED_SQL)
+        assert len(store) == 0
+        assert store.evicted > evicted_before  # something was checkpointed
+
+    def test_eviction_on_failure(self):
+        db = _db("batch", FaultPlan(seed=0, transient_error_rate=1.0))
+        store = db._executor.checkpoints
+        with pytest.raises(FaultRecoveryExhaustedError):
+            db.execute(GROUPED_SQL)
+        assert len(store) == 0
+
+    def test_no_checkpoints_without_faults(self):
+        db = _db("batch")
+        db.execute(GROUPED_SQL)
+        store = db._executor.checkpoints
+        assert len(store) == 0
+        assert store.evicted == 0
+
+
+class TestMetricsPlumbing:
+    def test_merge_sums_fault_fields(self):
+        a = QueryMetrics(
+            recovery_seconds=1.0,
+            wasted_seconds=0.5,
+            speculative_seconds=0.25,
+            fault_events={"slot_crash": 2},
+        )
+        b = QueryMetrics(
+            recovery_seconds=2.0,
+            wasted_seconds=1.5,
+            speculative_seconds=0.75,
+            fault_events={"slot_crash": 1, "straggler": 4},
+        )
+        merged = a.merge(b)
+        assert merged.recovery_seconds == 3.0
+        assert merged.wasted_seconds == 2.0
+        assert merged.speculative_seconds == 1.0
+        assert merged.fault_events == {"slot_crash": 3, "straggler": 4}
+
+    def test_report_shows_faults_line_only_under_injection(self):
+        clean = _db("batch").execute(GROUPED_SQL).metrics
+        assert "FAULTS" not in clean.report()
+        faulted = _db(
+            "batch", FaultPlan(seed=1, slot_crash_rate=0.4)
+        ).execute(GROUPED_SQL).metrics
+        assert "FAULTS" in faulted.report()
+
+
+class TestFaultBench:
+    def test_smoke_sweep_is_clean_and_non_vacuous(self):
+        from repro.bench.faultbench import format_faults, run_fault_bench
+
+        report = run_fault_bench(smoke=True)
+        assert report.ok()
+        assert report.success_rate == 1.0
+        assert report.total_events > 0
+        text = format_faults(report)
+        assert "success rate 100.0%" in text
+        assert "bit-identical" in text

@@ -1,0 +1,231 @@
+"""Service-side robustness: per-query timeouts, client retry with
+exponential backoff + jitter, and the circuit breaker (docs/SERVICE.md).
+"""
+
+import pytest
+
+from repro import Database, TEST_CLUSTER
+from repro.errors import QueryTimeoutError, ServiceOverloadedError
+from repro.service import CircuitBreaker, QueryService, ServiceConfig
+from repro.service.session import _jitter_fraction
+
+SQL = "SELECT SUM(x) FROM t"
+
+
+def _db():
+    db = Database(TEST_CLUSTER)
+    db.execute("CREATE TABLE t (k INTEGER, x DOUBLE)")
+    db.load("t", [(i % 4, float(i)) for i in range(30)])
+    return db
+
+
+def _service(**overrides):
+    return QueryService(_db(), ServiceConfig(**overrides))
+
+
+class TestQueryTimeout:
+    def test_hopeless_query_fails_fast(self):
+        """A query whose own service demand exceeds the budget is
+        rejected before it occupies a gang."""
+        service = _service(query_timeout_s=0.001)
+        with service.session() as session:
+            with pytest.raises(QueryTimeoutError) as excinfo:
+                session.execute(SQL)
+        exc = excinfo.value
+        assert exc.timeout_s == 0.001
+        assert exc.elapsed_s > exc.timeout_s
+        assert service.metrics.timeouts == 1
+        # nothing was admitted
+        assert service.scheduler.admitted == 0
+
+    def test_queueing_can_blow_the_budget(self):
+        """A feasible query that waits too long in admission times out
+        at completion; the timeout counts queue time."""
+        probe = _service(max_concurrency=1)
+        with probe.session() as s:
+            demand = s.execute(SQL).metrics.elapsed_seconds
+        # budget fits the query alone but not query + queueing
+        service = _service(
+            max_concurrency=1, query_timeout_s=demand * 1.1
+        )
+        first = service.session()
+        second = service.session()
+        first.submit(SQL)  # occupies the only gang
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            second.execute(SQL)  # queued behind it, finishes late
+        assert excinfo.value.elapsed_s > excinfo.value.timeout_s
+        assert service.metrics.timeouts == 1
+
+    def test_no_timeout_by_default(self):
+        service = _service(max_concurrency=1)
+        a, b = service.session(), service.session()
+        a.submit(SQL)
+        assert b.execute(SQL).scalar() == sum(float(i) for i in range(30))
+        assert service.metrics.timeouts == 0
+
+
+class TestRetryWithBackoff:
+    def test_rejection_is_retried_until_capacity_frees(self):
+        service = _service(
+            max_concurrency=1,
+            admission_queue_limit=0,
+            retry_max_attempts=3,
+            retry_backoff_s=0.5,
+        )
+        a, b = service.session(), service.session()
+        a.submit(SQL)  # the only gang is busy
+        result = b.execute(SQL)  # rejected once, backs off, succeeds
+        assert result.scalar() == sum(float(i) for i in range(30))
+        assert service.metrics.retries >= 1
+        assert service.metrics.rejected >= 1
+        # the backoff was a simulated sleep: the session clock moved
+        assert b.clock > 0.0
+
+    def test_backoff_honors_the_retry_after_hint(self):
+        service = _service(
+            max_concurrency=1,
+            admission_queue_limit=0,
+            retry_max_attempts=2,
+            retry_backoff_s=1e-9,  # own backoff is negligible
+        )
+        a, b = service.session(), service.session()
+        pending = a.submit(SQL)
+        result = b.execute(SQL)
+        # the client slept at least until the hinted capacity release
+        assert b.clock >= pending.ticket.finish
+        assert result.scalar() == sum(float(i) for i in range(30))
+
+    def test_attempts_are_bounded(self):
+        service = _service(
+            max_concurrency=1, admission_queue_limit=0, retry_max_attempts=1
+        )
+        a, b = service.session(), service.session()
+        a.submit(SQL)
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            b.execute(SQL)
+        assert excinfo.value.retry_after_s > 0.0
+        assert service.metrics.retries == 0
+
+    def test_jitter_is_deterministic_and_spread(self):
+        assert _jitter_fraction("s1", 1) == _jitter_fraction("s1", 1)
+        draws = {
+            _jitter_fraction(name, attempt)
+            for name in ("s1", "s2", "s3")
+            for attempt in (1, 2, 3)
+        }
+        assert len(draws) == 9
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+
+class TestRetryAfterHint:
+    def test_populated_from_queue_backlog(self):
+        service = _service(max_concurrency=1, admission_queue_limit=1)
+        sessions = [service.session() for _ in range(3)]
+        sessions[0].submit(SQL)  # running
+        sessions[1].submit(SQL)  # waiting (fills the queue)
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            sessions[2].submit(SQL)
+        exc = excinfo.value
+        assert exc.queue_depth == 1
+        assert exc.queue_limit == 1
+        # next-free time plus the waiting query's demand over the gangs
+        assert exc.retry_after_s == pytest.approx(
+            service.scheduler.retry_after_estimate()
+        )
+        assert exc.retry_after_s > 0.0
+
+    def test_deeper_backlogs_hint_longer_waits(self):
+        shallow = _service(max_concurrency=1, admission_queue_limit=1)
+        deep = _service(max_concurrency=1, admission_queue_limit=3)
+        hints = []
+        for service, waiters in ((shallow, 1), (deep, 3)):
+            sessions = [service.session() for _ in range(waiters + 2)]
+            for session in sessions[:-1]:
+                session.submit(SQL)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                sessions[-1].submit(SQL)
+            hints.append(excinfo.value.retry_after_s)
+        assert hints[1] > hints[0]
+
+
+class TestCircuitBreaker:
+    def test_unit_lifecycle(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0)
+        breaker.check(0.0)  # closed: no-op
+        breaker.record_rejection(0.0)
+        breaker.check(0.0)  # one rejection: still closed
+        breaker.record_rejection(0.0)  # second trips it
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            breaker.check(4.0)
+        assert excinfo.value.retry_after_s == pytest.approx(6.0)
+        assert breaker.opened == 1
+        assert breaker.shed == 1
+        breaker.check(10.0)  # cooldown over: half-open probe allowed
+        breaker.record_success()
+        breaker.check(10.0)  # closed again
+
+    def test_disabled_by_default(self):
+        breaker = CircuitBreaker(threshold=0, cooldown_s=10.0)
+        for _ in range(20):
+            breaker.record_rejection(0.0)
+        breaker.check(0.0)  # never opens
+        assert breaker.opened == 0
+
+    def test_sheds_load_without_executing(self):
+        service = _service(
+            max_concurrency=1,
+            admission_queue_limit=0,
+            breaker_threshold=2,
+            breaker_cooldown_s=50.0,
+        )
+        blocker = service.session()
+        client = service.session()
+        blocker.submit(SQL)
+        for _ in range(2):  # trip the breaker
+            with pytest.raises(ServiceOverloadedError):
+                client.submit(SQL)
+        assert service.breaker.stats()["open"]
+        queries_before = service.db.cluster.metrics  # noqa: F841
+        admitted_before = service.scheduler.admitted
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            client.submit(SQL)
+        # shed at the door: the scheduler never saw the submission
+        assert service.scheduler.admitted == admitted_before
+        assert excinfo.value.retry_after_s > 0.0
+        assert service.breaker.stats()["shed"] == 1
+
+    def test_recovers_after_cooldown(self):
+        service = _service(
+            max_concurrency=1,
+            admission_queue_limit=0,
+            breaker_threshold=1,
+            breaker_cooldown_s=0.5,
+            retry_max_attempts=4,
+            retry_backoff_s=0.25,
+        )
+        blocker = service.session()
+        client = service.session()
+        blocker.submit(SQL)
+        # retry loop: rejected (trips breaker), shed while open, then
+        # the cooldown passes during backoff and the probe succeeds
+        result = client.execute(SQL)
+        assert result.scalar() == sum(float(i) for i in range(30))
+        assert service.breaker.opened >= 1
+        assert not service.breaker.stats()["open"]
+
+    def test_stats_surface_robustness_counters(self):
+        service = _service(
+            max_concurrency=1,
+            admission_queue_limit=0,
+            retry_max_attempts=2,
+        )
+        a, b = service.session(), service.session()
+        a.submit(SQL)
+        b.execute(SQL)
+        stats = service.stats()
+        assert stats["retries"] == 1
+        assert stats["rejected"] == 1
+        assert stats["timeouts"] == 0
+        assert "breaker" in stats
+        report = service.report()
+        assert "retries 1" in report
