@@ -22,7 +22,18 @@ from .figures import (
     rst_experiment,
 )
 
-TARGETS = ("fig1", "fig2", "fig3", "fig4", "rst", "serve", "exec", "faults", "all")
+TARGETS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "rst",
+    "serve",
+    "exec",
+    "faults",
+    "trace",
+    "all",
+)
 
 
 def run_serve_target(
@@ -66,6 +77,14 @@ def run_faults_target(seed: int = 0, smoke: bool = False) -> "tuple":
     return format_faults(report), report.ok()
 
 
+def run_trace_target(smoke: bool = False) -> "tuple":
+    """Returns (report text, ok) for the estimate-accuracy benchmark."""
+    from .tracebench import format_trace, run_trace_bench
+
+    report = run_trace_bench(smoke=smoke)
+    return format_trace(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -83,6 +102,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return run_exec_target()[0]
     if target == "faults":
         return run_faults_target()[0]
+    if target == "trace":
+        return run_trace_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -133,14 +154,15 @@ def main(argv=None) -> int:
     serve_group.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed (serve)"
     )
-    exec_group = parser.add_argument_group("exec/faults options")
+    exec_group = parser.add_argument_group("exec/faults/trace options")
     exec_group.add_argument(
         "--check",
         action="store_true",
         help="smoke mode: smaller workloads, nonzero exit when the two "
         "execution modes diverge or batch regresses wall-clock (exec), "
-        "or when a fault-injected run fails or diverges from the "
-        "fault-free baseline (faults)",
+        "when a fault-injected run fails or diverges from the "
+        "fault-free baseline (faults), or when operator traces disagree "
+        "with delivered results or across modes (trace)",
     )
     exec_group.add_argument(
         "--repeats",
@@ -164,6 +186,17 @@ def main(argv=None) -> int:
                 "faults check FAILED: a fault-injected run failed, "
                 "diverged from the fault-free baseline, or injected "
                 "no faults"
+            )
+            return 1
+        return 0
+    if args.target == "trace":
+        text, ok = run_trace_target(smoke=args.check)
+        print(text)
+        if args.check and not ok:
+            print(
+                "trace check FAILED: traced row counts diverged from "
+                "delivered results, an operator lacked estimates, or "
+                "the two execution modes traced differently"
             )
             return 1
         return 0

@@ -2,7 +2,7 @@
 
 from .catalog import Catalog, TableEntry, ViewEntry
 from .schema import Column, Schema
-from .statistics import ColumnStats, TableStats, collect_stats
+from .statistics import ColumnStats, TableStats, append_stats, collect_stats
 
 __all__ = [
     "Catalog",
@@ -12,5 +12,6 @@ __all__ = [
     "TableEntry",
     "TableStats",
     "ViewEntry",
+    "append_stats",
     "collect_stats",
 ]

@@ -5,12 +5,19 @@ catalog records *observed tensor dimensions* for columns whose VECTOR or
 MATRIX type left dimensions unspecified in the schema. This lets the
 optimizer cost plans over ``VECTOR[]`` data nearly as accurately as over
 fully declared types (section 4.1 of the paper).
+
+Statistics must track DML: every INSERT / INSERT ... SELECT / CTAS /
+DELETE refreshes them (``Database._refresh_stats``), since stale row
+counts or tensor dims would silently mis-cost every subsequent plan.
+Appends are handled incrementally — :func:`collect_stats` keeps its
+value/shape accumulator sets on the stats objects, and
+:func:`append_stats` folds the new rows in without rescanning the table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from ..types import DataType, Matrix, MatrixType, Vector, VectorType
 
@@ -24,6 +31,11 @@ class ColumnStats:
     observed_length: Optional[int] = None
     observed_rows: Optional[int] = None
     observed_cols: Optional[int] = None
+    #: accumulators carried for incremental refresh on append; ``None``
+    #: means "not tracked" (e.g. an unhashable scalar column)
+    value_set: Optional[Set] = field(default=None, repr=False, compare=False)
+    length_set: Optional[Set[int]] = field(default=None, repr=False, compare=False)
+    shape_set: Optional[Set[tuple]] = field(default=None, repr=False, compare=False)
 
     def refine_type(self, declared: DataType) -> DataType:
         """The declared type with unknown dimensions filled from observed
@@ -48,6 +60,9 @@ class TableStats:
 
     row_count: int = 0
     columns: Dict[str, ColumnStats] = field(default_factory=dict)
+    #: True when the per-column accumulator sets are populated, so
+    #: :func:`append_stats` can refresh incrementally
+    incremental: bool = field(default=False, repr=False, compare=False)
 
     def column(self, name: str) -> ColumnStats:
         return self.columns.setdefault(name.lower(), ColumnStats())
@@ -57,37 +72,82 @@ class TableStats:
         return stats.distinct if stats else None
 
 
+def _tensor_observed(col_stats: ColumnStats) -> None:
+    """Re-derive the observed dims from the accumulator sets: dims are
+    only trusted when every value agrees on them."""
+    lengths = col_stats.length_set or set()
+    shapes = col_stats.shape_set or set()
+    col_stats.observed_length = (
+        next(iter(lengths)) if len(lengths) == 1 else None
+    )
+    if len(shapes) == 1:
+        col_stats.observed_rows, col_stats.observed_cols = next(iter(shapes))
+    else:
+        col_stats.observed_rows = col_stats.observed_cols = None
+
+
 def collect_stats(schema, rows) -> TableStats:
     """Scan rows once and build statistics: row count, per-column distinct
     counts (for scalar columns), and observed tensor dimensions."""
-    stats = TableStats(row_count=len(rows))
+    stats = TableStats(row_count=len(rows), incremental=True)
     for position, column in enumerate(schema):
         col_stats = stats.column(column.name)
         declared = column.data_type
         if isinstance(declared, (VectorType, MatrixType)):
-            lengths = set()
-            shapes = set()
+            col_stats.length_set = set()
+            col_stats.shape_set = set()
             for row in rows:
                 value = row[position]
                 if isinstance(value, Vector):
-                    lengths.add(value.length)
+                    col_stats.length_set.add(value.length)
                 elif isinstance(value, Matrix):
-                    shapes.add(value.shape)
-            if len(lengths) == 1:
-                col_stats.observed_length = lengths.pop()
-            if len(shapes) == 1:
-                rows_dim, cols_dim = shapes.pop()
-                col_stats.observed_rows = rows_dim
-                col_stats.observed_cols = cols_dim
+                    col_stats.shape_set.add(value.shape)
+            _tensor_observed(col_stats)
         else:
-            values = set()
-            hashable = True
+            values: Optional[Set] = set()
             for row in rows:
                 try:
                     values.add(row[position])
                 except TypeError:
-                    hashable = False
+                    values = None
                     break
-            if hashable:
-                col_stats.distinct = len(values)
+            col_stats.value_set = values
+            col_stats.distinct = len(values) if values is not None else None
     return stats
+
+
+def append_stats(stats: TableStats, schema, rows) -> bool:
+    """Fold appended ``rows`` into existing ``stats`` without rescanning
+    the table. Returns False when the stats carry no accumulators (e.g.
+    hand-built fixtures) — callers then fall back to a full
+    :func:`collect_stats` pass."""
+    if not stats.incremental:
+        return False
+    rows = list(rows)
+    for position, column in enumerate(schema):
+        col_stats = stats.column(column.name)
+        declared = column.data_type
+        if isinstance(declared, (VectorType, MatrixType)):
+            if col_stats.length_set is None or col_stats.shape_set is None:
+                return False
+            for row in rows:
+                value = row[position]
+                if isinstance(value, Vector):
+                    col_stats.length_set.add(value.length)
+                elif isinstance(value, Matrix):
+                    col_stats.shape_set.add(value.shape)
+            _tensor_observed(col_stats)
+        elif col_stats.value_set is not None:
+            for row in rows:
+                try:
+                    col_stats.value_set.add(row[position])
+                except TypeError:
+                    col_stats.value_set = None
+                    col_stats.distinct = None
+                    break
+            if col_stats.value_set is not None:
+                col_stats.distinct = len(col_stats.value_set)
+        # value_set is None: the column is (or became) unhashable —
+        # distinct stays unknown, appends cannot change that
+    stats.row_count += len(rows)
+    return True

@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .catalog import Catalog, Schema, TableEntry, collect_stats
+from .catalog import Catalog, Schema, TableEntry, append_stats, collect_stats
 from .config import ClusterConfig
 from .engine import Cluster, Executor, PartitionedTable, QueryMetrics
 from .errors import CompileError, ExecutionError
@@ -167,11 +167,20 @@ class Database:
             tuple(_convert_value(value) for value in row) for row in rows
         ]
         count = entry.storage.insert_many(converted)
-        self._refresh_stats(entry)
+        self._refresh_stats(entry, appended=converted)
         return count
 
-    def _refresh_stats(self, entry: TableEntry) -> None:
-        entry.stats = collect_stats(entry.schema, entry.storage.all_rows())
+    def _refresh_stats(
+        self, entry: TableEntry, appended: Optional[List[tuple]] = None
+    ) -> None:
+        """Refresh ``entry``'s statistics after a DML statement. When the
+        statement only appended rows, pass them via ``appended`` and the
+        accumulator sets kept by ``collect_stats`` are updated in place
+        instead of rescanning the whole table; deletes always rescan."""
+        if appended is None or not append_stats(
+            entry.stats, entry.schema, appended
+        ):
+            entry.stats = collect_stats(entry.schema, entry.storage.all_rows())
         # statistics feed refined types and size estimates into plans, so
         # every refresh invalidates cached plans via the catalog version
         self.catalog.bump_version()
@@ -221,6 +230,33 @@ class Database:
             text += f"\n== estimated cost ==\n{self.cost_model.plan_cost(logical):.2f}s"
         return text
 
+    def explain_analyze(
+        self, sql: str, params: Optional[Dict[str, object]] = None
+    ) -> str:
+        """Execute a SELECT and render its physical plan with the cost
+        model's estimated rows/bytes/seconds next to the measured
+        actuals, plus a per-operator cardinality q-error column — the
+        feedback loop that shows whether the LA-aware estimates the
+        optimizer planned with (section 4) were right."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise CompileError("EXPLAIN ANALYZE supports SELECT statements only")
+        logical = self._plan_select(statement, params)
+        physical = self._plan_physical(logical)
+        result = self._execute_physical(logical, physical)
+        trace = result.metrics.trace
+        assert trace is not None
+        lines = [trace.render()]
+        lines.append(
+            f"delivered {len(result.rows)} row(s) in "
+            f"{result.metrics.total_seconds:.3f} simulated s "
+            f"({result.metrics.jobs} job(s))"
+        )
+        worst = trace.max_q_error()
+        if worst is not None:
+            lines.append(f"worst cardinality q-error {worst:.2f}")
+        return "\n".join(lines)
+
     # -- statement dispatch ------------------------------------------------------
 
     def _execute_statement(
@@ -240,7 +276,7 @@ class Database:
             self.create_table(statement.name, columns)
             entry = self.catalog.table(statement.name)
             entry.storage.insert_many(result.rows)
-            self._refresh_stats(entry)
+            self._refresh_stats(entry, appended=result.rows)
             return result
         if isinstance(statement, ast.CreateView):
             if statement.temporary:
@@ -267,8 +303,9 @@ class Database:
             entry = self.catalog.table(statement.table)
             binder = Binder(self.catalog, params)
             rows = binder.bind_insert_rows(entry.schema.types, statement.rows)
-            entry.storage.insert_many([tuple(row) for row in rows])
-            self._refresh_stats(entry)
+            inserted = [tuple(row) for row in rows]
+            entry.storage.insert_many(inserted)
+            self._refresh_stats(entry, appended=inserted)
             return Result([], [])
         if isinstance(statement, ast.InsertSelect):
             return self._run_insert_select(statement, params)
@@ -310,7 +347,7 @@ class Database:
                 )
             )
         entry.storage.insert_many(coerced)
-        self._refresh_stats(entry)
+        self._refresh_stats(entry, appended=coerced)
         return Result([], [], result.metrics)
 
     def _run_delete(
@@ -410,6 +447,10 @@ class Database:
 
     def _execute_physical(self, logical, physical) -> Result:
         rows, metrics = self._executor.run(physical)
+        if metrics.trace is not None:
+            # annotate estimates here (not in the executor) so both
+            # direct execution and service-cached plans carry them
+            self.cost_model.annotate_trace(metrics.trace, physical)
         columns = [column.name for column in logical.columns]
         return Result(columns, rows, metrics)
 

@@ -9,7 +9,7 @@ from .cluster import (
     value_bytes,
 )
 from .executor import CheckpointStore, Executor, count_job_boundaries
-from .metrics import OperatorMetrics, QueryMetrics
+from .metrics import OperatorMetrics, OperatorTrace, QueryMetrics
 from .storage import (
     BROADCAST,
     ROUND_ROBIN,
@@ -28,6 +28,7 @@ __all__ = [
     "Executor",
     "OperatorMetrics",
     "OperatorRun",
+    "OperatorTrace",
     "PartitionedTable",
     "Partitioning",
     "QueryMetrics",

@@ -57,7 +57,7 @@ from ..plan.physical import (
     PSortLimit,
 )
 from .cluster import Cluster, row_bytes, stable_hash, value_bytes
-from .metrics import OperatorMetrics, QueryMetrics
+from .metrics import OperatorMetrics, OperatorTrace, QueryMetrics
 from .storage import (
     BROADCAST,
     ROUND_ROBIN,
@@ -171,24 +171,66 @@ class Executor:
         self.checkpoints = CheckpointStore()
         #: pre-order position of the operator currently being dispatched
         self._op_sequence = 0
+        #: per-plan-node bookkeeping for the OperatorTrace tree
+        self._node_ops: Dict[int, OperatorMetrics] = {}
+        self._node_index: Dict[int, int] = {}
+        self._node_retries: Dict[int, int] = {}
+        self._node_faults: Dict[int, int] = {}
 
     def run(self, plan: PhysicalNode) -> Tuple[List[tuple], QueryMetrics]:
         """Execute a plan; returns (all result rows, metrics for this
-        statement). The cluster's running metrics are reset first."""
+        statement, carrying the per-operator estimate-vs-actual trace).
+        The cluster's running metrics are reset first."""
         self.cluster.reset_metrics()
         self._materialized.clear()
         self._op_sequence = 0
+        self._node_ops.clear()
+        self._node_index.clear()
+        self._node_retries.clear()
+        self._node_faults.clear()
         try:
             for _ in range(max(1, count_job_boundaries(plan))):
                 self.cluster.record_job()
             relation = self.execute(plan)
+            # snapshot the trace before lineage memos are dropped (and
+            # after all fault rewrites of operator timings landed)
+            trace = self._build_trace(plan)
             metrics = self.cluster.reset_metrics()
+            metrics.trace = trace
             return relation.all_rows(), metrics
         finally:
             # the query is over (either way): drop lineage memos and
             # evict this query's checkpointed exchange outputs
             self._materialized.clear()
             self.checkpoints.clear()
+
+    def _build_trace(self, node: PhysicalNode) -> OperatorTrace:
+        """The OperatorTrace tree mirroring ``node``'s plan shape, with
+        the measured actuals of this run filled in."""
+        key = id(node)
+        trace = OperatorTrace(
+            name=node.describe(),
+            op_index=self._node_index.get(key, 0),
+            children=[self._build_trace(child) for child in node.children()],
+            retries=self._node_retries.get(key, 0),
+            fault_count=self._node_faults.get(key, 0),
+        )
+        op = self._node_ops.get(key)
+        if op is not None:
+            trace.rows_in = op.rows_in
+            trace.rows_out = op.rows_out
+            trace.wall_seconds = op.wall_seconds
+            trace.network_bytes = op.network_bytes
+            trace.skew_ratio = op.skew_ratio
+        relation = self._materialized.get(key)
+        if relation is not None:
+            # materialized output bytes; partition sizes were already
+            # computed (and cached) by the memory check
+            trace.bytes_out = sum(
+                relation.partition_total_bytes(slot)
+                for slot in range(len(relation.partitions))
+            )
+        return trace
 
     # -- dispatch ------------------------------------------------------------
 
@@ -202,7 +244,9 @@ class Executor:
         op_index = self._op_sequence
         self._op_sequence += 1
         try:
-            relation = self._run_operator(node, handler, op_index)
+            relation, own, retries, faults = self._run_operator(
+                node, handler, op_index
+            )
             self.cluster.check_memory_relation(node.describe(), relation)
         except ExecutionError as exc:
             # annotate with the operator the failure surfaced in; inner
@@ -213,9 +257,16 @@ class Executor:
                 exc.plan_position = op_index
             raise
         self._materialized[id(node)] = relation
+        self._node_index[id(node)] = op_index
+        self._node_retries[id(node)] = retries
+        self._node_faults[id(node)] = faults
+        if own is not None:
+            self._node_ops[id(node)] = own
         return relation
 
-    def _run_operator(self, node, handler, op_index: int) -> DistributedRelation:
+    def _run_operator(
+        self, node, handler, op_index: int
+    ) -> Tuple[DistributedRelation, Optional[OperatorMetrics], int, int]:
         """Run one operator's handler, injecting faults and charging
         recovery when a FaultPlan is active.
 
@@ -227,10 +278,17 @@ class Executor:
         checkpointed producer's timeline with the recompute."""
         injector = self.injector
         if injector is None:
-            return handler(node)
+            metrics = self.cluster.metrics
+            before = len(metrics.operators)
+            relation = handler(node)
+            # children record their operators first; the handler's own
+            # record is the last one appended
+            own = metrics.operators[-1] if len(metrics.operators) > before else None
+            return relation, own, 0, 0
         metrics = self.cluster.metrics
         plan = injector.plan
         failures = 0
+        faults_before = sum(metrics.fault_events.values())
         while True:
             before = len(metrics.operators)
             relation = handler(node)
@@ -262,7 +320,8 @@ class Executor:
             self._apply_lost_inputs(node, op_index)
             if isinstance(node, PExchange) and node.is_job_boundary:
                 self.checkpoints.put(id(node), relation, own)
-        return relation
+        faults = sum(metrics.fault_events.values()) - faults_before
+        return relation, own, failures, faults
 
     def _count(self, kind: str) -> None:
         """Record one injected fault, both per-statement (QueryMetrics)

@@ -9,7 +9,7 @@ time for the tuple-based vs. vector-based Gram matrix computation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -56,6 +56,99 @@ class OperatorMetrics:
         if self.mean_worker_seconds <= 0:
             return 1.0
         return self.max_worker_seconds / self.mean_worker_seconds
+
+
+@dataclass
+class OperatorTrace:
+    """EXPLAIN ANALYZE record for one physical operator: the *measured*
+    execution (rows, materialized bytes, simulated seconds, skew,
+    fault/retry counts) plus — once a cost model annotates the trace —
+    the optimizer's *estimates* for the same node, so every operator can
+    report its q-error (max(est/actual, actual/est) on output rows).
+
+    Traces form a tree mirroring the physical plan; the root's
+    ``rows_out`` is the statement's delivered row count. Both
+    interpreter back ends produce bit-identical traces (the row/batch
+    equivalence contract of docs/ENGINE.md extends to tracing).
+    """
+
+    name: str
+    #: pre-order position of this operator in the physical plan
+    op_index: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    #: materialized output bytes (sum over slots of the partition sizes)
+    bytes_out: float = 0.0
+    wall_seconds: float = 0.0
+    network_bytes: float = 0.0
+    #: busiest worker / mean worker; 1.0 means perfectly balanced
+    skew_ratio: float = 1.0
+    #: failed exchange-job attempts re-executed from lineage
+    retries: int = 0
+    #: injected fault events observed while computing this operator,
+    #: including while producing its not-yet-materialized inputs
+    #: (subtree-inclusive)
+    fault_count: int = 0
+    children: List["OperatorTrace"] = field(default_factory=list)
+    #: filled by CostModel.annotate_trace
+    est_rows: Optional[float] = None
+    est_width_bytes: Optional[float] = None
+    est_bytes: Optional[float] = None
+    est_seconds: Optional[float] = None
+
+    @property
+    def q_error(self) -> Optional[float]:
+        """Cardinality q-error of this operator (>= 1.0; 1.0 is a
+        perfect estimate); None until estimates are annotated."""
+        if self.est_rows is None:
+            return None
+        estimated = max(self.est_rows, 1.0)
+        actual = max(float(self.rows_out), 1.0)
+        return max(estimated / actual, actual / estimated)
+
+    def walk(self) -> Iterator["OperatorTrace"]:
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self) -> str:
+        """The estimate-vs-actual table for this subtree."""
+        lines = [
+            f"{'operator':<44}{'est rows':>12}{'act rows':>12}{'q-err':>8}"
+            f"{'est MB':>9}{'act MB':>9}{'est s':>9}{'act s':>9}{'skew':>7}"
+        ]
+        for node, depth in self._walk_depth(0):
+            label = "  " * depth + node.name
+            if len(label) > 43:
+                label = label[:40] + "..."
+            est_rows = f"{node.est_rows:,.0f}" if node.est_rows is not None else "-"
+            q_error = f"{node.q_error:.2f}" if node.q_error is not None else "-"
+            est_mb = (
+                f"{node.est_bytes / 1e6:.2f}" if node.est_bytes is not None else "-"
+            )
+            est_s = (
+                f"{node.est_seconds:.3f}" if node.est_seconds is not None else "-"
+            )
+            suffix = ""
+            if node.retries or node.fault_count:
+                suffix = f"  [retries {node.retries}, faults {node.fault_count}]"
+            lines.append(
+                f"{label:<44}{est_rows:>12}{node.rows_out:>12,}{q_error:>8}"
+                f"{est_mb:>9}{node.bytes_out / 1e6:>9.2f}{est_s:>9}"
+                f"{node.wall_seconds:>9.3f}{node.skew_ratio:>7.2f}{suffix}"
+            )
+        return "\n".join(lines)
+
+    def _walk_depth(self, depth: int):
+        yield self, depth
+        for child in self.children:
+            yield from child._walk_depth(depth + 1)
+
+    def max_q_error(self) -> Optional[float]:
+        """Largest q-error in this subtree; None before annotation."""
+        errors = [n.q_error for n in self.walk() if n.q_error is not None]
+        return max(errors) if errors else None
 
 
 @dataclass
@@ -108,6 +201,10 @@ class QueryMetrics:
     speculative_seconds: float = 0.0
     #: injected fault counts by kind
     fault_events: Dict[str, int] = field(default_factory=dict)
+    #: per-operator estimate-vs-actual trace tree (EXPLAIN ANALYZE);
+    #: built by the executor for every statement, estimate columns are
+    #: annotated by the database layer's cost model
+    trace: Optional[OperatorTrace] = None
 
     @property
     def operator_seconds(self) -> float:
@@ -156,6 +253,10 @@ class QueryMetrics:
             speculative_seconds=self.speculative_seconds
             + other.speculative_seconds,
             fault_events=fault_events,
+            # a merged record spans several statements; keep the first
+            # statement's trace (callers wanting all traces hold the
+            # per-statement Results)
+            trace=self.trace if self.trace is not None else other.trace,
         )
         return merged
 

@@ -19,8 +19,9 @@ type information would behave.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from ..config import ClusterConfig
 from ..types import DataType
@@ -119,15 +120,29 @@ class CostModel:
             return self._estimate_aggregate(node)
         if isinstance(node, DistinctNode):
             child = self.estimate(node.child)
+            # the number of distinct rows is bounded by the product of
+            # the per-column distinct counts (and by the input rows);
+            # use the statistics when present instead of a flat guess
+            groups = 1.0
+            for column in node.columns:
+                groups *= self._column_distinct(column.column_id, child)
+            rows = max(min(groups, child.rows), 1.0)
             return Estimate(
-                max(child.rows * 0.9, 1.0), self.row_width(node), dict(child.distinct)
+                rows,
+                self.row_width(node),
+                {key: min(value, rows) for key, value in child.distinct.items()},
             )
         if isinstance(node, SortNode):
             child = self.estimate(node.child)
             rows = child.rows
             if node.limit is not None:
                 rows = min(rows, float(node.limit))
-            return Estimate(rows, child.width_bytes, dict(child.distinct))
+            # a LIMIT caps distinct values along with the rows
+            return Estimate(
+                rows,
+                child.width_bytes,
+                {key: min(value, rows) for key, value in child.distinct.items()},
+            )
         raise TypeError(f"cannot estimate {type(node).__name__}")
 
     def _estimate_scan(self, node: ScanNode) -> Estimate:
@@ -153,6 +168,12 @@ class CostModel:
             combined.rows = max(
                 combined.rows * self.selectivity(node.residual, combined), 1.0
             )
+        # a column cannot have more distinct values than the join emits
+        # rows (FilterNode clamps the same way)
+        combined.distinct = {
+            key: min(value, combined.rows)
+            for key, value in combined.distinct.items()
+        }
         return combined
 
     def _estimate_aggregate(self, node: AggregateNode) -> Estimate:
@@ -176,6 +197,12 @@ class CostModel:
                 return known
         return max(estimate.rows / 10.0, 1.0)
 
+    def _column_distinct(self, column_id: int, estimate: Estimate) -> float:
+        known = estimate.distinct.get(column_id)
+        if known is not None:
+            return known
+        return max(estimate.rows / 10.0, 1.0)
+
     # -- selectivity ------------------------------------------------------------
 
     def selectivity(self, predicate: TypedExpr, input_est: Estimate) -> float:
@@ -184,7 +211,9 @@ class CostModel:
             right = self.selectivity(predicate.right, input_est)
             if predicate.op == "AND":
                 return left * right
-            return min(left + right, 1.0)
+            # OR via inclusion-exclusion (assumes independence); the old
+            # min(l + r, 1) overestimated overlapping predicates
+            return left + right - left * right
         if isinstance(predicate, NotExpr):
             return 1.0 - self.selectivity(predicate.operand, input_est)
         if isinstance(predicate, IsNullExpr):
@@ -327,3 +356,213 @@ class CostModel:
                 child_est.total_bytes, child_est.rows
             )
         raise TypeError(f"cannot cost {type(node).__name__}")
+
+    # -- physical-plan estimates (EXPLAIN ANALYZE) --------------------------------
+
+    def physical_estimate(
+        self, node, memo: Optional[Dict[int, Tuple[Estimate, float]]] = None
+    ) -> Tuple[Estimate, float]:
+        """Per-operator output estimate and estimated seconds for one
+        *physical* node — the numbers ``explain_analyze`` prints next to
+        the measured actuals. ``memo`` is keyed by ``id(node)`` so shared
+        subtrees are estimated once."""
+        # imported lazily: physical.py imports this module at top level
+        from .physical import (
+            PDistinct,
+            PExchange,
+            PFilter,
+            PFinalAggregate,
+            PHashJoin,
+            PNestedLoopJoin,
+            PPartialAggregate,
+            PProject,
+            PScan,
+            PSortLimit,
+        )
+
+        if memo is None:
+            memo = {}
+        key = id(node)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
+        if isinstance(node, PScan):
+            rows = float(max(node.table.stats.row_count, 1))
+            distinct = {}
+            for column in node.columns:
+                stat = node.table.stats.distinct(column.name)
+                if stat is not None:
+                    distinct[column.column_id] = float(stat)
+            est = Estimate(rows, self.row_width(node), distinct)
+            result = (est, self.scan_cost(est))
+        elif isinstance(node, PFilter):
+            child, _ = self.physical_estimate(node.child, memo)
+            selectivity = self.selectivity(node.predicate, child)
+            rows = max(child.rows * selectivity, 1.0)
+            est = Estimate(
+                rows,
+                self.row_width(node),
+                {key_: min(value, rows) for key_, value in child.distinct.items()},
+            )
+            result = (est, self.filter_cost(child, node.predicate))
+        elif isinstance(node, PProject):
+            child, _ = self.physical_estimate(node.child, memo)
+            distinct = {}
+            for expr, column in zip(node.exprs, node.columns):
+                if isinstance(expr, ColumnVar) and expr.column_id in child.distinct:
+                    distinct[column.column_id] = child.distinct[expr.column_id]
+            est = Estimate(child.rows, self.row_width(node), distinct)
+            result = (est, self.project_cost(child.rows, node.exprs))
+        elif isinstance(node, PExchange):
+            child, _ = self.physical_estimate(node.child, memo)
+            est = Estimate(child.rows, child.width_bytes, dict(child.distinct))
+            if node.kind == "broadcast":
+                seconds = self._broadcast_seconds(child.total_bytes, child.rows)
+            else:
+                seconds = self._shuffle_seconds(child.total_bytes, child.rows)
+            result = (est, seconds)
+        elif isinstance(node, (PHashJoin, PNestedLoopJoin)):
+            result = self._physical_estimate_join(node, memo)
+        elif isinstance(node, PPartialAggregate):
+            child, _ = self.physical_estimate(node.child, memo)
+            if not node.group_exprs:
+                # one partial accumulator row per slot
+                rows = min(child.rows, float(self.config.slots))
+            else:
+                groups = 1.0
+                for expr in node.group_exprs:
+                    groups *= self._expr_distinct(expr, child)
+                # each slot emits at most one row per group it saw
+                rows = min(child.rows, groups * self.config.slots)
+            distinct = {}
+            for expr, column in zip(node.group_exprs, node.group_columns):
+                distinct[column.column_id] = min(
+                    self._expr_distinct(expr, child), max(rows, 1.0)
+                )
+            est = Estimate(max(rows, 1.0), self.row_width(node), distinct)
+            arg_flops = sum(
+                spec.arg.total_flops()
+                for spec in node.aggregates
+                if spec.arg is not None
+            )
+            arg_bytes = sum(
+                spec.arg.total_bytes_touched()
+                for spec in node.aggregates
+                if spec.arg is not None
+            )
+            result = (est, self._cpu_seconds(child.rows, arg_flops, arg_bytes + 8.0))
+        elif isinstance(node, PFinalAggregate):
+            child, _ = self.physical_estimate(node.child, memo)
+            if not node.group_columns:
+                groups = 1.0
+            else:
+                groups = 1.0
+                for column in node.group_columns:
+                    groups *= self._column_distinct(column.column_id, child)
+                groups = min(groups, child.rows)
+            rows = max(groups, 1.0)
+            distinct = {
+                column.column_id: min(
+                    self._column_distinct(column.column_id, child), rows
+                )
+                for column in node.group_columns
+            }
+            est = Estimate(rows, self.row_width(node), distinct)
+            result = (est, self._cpu_seconds(child.rows, 0.0, 8.0))
+        elif isinstance(node, PDistinct):
+            child, _ = self.physical_estimate(node.child, memo)
+            groups = 1.0
+            for column in node.columns:
+                groups *= self._column_distinct(column.column_id, child)
+            groups = min(groups, child.rows)
+            if node.local:
+                rows = min(child.rows, groups * self.config.slots)
+            else:
+                rows = groups
+            rows = max(rows, 1.0)
+            est = Estimate(
+                rows,
+                self.row_width(node),
+                {key_: min(value, rows) for key_, value in child.distinct.items()},
+            )
+            result = (est, self._cpu_seconds(child.rows, 0.0, 8.0))
+        elif isinstance(node, PSortLimit):
+            child, _ = self.physical_estimate(node.child, memo)
+            rows = child.rows
+            if node.limit is not None:
+                cap = float(node.limit)
+                if not node.final:
+                    cap *= self.config.slots
+                rows = min(rows, cap)
+            rows = max(rows, 1.0)
+            est = Estimate(
+                rows,
+                child.width_bytes,
+                {key_: min(value, rows) for key_, value in child.distinct.items()},
+            )
+            comparisons = child.rows * math.log2(max(child.rows, 2.0))
+            result = (est, self._cpu_seconds(comparisons, 0.0, 8.0))
+        else:
+            raise TypeError(f"cannot estimate {type(node).__name__}")
+
+        memo[key] = result
+        return result
+
+    def _physical_estimate_join(self, node, memo) -> Tuple[Estimate, float]:
+        from .physical import PHashJoin
+
+        probe, _ = self.physical_estimate(node.probe, memo)
+        build, _ = self.physical_estimate(node.build, memo)
+        left, right = (probe, build) if node.probe_is_left else (build, probe)
+        rows = left.rows * right.rows
+        if isinstance(node, PHashJoin):
+            for probe_key, build_key in zip(node.probe_keys, node.build_keys):
+                probe_distinct = self._expr_distinct(probe_key, probe)
+                build_distinct = self._expr_distinct(build_key, build)
+                rows /= max(probe_distinct, build_distinct, 1.0)
+        combined = Estimate(max(rows, 1.0), self.row_width(node))
+        combined.distinct = {**left.distinct, **right.distinct}
+        if node.residual is not None:
+            combined.rows = max(
+                combined.rows * self.selectivity(node.residual, combined), 1.0
+            )
+        combined.distinct = {
+            key: min(value, combined.rows)
+            for key, value in combined.distinct.items()
+        }
+        # movement was charged to the exchanges below; this node only
+        # pays build + probe + emit CPU
+        seconds = self._cpu_seconds(
+            probe.rows + build.rows, 0.0, 8.0
+        ) + self._cpu_seconds(combined.rows, 0.0, 8.0)
+        return combined, seconds
+
+    def annotate_trace(self, trace, node) -> None:
+        """Fill the estimate columns (``est_rows`` / ``est_width_bytes``
+        / ``est_bytes`` / ``est_seconds``) of an :class:`OperatorTrace`
+        tree built from executing ``node`` — the trace and the physical
+        plan have identical shapes by construction."""
+        from .physical import PExchange
+
+        memo: Dict[int, Tuple[Estimate, float]] = {}
+
+        def annotate(trace_node, plan_node) -> None:
+            est, seconds = self.physical_estimate(plan_node, memo)
+            trace_node.est_rows = est.rows
+            trace_node.est_width_bytes = est.width_bytes
+            copies = 1.0
+            if (
+                isinstance(plan_node, PExchange)
+                and plan_node.kind == "broadcast"
+            ):
+                # the trace's measured bytes count every slot's replica
+                copies = float(self.config.slots)
+            trace_node.est_bytes = est.total_bytes * copies
+            trace_node.est_seconds = seconds
+            for child_trace, child_plan in zip(
+                trace_node.children, plan_node.children()
+            ):
+                annotate(child_trace, child_plan)
+
+        annotate(trace, node)

@@ -58,6 +58,10 @@ class ServiceMetrics:
     rejected: int = 0
     timeouts: int = 0
     retries: int = 0
+    #: per-operator cardinality q-errors collected from query traces
+    q_errors: List[float] = field(default_factory=list)
+    worst_q_error: float = 0.0
+    worst_q_error_operator: str = ""
 
     def session(self, name: str) -> SessionStats:
         stats = self.per_session.get(name)
@@ -74,6 +78,15 @@ class ServiceMetrics:
         stats.cache_hits += int(cache_hit)
         stats.elapsed_seconds += metrics.elapsed_seconds
         stats.queue_seconds += metrics.queue_seconds
+        if metrics.trace is not None:
+            for node in metrics.trace.walk():
+                q_error = node.q_error
+                if q_error is None:
+                    continue
+                self.q_errors.append(q_error)
+                if q_error > self.worst_q_error:
+                    self.worst_q_error = q_error
+                    self.worst_q_error_operator = node.name
 
     def observe_rejection(self, session_name: str) -> None:
         self.rejected += 1
@@ -111,6 +124,16 @@ class ServiceMetrics:
             return 0.0
         return sum(self.queue_latencies) / len(self.queue_latencies)
 
+    @property
+    def mean_q_error(self) -> float:
+        if not self.q_errors:
+            return 0.0
+        return sum(self.q_errors) / len(self.q_errors)
+
+    @property
+    def q_error_p95(self) -> float:
+        return percentile(self.q_errors, 95.0)
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "queries": self.queries,
@@ -121,6 +144,13 @@ class ServiceMetrics:
             "latency_p95": self.latency_p95,
             "mean_compile_seconds": self.mean_compile_seconds,
             "mean_queue_seconds": self.mean_queue_seconds,
+            "estimate_errors": {
+                "operators": len(self.q_errors),
+                "mean_q_error": self.mean_q_error,
+                "q_error_p95": self.q_error_p95,
+                "worst_q_error": self.worst_q_error,
+                "worst_operator": self.worst_q_error_operator,
+            },
             "sessions": {
                 name: {
                     "queries": stats.queries,

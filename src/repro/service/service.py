@@ -181,6 +181,12 @@ class PendingQuery:
         return self.result.metrics
 
     @property
+    def trace(self):
+        """The per-operator estimate-vs-actual
+        :class:`~repro.engine.OperatorTrace` of this query's execution."""
+        return self.result.metrics.trace
+
+    @property
     def done(self) -> bool:
         return self.finalized
 
@@ -431,4 +437,13 @@ class QueryService:
             f"queue peak {sched['queue_peak']}/{sched['queue_limit']}, "
             f"utilisation {sched['utilisation']:.1%} over {sched['clock']:.1f}s",
         ]
+        errors = stats["estimate_errors"]
+        if errors["operators"]:
+            lines.append(
+                f"estimates: {errors['operators']} operator(s), "
+                f"mean q-error {errors['mean_q_error']:.2f}, "
+                f"p95 {errors['q_error_p95']:.2f}, "
+                f"worst {errors['worst_q_error']:.2f} "
+                f"({errors['worst_operator']})"
+            )
         return "\n".join(lines)

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.catalog import Catalog, Column, Schema, TableStats, collect_stats
+from repro.catalog import (
+    Catalog,
+    Column,
+    Schema,
+    TableStats,
+    append_stats,
+    collect_stats,
+)
 from repro.errors import CatalogError
 from repro.types import DOUBLE, INTEGER, Matrix, MatrixType, Vector, VectorType
 
@@ -142,3 +149,136 @@ class TestStatistics:
         stats = TableStats()
         assert stats.row_count == 0
         assert stats.column("x").distinct is None
+
+
+class TestAppendStats:
+    """Incremental statistics maintenance: appending rows must yield the
+    same statistics as re-collecting from scratch."""
+
+    def test_append_matches_full_collect(self):
+        schema = Schema([("k", INTEGER), ("v", DOUBLE)])
+        first = [(1, 1.0), (1, 2.0), (2, 3.0)]
+        second = [(2, 3.0), (3, 4.0)]
+        stats = collect_stats(schema, first)
+        assert append_stats(stats, schema, second)
+        full = collect_stats(schema, first + second)
+        assert stats.row_count == full.row_count == 5
+        assert stats.distinct("k") == full.distinct("k") == 3
+        assert stats.distinct("v") == full.distinct("v") == 4
+
+    def test_append_tensor_dims_match_full_collect(self):
+        schema = Schema([("vec", VectorType(None))])
+        first = [(Vector([1.0, 2.0, 3.0]),)]
+        second = [(Vector([4.0, 5.0, 6.0]),)]
+        stats = collect_stats(schema, first)
+        assert append_stats(stats, schema, second)
+        assert stats.column("vec").observed_length == 3
+
+    def test_append_inconsistent_length_resets_observed(self):
+        schema = Schema([("vec", VectorType(None))])
+        stats = collect_stats(schema, [(Vector([1.0, 2.0]),)])
+        assert stats.column("vec").observed_length == 2
+        assert append_stats(stats, schema, [(Vector([1.0]),)])
+        assert stats.column("vec").observed_length is None
+
+    def test_append_matrix_shapes(self):
+        schema = Schema([("m", MatrixType(None, None))])
+        stats = collect_stats(schema, [(Matrix(np.ones((2, 5))),)])
+        assert append_stats(stats, schema, [(Matrix(np.ones((2, 5))),)])
+        assert stats.column("m").observed_rows == 2
+        assert stats.column("m").observed_cols == 5
+
+    def test_append_to_empty_collect(self):
+        schema = Schema([("k", INTEGER)])
+        stats = collect_stats(schema, [])
+        assert append_stats(stats, schema, [(1,), (2,)])
+        assert stats.row_count == 2
+        assert stats.distinct("k") == 2
+
+    def test_non_incremental_stats_refuse(self):
+        # hand-built stats (no accumulators) signal "rescan the table"
+        schema = Schema([("k", INTEGER)])
+        stats = TableStats(row_count=5)
+        assert not append_stats(stats, schema, [(1,)])
+        assert stats.row_count == 5
+
+    def test_unhashable_append_drops_distinct(self):
+        schema = Schema([("k", INTEGER)])
+        stats = collect_stats(schema, [(1,)])
+        assert append_stats(stats, schema, [([1, 2],)])
+        assert stats.distinct("k") is None
+        # further appends stay incremental, distinct stays unknown
+        assert append_stats(stats, schema, [(2,)])
+        assert stats.distinct("k") is None
+        assert stats.row_count == 3
+
+
+class TestStatsFreshAfterDML:
+    """Every DML statement must refresh statistics and bump the catalog
+    version (stale stats silently mis-cost all subsequent plans)."""
+
+    def _db(self):
+        from repro import Database, TEST_CLUSTER
+
+        db = Database(TEST_CLUSTER)
+        db.execute("CREATE TABLE t (k INTEGER, v DOUBLE)")
+        db.load("t", [(i % 4, float(i)) for i in range(8)])
+        return db
+
+    def test_insert_values_refreshes(self):
+        db = self._db()
+        before = db.catalog.version
+        db.execute("INSERT INTO t VALUES (99, 1.5)")
+        stats = db.catalog.table("t").stats
+        assert stats.row_count == 9
+        assert stats.distinct("k") == 5
+        assert db.catalog.version > before
+
+    def test_insert_select_refreshes(self):
+        db = self._db()
+        before = db.catalog.version
+        db.execute("INSERT INTO t SELECT k, v FROM t WHERE v > 5")
+        assert db.catalog.table("t").stats.row_count == 10
+        assert db.catalog.version > before
+
+    def test_ctas_collects_stats(self):
+        db = self._db()
+        db.execute("CREATE TABLE t2 AS SELECT k, v FROM t WHERE v > 3")
+        stats = db.catalog.table("t2").stats
+        assert stats.row_count == 4
+        assert stats.distinct("k") == 4
+
+    def test_delete_refreshes(self):
+        db = self._db()
+        before = db.catalog.version
+        db.execute("DELETE FROM t WHERE k = 0")
+        assert db.catalog.table("t").stats.row_count == 6
+        assert db.catalog.table("t").stats.distinct("k") == 3
+        assert db.catalog.version > before
+
+    def test_incremental_append_matches_rescan(self):
+        db = self._db()
+        db.execute("INSERT INTO t VALUES (7, 2.5)")
+        entry = db.catalog.table("t")
+        incremental = entry.stats
+        rescanned = collect_stats(entry.schema, entry.storage.all_rows())
+        assert incremental.row_count == rescanned.row_count
+        for name in ("k", "v"):
+            assert incremental.distinct(name) == rescanned.distinct(name)
+
+    def test_insert_changes_plan_estimates(self):
+        # the regression the bugfix sweep guards: an INSERT must be
+        # visible to the very next plan's cardinality estimates
+        db = self._db()
+
+        def scan_rows():
+            result = db.execute("SELECT k FROM t")
+            trace = result.metrics.trace
+            leaf = trace
+            while leaf.children:
+                leaf = leaf.children[0]
+            return leaf.est_rows
+
+        assert scan_rows() == 8
+        db.execute("INSERT INTO t SELECT k, v FROM t")
+        assert scan_rows() == 16

@@ -125,3 +125,104 @@ class TestPlanCost:
         child = cost_model.estimate(filt.child)
         sel = cost_model.selectivity(filt.predicate, child)
         assert 0.0 <= sel <= 1.0
+
+
+def _walk_logical(node):
+    yield node
+    for child in node.children():
+        yield from _walk_logical(child)
+
+
+class TestEstimatorInvariants:
+    """Regression guards for the estimator bugfix sweep: distinct counts
+    never exceed estimated rows, OR uses inclusion-exclusion, and
+    DISTINCT consults the statistics."""
+
+    INVARIANT_QUERIES = [
+        "SELECT a.v FROM a, b WHERE a.id = b.id",
+        "SELECT a.v FROM a, b WHERE a.id = b.id AND a.v > 5",
+        "SELECT DISTINCT id FROM a",
+        "SELECT a.id, COUNT(*) FROM a, b WHERE a.id = b.id GROUP BY a.id",
+        "SELECT id FROM a WHERE id = 1 OR v > 2",
+        "SELECT a.id AS aid FROM a, b WHERE a.id = b.id ORDER BY aid LIMIT 3",
+    ]
+
+    @pytest.mark.parametrize("sql", INVARIANT_QUERIES)
+    def test_distinct_never_exceeds_rows(self, db, sql):
+        cost_model = model(db)
+        for node in _walk_logical(bound(db, sql)):
+            estimate = cost_model.estimate(node)
+            for value in estimate.distinct.values():
+                assert value <= estimate.rows + 1e-9
+
+    def test_join_distinct_clamped_to_output(self, db):
+        # a.id has 50 distinct over 100 rows; joining b (20 rows) emits
+        # ~40 rows, so the merged 50 must be clamped down
+        plan = bound(db, "SELECT a.v FROM a, b WHERE a.id = b.id")
+        filt = plan.children()[0]
+        estimate = model(db).estimate(filt)
+        assert estimate.rows == pytest.approx(40.0)
+        assert all(value <= estimate.rows for value in estimate.distinct.values())
+
+    def test_or_uses_inclusion_exclusion(self, db):
+        cost_model = model(db)
+        plan = bound(db, "SELECT id FROM a WHERE v > 10 OR v < 90")
+        filt = plan.children()[0]
+        child = cost_model.estimate(filt.child)
+        sel = cost_model.selectivity(filt.predicate, child)
+        # 1/3 + 1/3 - 1/9, not min(2/3, 1)
+        assert sel == pytest.approx(1.0 / 3.0 + 1.0 / 3.0 - 1.0 / 9.0)
+
+    def test_distinct_node_uses_column_stats(self, db):
+        # id has 50 distinct values over 100 rows: the estimate must be
+        # the statistic, not the old flat rows * 0.9 guess
+        plan = bound(db, "SELECT DISTINCT id FROM a")
+        estimate = model(db).estimate(plan)
+        assert estimate.rows == pytest.approx(50.0)
+
+
+class TestPhysicalEstimates:
+    """CostModel.physical_estimate backs the EXPLAIN ANALYZE estimate
+    columns; it must cover every physical node and keep the same
+    invariants as the logical estimator."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT id FROM a WHERE v > 10",
+            "SELECT a.v FROM a, b WHERE a.id = b.id",
+            "SELECT id, COUNT(*) FROM a GROUP BY id",
+            "SELECT DISTINCT id FROM a",
+            "SELECT id, v FROM a ORDER BY v LIMIT 5",
+        ],
+    )
+    def test_every_physical_node_estimated(self, db, sql):
+        from repro.plan import PhysicalPlanner
+
+        cost_model = model(db)
+        physical = PhysicalPlanner(cost_model).plan(bound(db, sql))
+        memo = {}
+
+        def check(node):
+            estimate, seconds = cost_model.physical_estimate(node, memo)
+            assert estimate.rows >= 1.0
+            assert estimate.width_bytes > 0.0
+            assert seconds >= 0.0
+            for value in estimate.distinct.values():
+                assert value <= estimate.rows + 1e-9
+            for child in node.children():
+                check(child)
+
+        check(physical)
+
+    def test_scan_estimate_matches_logical(self, db):
+        from repro.plan import PhysicalPlanner
+        from repro.plan.physical import PScan
+
+        cost_model = model(db)
+        physical = PhysicalPlanner(cost_model).plan(bound(db, "SELECT id FROM a"))
+        node = physical
+        while not isinstance(node, PScan):
+            node = node.children()[0]
+        estimate, _ = cost_model.physical_estimate(node)
+        assert estimate.rows == 100
