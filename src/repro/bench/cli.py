@@ -32,6 +32,7 @@ TARGETS = (
     "exec",
     "faults",
     "trace",
+    "spill",
     "all",
 )
 
@@ -85,6 +86,14 @@ def run_trace_target(smoke: bool = False) -> "tuple":
     return format_trace(report), report.ok()
 
 
+def run_spill_target(smoke: bool = False) -> "tuple":
+    """Returns (report text, ok) for the out-of-core benchmark."""
+    from .spillbench import format_spill, run_spill_bench
+
+    report = run_spill_bench(smoke=smoke)
+    return format_spill(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -104,6 +113,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return run_faults_target()[0]
     if target == "trace":
         return run_trace_target()[0]
+    if target == "spill":
+        return run_spill_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -161,8 +172,10 @@ def main(argv=None) -> int:
         help="smoke mode: smaller workloads, nonzero exit when the two "
         "execution modes diverge or batch regresses wall-clock (exec), "
         "when a fault-injected run fails or diverges from the "
-        "fault-free baseline (faults), or when operator traces disagree "
-        "with delivered results or across modes (trace)",
+        "fault-free baseline (faults), when operator traces disagree "
+        "with delivered results or across modes (trace), or when a "
+        "spill-forcing buffer pool changes results or never spills "
+        "(spill)",
     )
     exec_group.add_argument(
         "--repeats",
@@ -197,6 +210,16 @@ def main(argv=None) -> int:
                 "trace check FAILED: traced row counts diverged from "
                 "delivered results, an operator lacked estimates, or "
                 "the two execution modes traced differently"
+            )
+            return 1
+        return 0
+    if args.target == "spill":
+        text, ok = run_spill_target(smoke=args.check)
+        print(text)
+        if args.check and not ok:
+            print(
+                "spill check FAILED: a constrained run diverged from the "
+                "unconstrained baseline or never spilled"
             )
             return 1
         return 0

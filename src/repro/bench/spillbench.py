@@ -1,0 +1,233 @@
+"""Out-of-core micro-benchmark (``repro-bench spill``).
+
+Runs the paper's Gram / regression / distance computations at mini scale
+three ways: unconstrained (the whole working set fits the buffer pool),
+and with a spill-forcing ``buffer_pool_bytes`` under both storage back
+ends (``storage_mode="memory"`` simulates the spill I/O; ``"disk"``
+physically round-trips operator state through the segment codec). The
+result rows must be bit-identical in all three configurations and the
+constrained runs must actually spill — ``--check`` turns any divergence,
+or a constrained run that never spilled, into a failing exit code.
+
+Loading is untimed, as in the exec benchmark; the interesting numbers
+are the spill volume the budget induces and the real wall-clock price of
+physically writing it out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import ClusterConfig, TEST_CLUSTER
+from ..db import Database
+from ..engine.cluster import stable_hash
+from .execbench import (
+    ExecCase,
+    _load_distance,
+    _load_regression,
+    _load_vectors,
+)
+from .workloads import generate
+
+#: mini-scale shapes: large enough that the spill-forcing budget is hit
+#: by every workload, small enough for CI
+SPILL_SCALES = {
+    "gram (vector)": (2048, 8),
+    "regression (vector)": (1536, 8),
+    "distance (vector)": (64, 8),
+}
+
+#: reduced shapes for the CI smoke run (--check)
+SPILL_SCALES_SMOKE = {
+    "gram (vector)": (384, 8),
+    "regression (vector)": (256, 8),
+    "distance (vector)": (48, 8),
+}
+
+#: a budget far below any of the working sets above, so every exchange
+#: stage, join build and aggregation state overflows it
+SPILL_BUDGET_BYTES = 512.0
+SPILL_SEGMENT_ROWS = 64
+
+
+@dataclass(frozen=True)
+class SpillCaseResult:
+    name: str
+    base_wall_s: float  #: unconstrained, memory back end
+    memory_wall_s: float  #: spill-forcing budget, simulated spill I/O
+    disk_wall_s: float  #: spill-forcing budget, physical round trips
+    base_simulated_s: float
+    spill_simulated_s: float
+    spill_bytes: float
+    spill_events: int
+    rows_match: bool
+
+    @property
+    def spilled(self) -> bool:
+        return self.spill_bytes > 0 and self.spill_events > 0
+
+
+@dataclass(frozen=True)
+class SpillReport:
+    cases: List[SpillCaseResult]
+
+    @property
+    def all_match(self) -> bool:
+        return all(case.rows_match for case in self.cases)
+
+    @property
+    def all_spilled(self) -> bool:
+        return all(case.spilled for case in self.cases)
+
+    def ok(self) -> bool:
+        """The --check criterion: every constrained run spilled, and
+        results stayed bit-identical to the unconstrained baseline."""
+        return self.all_match and self.all_spilled
+
+
+def _cases(scales) -> List[ExecCase]:
+    cases: List[ExecCase] = []
+
+    n, d = scales["gram (vector)"]
+    gram = generate(n, d, seed=7)
+    cases.append(
+        ExecCase(
+            "gram (vector)",
+            lambda db, w=gram: _load_vectors(db, w),
+            ("SELECT SUM(outer_product(x.value, x.value)) FROM x_vm AS x",),
+        )
+    )
+
+    n, d = scales["regression (vector)"]
+    reg = generate(n, d, seed=8)
+    cases.append(
+        ExecCase(
+            "regression (vector)",
+            lambda db, w=reg: _load_regression(db, w),
+            (
+                """SELECT matrix_vector_multiply(
+                       matrix_inverse(SUM(outer_product(x.value, x.value))),
+                       SUM(x.value * y.y_i))
+                FROM x_vm AS x, y_vm AS y
+                WHERE x.id = y.id""",
+            ),
+        )
+    )
+
+    n, d = scales["distance (vector)"]
+    dist = generate(n, d, seed=9)
+    cases.append(
+        ExecCase(
+            "distance (vector)",
+            lambda db, w=dist: _load_distance(db, w),
+            (
+                """CREATE TABLE DISTANCESM AS
+                SELECT a.id AS id, MIN(inner_product(mxx.mx_data, a.value)) AS dist
+                FROM x_vm AS a, MX AS mxx
+                WHERE a.id <> mxx.id
+                GROUP BY a.id""",
+                """SELECT d.id
+                FROM DISTANCESM AS d,
+                     (SELECT MAX(dd.dist) AS g FROM DISTANCESM AS dd) AS gg
+                WHERE d.dist = gg.g""",
+            ),
+        )
+    )
+    return cases
+
+
+def _run_case(
+    case: ExecCase, config: ClusterConfig
+) -> Tuple[float, list, float, float, int]:
+    """One timed execution: wall clock, result digest, simulated
+    seconds, and the spill counters of the run."""
+    db = Database(config)
+    case.setup(db)
+    start = time.perf_counter()
+    digest: list = []
+    simulated = 0.0
+    spill_bytes = 0.0
+    spill_events = 0
+    for sql in case.queries:
+        result = db.execute(sql)
+        digest.append(sorted(stable_hash(tuple(row)) for row in result.rows))
+        simulated += result.metrics.total_seconds
+        spill_bytes += result.metrics.spill_bytes
+        spill_events += result.metrics.spill_events
+    elapsed = time.perf_counter() - start
+    return elapsed, digest, simulated, spill_bytes, spill_events
+
+
+def run_spill_bench(
+    config: ClusterConfig = TEST_CLUSTER, smoke: bool = False
+) -> SpillReport:
+    scales = SPILL_SCALES_SMOKE if smoke else SPILL_SCALES
+    base_config = config.with_updates(storage_mode="memory")
+    constrained = dict(
+        buffer_pool_bytes=SPILL_BUDGET_BYTES,
+        segment_rows=SPILL_SEGMENT_ROWS,
+    )
+    memory_config = config.with_updates(storage_mode="memory", **constrained)
+    disk_config = config.with_updates(storage_mode="disk", **constrained)
+    results = []
+    for case in _cases(scales):
+        base_wall, base_digest, base_sim, _, base_events = _run_case(
+            case, base_config
+        )
+        memory_wall, memory_digest, memory_sim, spill_bytes, spill_events = (
+            _run_case(case, memory_config)
+        )
+        disk_wall, disk_digest, disk_sim, disk_bytes, disk_events = _run_case(
+            case, disk_config
+        )
+        results.append(
+            SpillCaseResult(
+                name=case.name,
+                base_wall_s=base_wall,
+                memory_wall_s=memory_wall,
+                disk_wall_s=disk_wall,
+                base_simulated_s=base_sim,
+                spill_simulated_s=disk_sim,
+                spill_bytes=spill_bytes,
+                spill_events=spill_events,
+                rows_match=(
+                    base_digest == memory_digest == disk_digest
+                    and base_events == 0
+                    # both constrained back ends must charge the same
+                    # simulated spills
+                    and memory_sim == disk_sim
+                    and (spill_bytes, spill_events)
+                    == (disk_bytes, disk_events)
+                ),
+            )
+        )
+    return SpillReport(results)
+
+
+def format_spill(report: SpillReport) -> str:
+    lines = [
+        "Out-of-core micro-benchmark "
+        f"(buffer pool {SPILL_BUDGET_BYTES:.0f} B vs unconstrained)",
+        "",
+        f"{'workload':24} {'base':>9} {'spill':>9} {'disk':>9} "
+        f"{'spilled':>11} {'events':>7}  equivalent",
+    ]
+    for case in report.cases:
+        equivalent = "yes" if case.rows_match and case.spilled else "DIVERGED"
+        lines.append(
+            f"{case.name:24} {case.base_wall_s * 1e3:7.1f}ms "
+            f"{case.memory_wall_s * 1e3:7.1f}ms "
+            f"{case.disk_wall_s * 1e3:7.1f}ms "
+            f"{case.spill_bytes / 1e6:9.2f}MB {case.spill_events:7d}  "
+            f"{equivalent}"
+        )
+    lines.append("")
+    lines.append(
+        "results bit-identical across unconstrained / simulated-spill / "
+        f"physical-spill runs: {'yes' if report.all_match else 'NO'}; "
+        f"every constrained run spilled: "
+        f"{'yes' if report.all_spilled else 'NO'}"
+    )
+    return "\n".join(lines)

@@ -64,6 +64,32 @@ class ClusterConfig:
     #: healthy cluster. Faults perturb the simulated timeline only —
     #: result rows stay bit-identical (see docs/FAULTS.md).
     fault_plan: Optional["FaultPlan"] = None
+    #: table storage back end: "memory" keeps partitions as Python row
+    #: lists, "disk" lays them out as immutable columnar segment files
+    #: read back through a budgeted buffer pool (see docs/STORAGE.md).
+    #: Both back ends charge identical simulated costs and return
+    #: identical rows; the knob changes where the bytes physically live.
+    storage_mode: str = "memory"
+    #: working-memory budget in bytes governing both the disk-mode
+    #: buffer pool and the per-operator spill threshold (hash join
+    #: build, aggregation state, exchange staging). None derives the
+    #: default from ``memory_per_slot`` (half of it); spill decisions
+    #: fire identically in both storage modes so simulated metrics stay
+    #: comparable.
+    buffer_pool_bytes: Optional[float] = None
+    #: rows per columnar segment; each table partition is chunked into
+    #: consecutive insert-order segments of this many rows (the zone-map
+    #: pruning granule). Small values are useful in tests to force
+    #: multi-segment partitions.
+    segment_rows: int = 4096
+
+    @property
+    def effective_buffer_pool_bytes(self) -> float:
+        """The working-memory budget actually enforced: the explicit
+        ``buffer_pool_bytes`` when set, else half of ``memory_per_slot``."""
+        if self.buffer_pool_bytes is not None:
+            return float(self.buffer_pool_bytes)
+        return self.memory_per_slot / 2.0
 
     @property
     def slots(self) -> int:

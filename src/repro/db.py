@@ -32,6 +32,7 @@ from .engine import Cluster, Executor, PartitionedTable, QueryMetrics
 from .errors import CompileError, ExecutionError
 from .plan import Binder, CostModel, Optimizer, PhysicalPlanner
 from .sql import ast, parse_script, parse_statement
+from .storage import DiskPartitionedTable, StorageEngine
 from .types import Matrix, Vector
 
 
@@ -112,7 +113,10 @@ class Database:
         self.config = self.cluster.config
         self.catalog = Catalog()
         self.cost_model = CostModel(self.config, size_blind=size_blind_optimizer)
-        self._executor = Executor(self.cluster, execution_mode)
+        #: segment files, buffer pool, and spill bookkeeping — shared by
+        #: every table and executor of this database
+        self.storage = StorageEngine(self.config)
+        self._executor = Executor(self.cluster, execution_mode, storage=self.storage)
 
     @property
     def execution_mode(self) -> str:
@@ -122,7 +126,7 @@ class Database:
 
     def set_execution_mode(self, mode: str) -> None:
         """Switch interpreter back ends between statements."""
-        self._executor = Executor(self.cluster, mode)
+        self._executor = Executor(self.cluster, mode, storage=self.storage)
 
     # -- persistence --------------------------------------------------------------
 
@@ -154,9 +158,22 @@ class Database:
         some columns at load time."""
         schema = Schema(columns)
         entry = self.catalog.create_table(name, schema)
-        entry.storage = PartitionedTable(
-            schema, self.config.slots, partition_by=partition_by
-        )
+        if self.storage.mode == "disk":
+            entry.storage = DiskPartitionedTable(
+                schema,
+                self.config.slots,
+                partition_by=partition_by,
+                engine=self.storage,
+                name=name,
+                segment_rows=self.config.segment_rows,
+            )
+        else:
+            entry.storage = PartitionedTable(
+                schema,
+                self.config.slots,
+                partition_by=partition_by,
+                segment_rows=self.config.segment_rows,
+            )
         return entry
 
     def load(self, name: str, rows: Iterable[Sequence]) -> int:
@@ -372,11 +389,12 @@ class Database:
         }
         from .engine.storage import RowView
 
-        for slot, rows in enumerate(entry.storage.partitions):
-            entry.storage.partitions[slot] = [
-                row for row in rows if not predicate.evaluate(RowView(row, index))
-            ]
-        entry.storage.mutated()
+        for slot in range(self.config.slots):
+            rows = entry.storage.partition_rows(slot)
+            entry.storage.replace_partition(
+                slot,
+                [row for row in rows if not predicate.evaluate(RowView(row, index))],
+            )
         self._refresh_stats(entry)
         return Result([], [])
 

@@ -102,6 +102,20 @@ class OperatorRun:
         self.rows_in = 0
         self.rows_out = 0
         self.bytes_out = 0.0
+        # -- storage accounting (docs/STORAGE.md) --
+        #: bytes of operator state written to spill files (reload doubles
+        #: the disk charge but not this figure)
+        self.spill_bytes = 0.0
+        self.spill_events = 0
+        #: zone-map pruning outcome of a scan
+        self.segments_pruned = 0
+        self.segments_scanned = 0
+        #: buffer-pool outcomes of a disk-mode scan (zero in memory mode;
+        #: excluded from the cross-mode metrics-equality contract)
+        self.pool_hits = 0
+        self.pool_misses = 0
+        #: largest tracked per-slot working set (state + output bytes)
+        self.peak_memory_bytes = 0.0
 
     # -- charging ---------------------------------------------------------
 
@@ -142,6 +156,22 @@ class OperatorRun:
     def charge_network(self, transfer_bytes: float) -> None:
         self.network_bytes += transfer_bytes
 
+    def note_peak(self, nbytes: float) -> None:
+        """Track the largest per-slot working set this operator held."""
+        if nbytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = nbytes
+
+    def charge_spill(self, slot: int, state_bytes: float) -> None:
+        """Operator state on ``slot`` exceeded the working-memory budget:
+        charge a write plus a reload at disk rate and count the spill.
+        The decision and the charge are pure byte accounting, identical
+        in both storage modes (disk mode additionally round-trips the
+        state through a physical spill file)."""
+        self.charge_disk(slot, 2.0 * state_bytes)
+        self.spill_bytes += state_bytes
+        self.spill_events += 1
+        self.note_peak(state_bytes)
+
     # -- results -----------------------------------------------------------
 
     def finish(self) -> OperatorMetrics:
@@ -161,6 +191,13 @@ class OperatorRun:
             mean_worker_seconds=mean,
             network_bytes=self.network_bytes,
             slot_seconds=tuple(self._slot_seconds),
+            spill_bytes=self.spill_bytes,
+            spill_events=self.spill_events,
+            segments_pruned=self.segments_pruned,
+            segments_scanned=self.segments_scanned,
+            pool_hits=self.pool_hits,
+            pool_misses=self.pool_misses,
+            peak_memory_bytes=self.peak_memory_bytes,
         )
 
 

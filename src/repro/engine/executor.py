@@ -55,7 +55,9 @@ from ..plan.physical import (
     PScan,
     PhysicalNode,
     PSortLimit,
+    resolve_prune_predicates,
 )
+from ..storage.segment import segment_pruned
 from .cluster import Cluster, row_bytes, stable_hash, value_bytes
 from .metrics import OperatorMetrics, OperatorTrace, QueryMetrics
 from .storage import (
@@ -67,6 +69,9 @@ from .storage import (
     Partitioning,
     partition_rows,
 )
+
+if False:  # pragma: no cover - typing only, avoids an import cycle at runtime
+    from ..storage.engine import StorageEngine
 
 EXECUTION_MODES = ("row", "batch")
 
@@ -120,9 +125,19 @@ class CheckpointStore:
 
 
 class Executor:
-    def __init__(self, cluster: Cluster, execution_mode: Optional[str] = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        execution_mode: Optional[str] = None,
+        storage: Optional["StorageEngine"] = None,
+    ):
         self.cluster = cluster
         self.slots = cluster.config.slots
+        #: the database's storage engine (segment files, buffer pool,
+        #: physical spill); None behaves exactly like memory mode
+        self.storage = storage
+        #: per-slot operator-state budget; tracked state above it spills
+        self.spill_budget = cluster.config.effective_buffer_pool_bytes
         mode = execution_mode or cluster.config.execution_mode
         if mode not in EXECUTION_MODES:
             raise ExecutionError(
@@ -222,6 +237,13 @@ class Executor:
             trace.wall_seconds = op.wall_seconds
             trace.network_bytes = op.network_bytes
             trace.skew_ratio = op.skew_ratio
+            trace.spill_bytes = op.spill_bytes
+            trace.spill_events = op.spill_events
+            trace.segments_pruned = op.segments_pruned
+            trace.segments_scanned = op.segments_scanned
+            trace.pool_hits = op.pool_hits
+            trace.pool_misses = op.pool_misses
+            trace.peak_memory_bytes = op.peak_memory_bytes
         relation = self._materialized.get(key)
         if relation is not None:
             # materialized output bytes; partition sizes were already
@@ -261,6 +283,19 @@ class Executor:
         self._node_retries[id(node)] = retries
         self._node_faults[id(node)] = faults
         if own is not None:
+            # the materialized output is part of the operator's working
+            # set (partition sizes were cached by the memory check);
+            # state extras — build sides, hash tables, staging — were
+            # already noted by the handler via OperatorRun.note_peak
+            peak = max(
+                (
+                    relation.partition_total_bytes(slot)
+                    for slot in range(len(relation.partitions))
+                ),
+                default=0.0,
+            )
+            if peak > own.peak_memory_bytes:
+                own.peak_memory_bytes = peak
             self._node_ops[id(node)] = own
         return relation
 
@@ -465,6 +500,75 @@ class Executor:
 
     # -- helpers ------------------------------------------------------------
 
+    def _over_budget(self, nbytes: float) -> bool:
+        return nbytes > 0.0 and nbytes > self.spill_budget
+
+    def _spill_state(self, run, slot: int, nbytes: float) -> bool:
+        """Check one slot's operator state against the working-memory
+        budget; over-budget state is charged as a spill (write plus
+        reload at disk rate). The decision and the charge are pure byte
+        accounting, identical across storage and execution modes.
+        Returns True when the state spilled."""
+        run.note_peak(nbytes)
+        if not self._over_budget(nbytes):
+            return False
+        run.charge_spill(slot, nbytes)
+        if self.storage is not None:
+            self.storage.note_spill(nbytes)
+        return True
+
+    def _spill_roundtrip_rows(self, rows) -> list:
+        """Physically round-trip spilled rows through a spill file in
+        disk mode (the segment codec is exact, so values are unchanged);
+        in memory mode the spill is simulated and the rows stay put."""
+        if self.storage is not None and self.storage.mode == "disk":
+            return self.storage.spill_roundtrip(rows)
+        return rows if isinstance(rows, list) else list(rows)
+
+    def _spill_roundtrip_batch(self, batch: Batch, column_ids) -> Batch:
+        """Batch-mode twin of :meth:`_spill_roundtrip_rows`."""
+        if (
+            self.storage is not None
+            and self.storage.mode == "disk"
+            and batch.length
+        ):
+            rows = self.storage.spill_roundtrip(batch.rows())
+            return Batch.from_rows(column_ids, rows)
+        return batch
+
+    def _scan_partition(
+        self, storage, slot: int, predicates, run
+    ) -> Tuple[List[tuple], List[float]]:
+        """One partition's rows and per-row sizes, skipping zone-map
+        pruned segments; disk-backed segments are read through the
+        buffer pool. Both table back ends chunk partitions identically
+        (consecutive insert-order chunks of ``segment_rows``), so
+        pruning decisions — and the scan charges they remove — match
+        across storage modes."""
+        if not hasattr(storage, "segments"):
+            rows = (
+                list(storage.partitions[slot])
+                if slot < len(storage.partitions)
+                else []
+            )
+            return rows, [row_bytes(row) for row in rows]
+        pool = self.storage.buffer_pool if self.storage is not None else None
+        rows = []
+        sizes: List[float] = []
+        for segment in storage.segments(slot):
+            if predicates and segment_pruned(segment, predicates):
+                run.segments_pruned += 1
+                continue
+            run.segments_scanned += 1
+            seg_rows, seg_sizes, outcome = segment.read(pool)
+            if outcome == "hit":
+                run.pool_hits += 1
+            elif outcome == "miss":
+                run.pool_misses += 1
+            rows.extend(seg_rows)
+            sizes.extend(seg_sizes)
+        return rows, sizes
+
     def _effective_partitions(
         self, relation: DistributedRelation
     ) -> Tuple[list, bool]:
@@ -509,13 +613,13 @@ class Executor:
         if storage is None:
             raise ExecutionError(f"table {node.table.name!r} has no data loaded")
         run = self.cluster.operator(f"Scan({node.table.name})")
+        predicates = resolve_prune_predicates(
+            getattr(node, "prune_predicates", ())
+        )
         parts: List[List[tuple]] = []
         parts_bytes: List[List[float]] = []
         for slot in range(self.slots):
-            rows = (
-                list(storage.partitions[slot]) if slot < len(storage.partitions) else []
-            )
-            sizes = [row_bytes(row) for row in rows]
+            rows, sizes = self._scan_partition(storage, slot, predicates, run)
             scanned = sum(sizes)
             run.charge_disk(slot, scanned)
             run.charge_cpu(slot, tuples=len(rows))
@@ -630,6 +734,11 @@ class Executor:
                 parts_out[0].extend(part)
                 bytes_out[0].extend(child.partition_row_bytes(slot))
                 run.rows_in += len(part)
+            # gather staging on the reducer is exchange state: when the
+            # collected partition exceeds the budget it spills before
+            # the reduce-side read
+            if self._spill_state(run, 0, gathered):
+                parts_out[0] = self._spill_roundtrip_rows(parts_out[0])
             # the single reducer owns the whole machine's disk bandwidth
             cores = self.cluster.config.cores_per_machine
             run.charge_disk(0, gathered / cores)
@@ -664,6 +773,10 @@ class Executor:
             run.rows_in += len(part)
         for slot, rows in enumerate(parts_out):
             received = sum(bytes_out[slot])
+            # reduce-side staging above the budget spills before the read
+            if self._spill_state(run, slot, received):
+                rows = self._spill_roundtrip_rows(rows)
+                parts_out[slot] = rows
             run.charge_disk(slot, received)  # reduce-side read
             run.charge_cpu(slot, tuples=len(rows))
             run.rows_out += len(rows)
@@ -684,12 +797,25 @@ class Executor:
         if probe_was_broadcast:
             raise ExecutionError("hash join probe side cannot be broadcast")
 
-        # build per-slot hash tables
+        # build per-slot hash tables; the build side is this join's
+        # in-memory state and is checked against the working-memory
+        # budget (a broadcast build is a full copy on every slot, so
+        # every slot charges its own spill)
+        if build_broadcast:
+            shared_rows = build_rel.partitions[0]
+            shared_bytes = build_rel.partition_total_bytes(0)
+            if self._over_budget(shared_bytes):
+                shared_rows = self._spill_roundtrip_rows(shared_rows)
         tables: List[Dict[tuple, List[tuple]]] = []
         for slot in range(self.slots):
-            build_rows = (
-                build_rel.partitions[0] if build_broadcast else build_rel.partitions[slot]
-            )
+            if build_broadcast:
+                build_rows, build_bytes = shared_rows, shared_bytes
+            else:
+                build_rows = build_rel.partitions[slot]
+                build_bytes = build_rel.partition_total_bytes(slot)
+                if self._over_budget(build_bytes):
+                    build_rows = self._spill_roundtrip_rows(build_rows)
+            self._spill_state(run, slot, build_bytes)
             cost = EvalCost()
             table: Dict[tuple, List[tuple]] = {}
             for row in build_rows:
@@ -806,6 +932,12 @@ class Executor:
             out = parts_out[slot]
             for key, states in groups.values():
                 out.append(tuple(key) + tuple(states))
+            # the group hash table is this operator's in-memory state;
+            # above the budget the partition spills. The reload is
+            # simulated in every mode — DISTINCT states are Python sets
+            # whose iteration order would not survive a physical round
+            # trip, and the final fold must stay bit-identical.
+            self._spill_state(run, slot, sum(row_bytes(row) for row in out))
             # hash aggregation costs ~2x a plain per-tuple pass: hash the
             # key, probe the table, update the state (this is why the
             # paper's Figure 4 shows aggregation dominating the join)
@@ -940,10 +1072,33 @@ class Executor:
             raise ExecutionError(f"table {node.table.name!r} has no data loaded")
         run = self.cluster.operator(f"Scan({node.table.name})")
         column_ids = [column.column_id for column in node.columns]
+        predicates = resolve_prune_predicates(
+            getattr(node, "prune_predicates", ())
+        )
+        disk_mode = self.storage is not None and self.storage.mode == "disk"
+        # the fully-cached columnar path is memory-mode only: in disk
+        # mode every scan goes segment by segment through the buffer
+        # pool so hit/miss counters match the row back end's, and a
+        # pruned scan assembles its batch from the surviving rows
+        use_columnar = (
+            not predicates and not disk_mode and hasattr(storage, "columnar")
+        )
         parts: List[Batch] = []
         for slot in range(self.slots):
-            columns, sizes = storage.columnar(slot)
-            batch = Batch(column_ids, columns, len(sizes), row_bytes=sizes)
+            if use_columnar:
+                columns, sizes = storage.columnar(slot)
+                batch = Batch(column_ids, columns, len(sizes), row_bytes=sizes)
+                if hasattr(storage, "segments"):
+                    run.segments_scanned += len(storage.segments(slot))
+            else:
+                rows, size_list = self._scan_partition(
+                    storage, slot, predicates, run
+                )
+                batch = Batch.from_rows(
+                    column_ids,
+                    rows,
+                    row_bytes=np.asarray(size_list, dtype=np.float64),
+                )
             scanned = batch.total_bytes()
             run.charge_disk(slot, scanned)
             run.charge_cpu(slot, tuples=batch.length)
@@ -1021,6 +1176,11 @@ class Executor:
                 gathered += moved
                 run.rows_in += batch.length
             merged = Batch.concat(child.column_ids, list(source_parts))
+            # gather staging on the reducer is exchange state: when the
+            # collected partition exceeds the budget it spills before
+            # the reduce-side read
+            if self._spill_state(run, 0, gathered):
+                merged = self._spill_roundtrip_batch(merged, child.column_ids)
             parts_out = [merged] + [
                 Batch.empty_like(child.column_ids) for _ in range(self.slots - 1)
             ]
@@ -1062,6 +1222,11 @@ class Executor:
         for slot in range(self.slots):
             received_batch = Batch.concat(child.column_ids, scattered[slot])
             received = received_batch.total_bytes()
+            # reduce-side staging above the budget spills before the read
+            if self._spill_state(run, slot, received):
+                received_batch = self._spill_roundtrip_batch(
+                    received_batch, child.column_ids
+                )
             run.charge_disk(slot, received)  # reduce-side read
             run.charge_cpu(slot, tuples=received_batch.length)
             run.rows_out += received_batch.length
@@ -1133,10 +1298,14 @@ class Executor:
         build_batches: List[Batch] = []
         if build_broadcast:
             shared = build_rel.partitions[0]
+            shared_bytes = build_rel.partition_total_bytes(0)
+            if self._over_budget(shared_bytes):
+                shared = self._spill_roundtrip_batch(shared, build_rel.column_ids)
             shared_cost, shared_table = self._build_join_table(
                 shared, node.build_keys
             )
             for slot in range(self.slots):
+                self._spill_state(run, slot, shared_bytes)
                 run.charge_eval(slot, shared.length, shared_cost)
                 run.rows_in += shared.length
                 tables.append(shared_table)
@@ -1144,6 +1313,12 @@ class Executor:
         else:
             for slot in range(self.slots):
                 batch = build_rel.partitions[slot]
+                build_bytes = build_rel.partition_total_bytes(slot)
+                if self._over_budget(build_bytes):
+                    batch = self._spill_roundtrip_batch(
+                        batch, build_rel.column_ids
+                    )
+                self._spill_state(run, slot, build_bytes)
                 cost, table = self._build_join_table(batch, node.build_keys)
                 run.charge_eval(slot, batch.length, cost)
                 run.rows_in += batch.length
@@ -1269,6 +1444,12 @@ class Executor:
                 tuple(key) + tuple(states[g] for states in spec_states)
                 for g, key in enumerate(groups)
             ]
+            # same spill rule as the row path (simulated reload — see
+            # the DISTINCT-state note there); the sequential sum visits
+            # rows in the identical first-seen group order
+            self._spill_state(
+                run, slot, sum(row_bytes(row) for row in out_rows)
+            )
             parts_out.append(Batch.from_rows(column_ids, out_rows))
             run.charge_eval(slot, 2 * batch.length + len(out_rows), cost)
             run.rows_in += batch.length

@@ -31,6 +31,20 @@ class OperatorMetrics:
     #: recovery machinery rewrites these (and the derived wall/max/mean)
     #: when slots crash or straggle
     slot_seconds: Tuple[float, ...] = ()
+    #: operator state bytes written to spill files when the working set
+    #: exceeded the budget (identical in both storage modes)
+    spill_bytes: float = 0.0
+    spill_events: int = 0
+    #: zone-map pruning outcome of a scan (pruned + scanned = total)
+    segments_pruned: int = 0
+    segments_scanned: int = 0
+    #: buffer-pool outcomes of a disk-mode scan; structurally zero in
+    #: memory mode, so excluded from the cross-storage-mode equality
+    #: contract (spill/pruning fields above are part of it)
+    pool_hits: int = 0
+    pool_misses: int = 0
+    #: largest tracked per-slot working set (state + output bytes)
+    peak_memory_bytes: float = 0.0
 
     @property
     def network_seconds(self) -> float:
@@ -89,6 +103,14 @@ class OperatorTrace:
     #: including while producing its not-yet-materialized inputs
     #: (subtree-inclusive)
     fault_count: int = 0
+    #: spill/reload and storage counters (docs/STORAGE.md)
+    spill_bytes: float = 0.0
+    spill_events: int = 0
+    segments_pruned: int = 0
+    segments_scanned: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    peak_memory_bytes: float = 0.0
     children: List["OperatorTrace"] = field(default_factory=list)
     #: filled by CostModel.annotate_trace
     est_rows: Optional[float] = None
@@ -133,6 +155,19 @@ class OperatorTrace:
             suffix = ""
             if node.retries or node.fault_count:
                 suffix = f"  [retries {node.retries}, faults {node.fault_count}]"
+            if node.spill_bytes:
+                suffix += (
+                    f"  [spilled {node.spill_bytes / 1e6:.2f} MB in "
+                    f"{node.spill_events} spill(s)]"
+                )
+            if node.segments_pruned:
+                total = node.segments_pruned + node.segments_scanned
+                suffix += f"  [pruned {node.segments_pruned}/{total} segment(s)]"
+            if node.pool_hits or node.pool_misses:
+                suffix += (
+                    f"  [pool {node.pool_hits} hit(s), "
+                    f"{node.pool_misses} miss(es)]"
+                )
             lines.append(
                 f"{label:<44}{est_rows:>12}{node.rows_out:>12,}{q_error:>8}"
                 f"{est_mb:>9}{node.bytes_out / 1e6:>9.2f}{est_s:>9}"
@@ -225,6 +260,42 @@ class QueryMetrics:
             + self.stretch_seconds
         )
 
+    # -- storage accounting (aggregated over operators, so merged
+    # multi-statement records derive them for free) ------------------------
+
+    @property
+    def spill_bytes(self) -> float:
+        """Total operator state bytes written to spill files."""
+        return sum(op.spill_bytes for op in self.operators)
+
+    @property
+    def spill_events(self) -> int:
+        return sum(op.spill_events for op in self.operators)
+
+    @property
+    def segments_pruned(self) -> int:
+        """Segments skipped by zone-map pruning across all scans."""
+        return sum(op.segments_pruned for op in self.operators)
+
+    @property
+    def segments_scanned(self) -> int:
+        return sum(op.segments_scanned for op in self.operators)
+
+    @property
+    def pool_hits(self) -> int:
+        """Buffer-pool hits (disk storage mode only)."""
+        return sum(op.pool_hits for op in self.operators)
+
+    @property
+    def pool_misses(self) -> int:
+        return sum(op.pool_misses for op in self.operators)
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        """Largest tracked per-slot working set of any operator — the
+        query's enforced memory footprint (docs/STORAGE.md)."""
+        return max((op.peak_memory_bytes for op in self.operators), default=0.0)
+
     def seconds_by_operator(self) -> Dict[str, float]:
         """Aggregate wall seconds per operator name (Figure 4's bars)."""
         out: Dict[str, float] = {}
@@ -297,5 +368,19 @@ class QueryMetrics:
                 f"queued {self.queue_seconds:.3f}s  "
                 f"stretch {self.stretch_seconds:.3f}s  "
                 f"elapsed {self.elapsed_seconds:.3f}s"
+            )
+        if (
+            self.spill_bytes
+            or self.segments_pruned
+            or self.pool_hits
+            or self.pool_misses
+        ):
+            lines.append(
+                f"{'STORAGE':<24}spilled {self.spill_bytes / 1e6:.2f} MB "
+                f"({self.spill_events} event(s))  "
+                f"pruned {self.segments_pruned}/"
+                f"{self.segments_pruned + self.segments_scanned} segment(s)  "
+                f"pool {self.pool_hits} hit(s)/{self.pool_misses} miss(es)  "
+                f"peak {self.peak_memory_bytes / 1e6:.2f} MB"
             )
         return "\n".join(lines)

@@ -335,9 +335,13 @@ class PartitionedTable:
         schema: Schema,
         slots: int,
         partition_by: Optional[Sequence[str]] = None,
+        segment_rows: int = 4096,
     ):
         self.schema = schema
         self.slots = slots
+        #: rows per logical columnar segment (the zone-map granule);
+        #: chunk boundaries match the disk back end's sealed segments
+        self.segment_rows = max(1, int(segment_rows))
         #: column names the table is hash-partitioned on (None = round robin)
         self.partition_by = list(partition_by) if partition_by else None
         self._key_positions: Optional[List[int]] = None
@@ -355,6 +359,7 @@ class PartitionedTable:
         #: bumped on every mutation; invalidates the columnar scan cache
         self._version = 0
         self._columnar_cache: Dict[int, Tuple[int, List[ColumnData], np.ndarray]] = {}
+        self._segment_cache: Dict[int, Tuple[int, list]] = {}
 
     @property
     def row_count(self) -> int:
@@ -387,6 +392,35 @@ class PartitionedTable:
         """Callers that rewrite ``partitions`` in place (DELETE) must
         invalidate the columnar cache."""
         self._version += 1
+
+    def partition_rows(self, slot: int) -> List[tuple]:
+        """The rows of one partition (shared storage-back-end API)."""
+        return self.partitions[slot]
+
+    def replace_partition(self, slot: int, rows: Sequence[tuple]) -> None:
+        """Rewrite one partition (DELETE; shared storage-back-end API)."""
+        self.partitions[slot] = [tuple(row) for row in rows]
+        self.mutated()
+
+    def segments(self, slot: int) -> list:
+        """The partition as logical columnar segments: consecutive
+        insert-order chunks of ``segment_rows`` rows, each carrying lazy
+        zone maps and per-row serialized sizes. The chunk boundaries —
+        and therefore pruning decisions and charged scan bytes — are
+        identical to the disk back end's sealed segment files."""
+        cached = self._segment_cache.get(slot)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from ..storage.segment import MemorySegment, chunk_offsets
+
+        rows = self.partitions[slot] if slot < len(self.partitions) else []
+        width = len(self.schema.types)
+        segments = [
+            MemorySegment(rows[start:stop], width)
+            for start, stop in chunk_offsets(len(rows), self.segment_rows)
+        ]
+        self._segment_cache[slot] = (self._version, segments)
+        return segments
 
     def all_rows(self) -> List[tuple]:
         out: List[tuple] = []

@@ -13,11 +13,18 @@ from __future__ import annotations
 import pickle
 from typing import Optional
 
+from .catalog import TableStats
 from .config import ClusterConfig
 from .errors import ReproError
 from .types import LabeledScalar, Matrix, Vector
 
-FORMAT_VERSION = 1
+#: v1 stored schemas + a flat row list only; v2 adds per-table
+#: statistics and the catalog version (restore skips the full
+#: statistics rescan) and keeps rows *per partition*, so restoring onto
+#: the same cluster shape reproduces the exact slot layout — and
+#: therefore bit-identical per-slot summation order. v1 files remain
+#: readable (they rescan and re-deal, as before).
+FORMAT_VERSION = 2
 MAGIC = "repro-database"
 
 
@@ -43,11 +50,66 @@ def _thaw_value(frozen):
     return frozen[1]
 
 
+def _freeze_stats(stats: TableStats) -> dict:
+    """Table statistics as plain picklable data (format v2)."""
+    columns = {}
+    for name, col in stats.columns.items():
+        columns[name] = {
+            "distinct": col.distinct,
+            "observed_length": col.observed_length,
+            "observed_rows": col.observed_rows,
+            "observed_cols": col.observed_cols,
+            "value_set": (
+                None
+                if col.value_set is None
+                else [_freeze_value(value) for value in col.value_set]
+            ),
+            "length_set": (
+                None if col.length_set is None else sorted(col.length_set)
+            ),
+            "shape_set": (
+                None if col.shape_set is None else sorted(col.shape_set)
+            ),
+        }
+    return {
+        "row_count": stats.row_count,
+        "incremental": stats.incremental,
+        "columns": columns,
+    }
+
+
+def _thaw_stats(frozen: dict) -> TableStats:
+    stats = TableStats(
+        row_count=frozen["row_count"], incremental=frozen["incremental"]
+    )
+    for name, col in frozen["columns"].items():
+        col_stats = stats.column(name)
+        col_stats.distinct = col["distinct"]
+        col_stats.observed_length = col["observed_length"]
+        col_stats.observed_rows = col["observed_rows"]
+        col_stats.observed_cols = col["observed_cols"]
+        col_stats.value_set = (
+            None
+            if col["value_set"] is None
+            else {_thaw_value(value) for value in col["value_set"]}
+        )
+        col_stats.length_set = (
+            None if col["length_set"] is None else set(col["length_set"])
+        )
+        col_stats.shape_set = (
+            None
+            if col["shape_set"] is None
+            else {tuple(shape) for shape in col["shape_set"]}
+        )
+    return stats
+
+
 def save_database(db, path: str) -> None:
-    """Serialize a :class:`repro.Database` (schemas, data, views) to
-    ``path``."""
+    """Serialize a :class:`repro.Database` (schemas, data, statistics,
+    views) to ``path``."""
     tables = []
     for entry in db.catalog.tables():
+        storage = entry.storage
         tables.append(
             {
                 "name": entry.name,
@@ -55,11 +117,16 @@ def save_database(db, path: str) -> None:
                     (column.name, repr(column.data_type))
                     for column in entry.schema
                 ],
-                "partition_by": entry.storage.partition_by,
-                "rows": [
-                    tuple(_freeze_value(value) for value in row)
-                    for row in entry.storage.all_rows()
+                "partition_by": storage.partition_by,
+                "partitions": [
+                    [
+                        tuple(_freeze_value(value) for value in row)
+                        for row in storage.partition_rows(slot)
+                    ]
+                    for slot in range(storage.slots)
                 ],
+                "insert_cursor": getattr(storage, "_next", 0),
+                "stats": _freeze_stats(entry.stats),
             }
         )
     views = [
@@ -74,6 +141,7 @@ def save_database(db, path: str) -> None:
         "magic": MAGIC,
         "version": FORMAT_VERSION,
         "config": db.config,
+        "catalog_version": db.catalog.version,
         "tables": tables,
         "views": views,
     }
@@ -91,21 +159,79 @@ def restore_database(path: str, config: Optional[ClusterConfig] = None):
         payload = pickle.load(handle)
     if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
         raise ReproError(f"{path!r} is not a repro database file")
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in (1, FORMAT_VERSION):
         raise ReproError(
             f"unsupported database file version {payload.get('version')!r}"
         )
-    db = Database(config or payload["config"])
+    db = Database(_effective_config(payload["config"], config))
     for table in payload["tables"]:
         db.create_table(
             table["name"], table["columns"], partition_by=table["partition_by"]
         )
-        rows = [
-            tuple(_thaw_value(value) for value in row) for row in table["rows"]
-        ]
         entry = db.catalog.table(table["name"])
-        entry.storage.insert_many(rows)
-        db._refresh_stats(entry)
+        _restore_rows(entry.storage, table)
+        frozen_stats = table.get("stats")
+        if frozen_stats is not None:
+            entry.stats = _thaw_stats(frozen_stats)
+            db.catalog.bump_version()
+        else:  # v1 files carry no statistics: rescan, as before
+            db._refresh_stats(entry)
     for view in payload["views"]:
         db.catalog.create_view(view["name"], view["query"], view["column_names"])
+    saved_catalog_version = payload.get("catalog_version")
+    if saved_catalog_version is not None:
+        db.catalog.version = max(db.catalog.version, saved_catalog_version)
     return db
+
+
+def _restore_rows(storage, table: dict) -> None:
+    """Reload one table's rows.
+
+    v2 payloads carry rows per partition: restoring onto a cluster with
+    the same slot count places every partition back verbatim (identical
+    slot layout, identical within-slot order — per-slot partial sums
+    come out bit-identical). A different slot count, or a v1 payload's
+    flat row list, falls back to re-dealing through ``insert_many``
+    (the documented re-partitioning behaviour).
+    """
+    partitions = table.get("partitions")
+    if partitions is not None and len(partitions) == storage.slots:
+        for slot, frozen_rows in enumerate(partitions):
+            storage.replace_partition(
+                slot,
+                [tuple(_thaw_value(value) for value in row) for row in frozen_rows],
+            )
+        storage._next = table.get("insert_cursor", 0)
+        return
+    if partitions is not None:
+        frozen_rows = [row for part in partitions for row in part]
+    else:  # v1: flat row list
+        frozen_rows = table["rows"]
+    storage.insert_many(
+        tuple(_thaw_value(value) for value in row) for row in frozen_rows
+    )
+
+
+def _effective_config(
+    saved: ClusterConfig, override: Optional[ClusterConfig]
+) -> ClusterConfig:
+    """Merge an override config with the saved one.
+
+    The override wins for everything it explicitly sets, but fields the
+    caller left at their defaults must not silently discard what the
+    saved database carried: the fault plan and the execution mode.
+    """
+    if override is None:
+        return saved
+    updates = {}
+    if override.fault_plan is None and saved.fault_plan is not None:
+        updates["fault_plan"] = saved.fault_plan
+    default_mode = ClusterConfig.__dataclass_fields__["execution_mode"].default
+    if (
+        override.execution_mode == default_mode
+        and saved.execution_mode != default_mode
+    ):
+        updates["execution_mode"] = saved.execution_mode
+    if updates:
+        return override.with_updates(**updates)
+    return override

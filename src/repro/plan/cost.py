@@ -261,6 +261,15 @@ class CostModel:
         serialization = rows * config.tuple_cpu_s / config.slots
         return transfer + materialize + serialization
 
+    def _spill_seconds(self, per_slot_bytes: float) -> float:
+        """Anticipated spill cost when one slot's operator state exceeds
+        the working-memory budget: the state is written and re-read at
+        disk rate, mirroring ``OperatorRun.charge_spill``. Zero when the
+        state fits."""
+        if per_slot_bytes <= self.config.effective_buffer_pool_bytes:
+            return 0.0
+        return 2.0 * per_slot_bytes / self.config.disk_rate_per_slot
+
     def _broadcast_seconds(self, side_bytes: float, rows: float) -> float:
         """Replicating one side to every machine (a map-side join): pure
         network plus deserialization, no reduce materialization."""
@@ -294,13 +303,21 @@ class CostModel:
         (reduce-side, output materialized to disk), plus probe/emit CPU."""
         smaller_bytes = min(left.total_bytes, right.total_bytes)
         smaller_rows = min(left.rows, right.rows)
-        broadcast = self._broadcast_seconds(smaller_bytes, smaller_rows)
+        # the build side is held in memory; a broadcast build is a full
+        # copy per slot, a partitioned build holds 1/slots of it
+        broadcast = self._broadcast_seconds(
+            smaller_bytes, smaller_rows
+        ) + self._spill_seconds(smaller_bytes)
         if is_cross:
             movement = broadcast
         else:
-            repartition = self._shuffle_seconds(
-                left.total_bytes + right.total_bytes, left.rows + right.rows
-            ) + 2.0 * output.total_bytes / self.config.disk_rate / self.config.machines
+            repartition = (
+                self._shuffle_seconds(
+                    left.total_bytes + right.total_bytes, left.rows + right.rows
+                )
+                + 2.0 * output.total_bytes / self.config.disk_rate / self.config.machines
+                + self._spill_seconds(smaller_bytes / self.config.slots)
+            )
             movement = min(broadcast, repartition)
         build_probe = self._cpu_seconds(left.rows + right.rows, 0.0, 8.0)
         emit = self._cpu_seconds(output.rows, 0.0, 8.0)
@@ -324,7 +341,9 @@ class CostModel:
             input_est.rows, arg_flops, arg_bytes + accumulate_bytes
         )
         shuffle = self._shuffle_seconds(output.total_bytes, output.rows)
-        return consume + shuffle
+        # aggregation state that outgrows the budget spills per slot
+        spill = self._spill_seconds(output.total_bytes / self.config.slots)
+        return consume + shuffle + spill
 
     def plan_cost(self, node: LogicalNode) -> float:
         """Total estimated cost of a plan, in seconds."""
@@ -421,6 +440,14 @@ class CostModel:
                 seconds = self._broadcast_seconds(child.total_bytes, child.rows)
             else:
                 seconds = self._shuffle_seconds(child.total_bytes, child.rows)
+                # reduce-side staging: a gather stages everything on one
+                # slot, a hash exchange 1/slots of it per slot
+                staged = (
+                    child.total_bytes
+                    if node.kind == "gather"
+                    else child.total_bytes / self.config.slots
+                )
+                seconds += self._spill_seconds(staged)
             result = (est, seconds)
         elif isinstance(node, (PHashJoin, PNestedLoopJoin)):
             result = self._physical_estimate_join(node, memo)
@@ -451,7 +478,11 @@ class CostModel:
                 for spec in node.aggregates
                 if spec.arg is not None
             )
-            result = (est, self._cpu_seconds(child.rows, arg_flops, arg_bytes + 8.0))
+            result = (
+                est,
+                self._cpu_seconds(child.rows, arg_flops, arg_bytes + 8.0)
+                + self._spill_seconds(est.total_bytes / self.config.slots),
+            )
         elif isinstance(node, PFinalAggregate):
             child, _ = self.physical_estimate(node.child, memo)
             if not node.group_columns:
@@ -531,11 +562,18 @@ class CostModel:
             key: min(value, combined.rows)
             for key, value in combined.distinct.items()
         }
-        # movement was charged to the exchanges below; this node only
-        # pays build + probe + emit CPU
-        seconds = self._cpu_seconds(
-            probe.rows + build.rows, 0.0, 8.0
-        ) + self._cpu_seconds(combined.rows, 0.0, 8.0)
+        # movement was charged to the exchanges below; this node pays
+        # build + probe + emit CPU plus any anticipated build-side spill
+        # (a broadcast build is a full copy on every slot)
+        if node.build.partitioning.kind == "broadcast":
+            build_per_slot = build.total_bytes
+        else:
+            build_per_slot = build.total_bytes / self.config.slots
+        seconds = (
+            self._cpu_seconds(probe.rows + build.rows, 0.0, 8.0)
+            + self._cpu_seconds(combined.rows, 0.0, 8.0)
+            + self._spill_seconds(build_per_slot)
+        )
         return combined, seconds
 
     def annotate_trace(self, trace, node) -> None:

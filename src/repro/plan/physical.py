@@ -25,7 +25,14 @@ from typing import List, Optional, Sequence, Tuple
 from ..catalog import TableEntry
 from ..engine.storage import BROADCAST, ROUND_ROBIN, SINGLE, Partitioning
 from .cost import CostModel
-from .expressions import ColumnVar, TypedExpr
+from .expressions import (
+    BinaryExpr,
+    BoolExpr,
+    ColumnVar,
+    LiteralExpr,
+    ParamExpr,
+    TypedExpr,
+)
 from .logical import (
     AggregateNode,
     AggSpec,
@@ -73,6 +80,12 @@ class PScan(PhysicalNode):
             self.partitioning = Partitioning("hash", keys)
         else:
             self.partitioning = ROUND_ROBIN
+        #: zone-map prune triples ``(column position, op, literal expr)``
+        #: attached by the planner when a filter sits directly above;
+        #: the literal side stays an expression (resolved per execution,
+        #: so rebound parameter cells prune on their current value) and
+        #: segments whose min/max exclude a conjunct are skipped whole
+        self.prune_predicates: List[Tuple[int, str, TypedExpr]] = []
 
     def describe(self) -> str:
         return f"Scan {self.table.name}"
@@ -305,6 +318,69 @@ class PSortLimit(PhysicalNode):
         return f"Sort({'final' if self.final else 'local'}){suffix}"
 
 
+#: literal types whose comparisons zone maps can reason about
+PRUNABLE_LITERALS = (bool, int, float, str)
+_FLIPPED_OP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "="}
+
+
+def extract_prune_predicates(
+    scan: PScan, predicate: TypedExpr
+) -> List[Tuple[int, str, TypedExpr]]:
+    """The zone-map-prunable conjuncts of a filter sitting directly
+    above a scan: ``column <op> literal`` comparisons (either
+    orientation) over the scan's output columns. Conjuncts that don't
+    fit the shape are simply not prunable — the filter still evaluates
+    the full predicate over every surviving row, so pruning is purely
+    an optimization, never a semantic change.
+
+    The literal side is kept as the *expression* (a :class:`LiteralExpr`
+    or a prepared-statement :class:`ParamExpr`) and resolved to a value
+    at scan time — plan-cached plans rebind parameter cells between
+    executions, so capturing the value here would prune on stale (or
+    unbound) parameters."""
+    position_of = {column.column_id: i for i, column in enumerate(scan.columns)}
+    out: List[Tuple[int, str, TypedExpr]] = []
+
+    def walk(expr: TypedExpr) -> None:
+        if isinstance(expr, BoolExpr) and expr.op == "AND":
+            walk(expr.left)
+            walk(expr.right)
+            return
+        if not isinstance(expr, BinaryExpr) or expr.op not in _FLIPPED_OP:
+            return
+        for column, literal, op in (
+            (expr.left, expr.right, expr.op),
+            (expr.right, expr.left, _FLIPPED_OP[expr.op]),
+        ):
+            if (
+                isinstance(column, ColumnVar)
+                and isinstance(literal, (LiteralExpr, ParamExpr))
+                and column.column_id in position_of
+            ):
+                out.append((position_of[column.column_id], op, literal))
+                return
+
+    walk(predicate)
+    return out
+
+
+def resolve_prune_predicates(
+    predicates,
+) -> List[Tuple[int, str, object]]:
+    """Current ``(position, op, value)`` triples of a scan's prune
+    predicates, evaluated against the literals'/parameters' present
+    values; conjuncts whose value is NULL or not totally ordered
+    against zone maps are dropped (they never prune)."""
+    out: List[Tuple[int, str, object]] = []
+    for position, op, literal in predicates:
+        if isinstance(literal, ParamExpr) and not literal.cell.bound:
+            continue
+        value = literal.evaluate(())
+        if value is not None and isinstance(value, PRUNABLE_LITERALS):
+            out.append((position, op, value))
+    return out
+
+
 class PhysicalPlanner:
     def __init__(self, cost_model: CostModel):
         self.cost = cost_model
@@ -313,7 +389,12 @@ class PhysicalPlanner:
         if isinstance(node, ScanNode):
             return PScan(node.table, node.columns)
         if isinstance(node, FilterNode):
-            return PFilter(self.plan(node.child), node.predicate)
+            child = self.plan(node.child)
+            if isinstance(child, PScan):
+                child.prune_predicates = extract_prune_predicates(
+                    child, node.predicate
+                )
+            return PFilter(child, node.predicate)
         if isinstance(node, ProjectNode):
             return PProject(self.plan(node.child), node.exprs, node.columns)
         if isinstance(node, JoinNode):

@@ -65,6 +65,10 @@ class ServiceConfig:
     #: when set, force the database onto this interpreter back end
     #: ("row" or "batch"); None keeps the database's configured mode
     execution_mode: Optional[str] = None
+    #: optional admission budget on a query's estimated per-slot working
+    #: set (bytes); queries estimated above it are rejected with
+    #: ServiceOverloadedError before execution. None disables the check.
+    memory_budget_bytes: Optional[float] = None
     #: per-query budget on client-observed simulated latency (compile +
     #: queueing + stretched execution); None disables timeouts
     query_timeout_s: Optional[float] = None
@@ -301,6 +305,17 @@ class QueryService:
             arrival = session.clock
         self.breaker.check(max(arrival, self.scheduler.clock))
         plan, cache_hit, compile_seconds = self._plan(session, sql, statement, params)
+        budget = self.config.memory_budget_bytes
+        if budget is not None:
+            demand = self._estimate_peak_bytes(plan.physical)
+            if demand > budget:
+                self.metrics.observe_rejection(session.name)
+                self.breaker.record_rejection(self.scheduler.clock)
+                raise ServiceOverloadedError(
+                    f"estimated per-slot working set "
+                    f"{demand / 1e6:.2f} MB exceeds the admission memory "
+                    f"budget {budget / 1e6:.2f} MB"
+                )
         result = self.db._execute_physical(plan.logical, plan.physical)
         metrics = result.metrics
         metrics.compile_seconds = compile_seconds
@@ -391,6 +406,24 @@ class QueryService:
             self.metrics.observe_timeout(pending.session.name)
         pending.finalized = True
 
+    def _estimate_peak_bytes(self, physical) -> float:
+        """A plan's estimated per-slot working-set peak: the largest
+        single operator output divided across slots (broadcast outputs
+        are a full copy on every slot). Used by admission when
+        ``ServiceConfig.memory_budget_bytes`` is set."""
+        memo: Dict[int, object] = {}
+        slots = self.db.config.slots
+
+        def walk(node) -> float:
+            est, _ = self.db.cost_model.physical_estimate(node, memo)
+            if node.partitioning.kind == "broadcast":
+                per_slot = est.total_bytes
+            else:
+                per_slot = est.total_bytes / slots
+            return max([per_slot] + [walk(child) for child in node.children()])
+
+        return walk(physical)
+
     def _execute_passthrough(
         self, session: Session, statement: ast.Statement, params: Dict[str, object]
     ) -> Result:
@@ -413,6 +446,7 @@ class QueryService:
         snapshot["plan_cache"] = self.plan_cache.stats()
         snapshot["scheduler"] = self.scheduler.stats()
         snapshot["breaker"] = self.breaker.stats()
+        snapshot["storage"] = self.db.storage.stats()
         snapshot["active_sessions"] = sorted(self._sessions)
         return snapshot
 

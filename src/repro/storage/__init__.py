@@ -1,0 +1,59 @@
+"""Out-of-core storage subsystem: columnar segment files, zone maps, a
+budgeted buffer pool, and the disk-backed partitioned table.
+
+Tables live behind one of two back ends selected by
+``ClusterConfig.storage_mode``:
+
+* ``"memory"`` — :class:`~repro.engine.storage.PartitionedTable` keeps
+  partitions as Python row lists (the original seed behaviour), chunked
+  into logical :class:`MemorySegment` views for zone-map pruning;
+* ``"disk"`` — :class:`DiskPartitionedTable` seals the same insert-order
+  chunks into immutable columnar segment files (raw numpy buffers for
+  uniform numeric/vector/matrix columns, a pickled fallback otherwise,
+  plus a footer carrying row count, per-column min/max and null counts)
+  and reads them back through a :class:`BufferPool` with LRU-with-pins
+  eviction.
+
+Both back ends expose the same ``segments(slot)`` abstraction with
+identical chunk boundaries and identical serialized-byte accounting, so
+scans, zone-map pruning decisions and spill triggers charge bit-identical
+simulated costs in either mode (see ``docs/STORAGE.md``).
+"""
+
+from .bufferpool import BufferPool
+from .disk import DiskPartitionedTable, DiskSegment
+from .engine import STORAGE_MODES, StorageEngine
+from .segment import (
+    SEGMENT_MAGIC,
+    MemorySegment,
+    ZoneMap,
+    chunk_offsets,
+    compute_zone,
+    compute_zones,
+    decode_segment,
+    encode_segment,
+    read_segment_file,
+    segment_pruned,
+    write_segment_file,
+    zone_excludes,
+)
+
+__all__ = [
+    "BufferPool",
+    "DiskPartitionedTable",
+    "DiskSegment",
+    "STORAGE_MODES",
+    "StorageEngine",
+    "SEGMENT_MAGIC",
+    "MemorySegment",
+    "ZoneMap",
+    "chunk_offsets",
+    "compute_zone",
+    "compute_zones",
+    "decode_segment",
+    "encode_segment",
+    "read_segment_file",
+    "segment_pruned",
+    "write_segment_file",
+    "zone_excludes",
+]

@@ -1,0 +1,117 @@
+"""A budgeted buffer pool for decoded disk segments.
+
+Classic LRU with pin counts: readers ``acquire`` (pinning the entry, or
+recording a miss), ``insert`` decoded payloads pinned, and ``release``
+when done; eviction only ever removes unpinned entries, least recently
+used first, until the pool fits its byte budget. A single entry larger
+than the whole budget is admitted while pinned and evicted on release —
+arbitrarily small budgets degrade to re-reading every segment, they
+never break correctness.
+
+The byte currency is the engine's *serialized* row-size accounting
+(``cluster.row_bytes``), the same currency the simulated cost model
+charges, so the pool budget and the spill threshold speak the same
+units. Hit/miss/eviction counters feed ``QueryMetrics`` and
+``QueryService.stats()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+
+class _Entry:
+    __slots__ = ("payload", "nbytes", "pins")
+
+    def __init__(self, payload, nbytes: float, pins: int):
+        self.payload = payload
+        self.nbytes = nbytes
+        self.pins = pins
+
+
+class BufferPool:
+    """LRU-with-pin-counts cache of decoded segments, bounded in bytes."""
+
+    def __init__(self, budget_bytes: float):
+        self.budget_bytes = float(budget_bytes)
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def pins(self, key: Hashable) -> int:
+        entry = self._entries.get(key)
+        return entry.pins if entry is not None else 0
+
+    def acquire(self, key: Hashable):
+        """Look up and pin; returns the payload on a hit, None on a miss
+        (the caller should decode and :meth:`insert`)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.pins += 1
+        self._entries.move_to_end(key)
+        return entry.payload
+
+    def insert(self, key: Hashable, payload, nbytes: float) -> None:
+        """Add a decoded payload, pinned once for the inserting reader
+        (pair with :meth:`release`)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            # raced with another reader of the same segment; share it
+            entry.pins += 1
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = _Entry(payload, float(nbytes), 1)
+        self._evict()
+
+    def release(self, key: Hashable) -> None:
+        """Drop one pin; over-budget unpinned entries become evictable."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        entry.pins = max(0, entry.pins - 1)
+        self._evict()
+
+    def invalidate(self, key: Hashable) -> None:
+        """Remove an entry whose backing segment was deleted (table
+        rewrite); not counted as an eviction."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def _evict(self) -> None:
+        while self.total_bytes > self.budget_bytes:
+            victim = None
+            for key, entry in self._entries.items():  # LRU order
+                if entry.pins == 0:
+                    victim = key
+                    break
+            if victim is None:
+                return  # everything pinned; over budget until release
+            del self._entries[victim]
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "resident_bytes": self.total_bytes,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,98 @@
+"""The per-database storage engine: mode, segment directory, buffer
+pool, and spill bookkeeping.
+
+One :class:`StorageEngine` is owned by each :class:`~repro.db.Database`.
+In ``"memory"`` mode it is nearly inert (no directory, no pool) — spill
+*decisions* still fire, as pure byte accounting, so simulated metrics
+stay identical across modes. In ``"disk"`` mode it provides the segment
+file directory (a private temp dir, cleaned up on garbage collection),
+the shared :class:`~repro.storage.bufferpool.BufferPool`, and physical
+spill files: operator state that exceeds the budget round-trips through
+the exact segment codec before being consumed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from ..config import ClusterConfig
+from ..errors import ExecutionError
+from .bufferpool import BufferPool
+from .segment import read_segment_file, write_segment_file
+
+STORAGE_MODES = ("memory", "disk")
+
+
+class StorageEngine:
+    """Storage-mode state shared by every table of one database."""
+
+    def __init__(self, config: ClusterConfig):
+        if config.storage_mode not in STORAGE_MODES:
+            raise ExecutionError(
+                f"unknown storage_mode {config.storage_mode!r}; "
+                f"expected one of {STORAGE_MODES}"
+            )
+        self.config = config
+        self.mode = config.storage_mode
+        self.budget_bytes = config.effective_buffer_pool_bytes
+        self.buffer_pool: Optional[BufferPool] = (
+            BufferPool(self.budget_bytes) if self.mode == "disk" else None
+        )
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._counter = 0
+        #: cumulative spill accounting across queries (service stats)
+        self.spilled_bytes = 0.0
+        self.spill_events = 0
+
+    @property
+    def root(self) -> str:
+        """The segment/spill file directory, created on first use."""
+        if self._tempdir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-segments-")
+        return self._tempdir.name
+
+    def allocate_segment_path(self, stem: str) -> str:
+        self._counter += 1
+        safe = "".join(c if c.isalnum() else "_" for c in stem) or "seg"
+        return os.path.join(self.root, f"{safe}-{self._counter:08d}.seg")
+
+    def note_spill(self, nbytes: float) -> None:
+        self.spilled_bytes += nbytes
+        self.spill_events += 1
+
+    def spill_roundtrip(self, rows: Sequence[tuple]) -> List[tuple]:
+        """Physically write spilled operator state through the segment
+        codec and read it back (disk mode only; the codec is exact, so
+        downstream results are unchanged). Memory mode returns the rows
+        as-is — the spill is simulated, charged but not performed."""
+        rows = list(rows)
+        if self.mode != "disk" or not rows:
+            return rows
+        path = self.allocate_segment_path("spill")
+        write_segment_file(path, rows, len(rows[0]))
+        try:
+            return read_segment_file(path)
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def stats(self) -> Dict[str, object]:
+        """The storage block of ``QueryService.stats()``."""
+        out: Dict[str, object] = {
+            "mode": self.mode,
+            "budget_bytes": self.budget_bytes,
+            "spilled_bytes": self.spilled_bytes,
+            "spill_events": self.spill_events,
+        }
+        if self.buffer_pool is not None:
+            out["buffer_pool"] = self.buffer_pool.stats()
+        return out
+
+    def close(self) -> None:
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None

@@ -1,0 +1,301 @@
+"""Columnar segment encoding, zone maps, and pruning decisions.
+
+A *segment* is one immutable chunk of a table partition: up to
+``ClusterConfig.segment_rows`` consecutive rows in insert order. Both
+storage back ends chunk identically, so a table loaded the same way has
+the same segment boundaries — and therefore the same zone maps, the same
+pruning decisions and the same charged scan bytes — whether it lives in
+memory or on disk.
+
+The on-disk encoding keeps columns of uniform scalar type (and
+uniform-shape VECTOR/MATRIX columns) as raw numpy buffers; anything else
+(NULLs, strings, mixed types, labeled vectors, arbitrary-precision ints)
+falls back to a pickled column. Decoding is *exact*: every value round
+trips to an equal object of the same Python type, which is what lets
+disk mode and spill files preserve the bit-identical-results contract.
+
+File layout::
+
+    RSEG1\\n | column payloads ... | pickled footer | footer length (8B LE)
+
+The footer carries the row count and, per column, the encoding, payload
+length, tensor shape, min/max over comparable non-null values and the
+null count — the zone map used for pruning.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.cluster import row_bytes
+from ..types.labeled import DEFAULT_LABEL
+from ..types.tensor import Matrix, Vector
+
+SEGMENT_MAGIC = b"RSEG1\n"
+#: pinned pickle protocol so segment files are stable across interpreters
+_PICKLE_PROTOCOL = 4
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: comparison operators a zone map can prune on
+PRUNABLE_OPS = ("=", "<", ">", "<=", ">=")
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-segment, per-column summary: min/max over comparable non-null
+    values (None when the column holds no comparable values) plus the
+    null count."""
+
+    lo: Optional[object]
+    hi: Optional[object]
+    null_count: int
+    row_count: int
+
+
+def compute_zone(values: Sequence) -> ZoneMap:
+    """The zone map of one column chunk. Values that do not admit a
+    total order under Python comparison (tensors, mixed str/number
+    columns) yield ``lo = hi = None`` and never prune."""
+    null_count = 0
+    non_null = []
+    for value in values:
+        if value is None:
+            null_count += 1
+        else:
+            non_null.append(value)
+    lo = hi = None
+    if non_null:
+        try:
+            lo = min(non_null)
+            hi = max(non_null)
+        except TypeError:
+            lo = hi = None
+    return ZoneMap(lo, hi, null_count, len(values))
+
+
+def compute_zones(rows: Sequence[tuple], width: int) -> List[ZoneMap]:
+    """Zone maps for every column of a row chunk."""
+    if not rows:
+        return [ZoneMap(None, None, 0, 0) for _ in range(width)]
+    return [compute_zone(column) for column in zip(*rows)]
+
+
+def zone_excludes(zone: ZoneMap, op: str, literal) -> bool:
+    """True when ``column <op> literal`` cannot hold for any row of the
+    segment, so the whole segment may be skipped. Conservative: any
+    uncertainty (no min/max, incomparable literal) keeps the segment."""
+    if zone.row_count == 0:
+        return True
+    if zone.null_count == zone.row_count:
+        # every value is NULL; comparisons with NULL never match
+        return True
+    if zone.lo is None or zone.hi is None:
+        return False
+    try:
+        if op == "=":
+            return bool(literal < zone.lo) or bool(literal > zone.hi)
+        if op == "<":
+            return not bool(zone.lo < literal)
+        if op == "<=":
+            return not bool(zone.lo <= literal)
+        if op == ">":
+            return not bool(zone.hi > literal)
+        if op == ">=":
+            return not bool(zone.hi >= literal)
+    except TypeError:
+        return False
+    return False
+
+
+def segment_pruned(segment, predicates: Sequence[Tuple[int, str, object]]) -> bool:
+    """Whether a conjunction of ``(column position, op, literal)``
+    predicates excludes every row of ``segment``."""
+    for position, op, literal in predicates:
+        zone = segment.zone(position)
+        if zone is not None and zone_excludes(zone, op, literal):
+            return True
+    return False
+
+
+def chunk_offsets(count: int, segment_rows: int) -> Iterator[Tuple[int, int]]:
+    """Consecutive ``[start, stop)`` chunk bounds covering ``count``
+    rows; the shared segmentation rule of both storage back ends."""
+    step = max(1, int(segment_rows))
+    for start in range(0, count, step):
+        yield start, min(start + step, count)
+
+
+# -- column codec -----------------------------------------------------------
+
+
+def _encoding_for(values: Sequence) -> Tuple[str, Optional[tuple]]:
+    kinds = {type(value) for value in values}
+    if kinds == {float}:
+        return "f8", None
+    if kinds == {bool}:
+        return "b1", None
+    if kinds == {int}:
+        if all(_INT64_MIN <= value <= _INT64_MAX for value in values):
+            return "i8", None
+        return "obj", None
+    if kinds == {Vector}:
+        length = values[0].length
+        if all(
+            value.label == DEFAULT_LABEL and value.length == length
+            for value in values
+        ):
+            return "vec", (len(values), length)
+        return "obj", None
+    if kinds == {Matrix}:
+        shape = values[0].shape
+        if all(value.shape == shape for value in values):
+            return "mat", (len(values),) + shape
+        return "obj", None
+    return "obj", None
+
+
+def _encode_column(encoding: str, shape: Optional[tuple], values: Sequence) -> bytes:
+    if encoding == "f8":
+        return np.asarray(values, dtype=np.float64).tobytes()
+    if encoding == "i8":
+        return np.asarray(values, dtype=np.int64).tobytes()
+    if encoding == "b1":
+        return np.asarray(values, dtype=np.bool_).tobytes()
+    if encoding == "vec":
+        stacked = np.stack([value.data for value in values])
+        return np.ascontiguousarray(stacked, dtype=np.float64).tobytes()
+    if encoding == "mat":
+        stacked = np.stack([value.data for value in values])
+        return np.ascontiguousarray(stacked, dtype=np.float64).tobytes()
+    return pickle.dumps(list(values), protocol=_PICKLE_PROTOCOL)
+
+
+def _decode_column(meta: dict, data: bytes, rows: int) -> List:
+    encoding = meta["encoding"]
+    if encoding == "f8":
+        return np.frombuffer(data, dtype=np.float64).tolist()
+    if encoding == "i8":
+        return np.frombuffer(data, dtype=np.int64).tolist()
+    if encoding == "b1":
+        return np.frombuffer(data, dtype=np.bool_).tolist()
+    if encoding == "vec":
+        array = np.frombuffer(data, dtype=np.float64).reshape(meta["shape"]).copy()
+        return [Vector(array[i]) for i in range(rows)]
+    if encoding == "mat":
+        array = np.frombuffer(data, dtype=np.float64).reshape(meta["shape"]).copy()
+        return [Matrix(array[i]) for i in range(rows)]
+    return pickle.loads(data)
+
+
+def encode_segment(rows: Sequence[tuple], width: int) -> Tuple[bytes, dict]:
+    """Serialize a row chunk; returns ``(blob, footer)`` where the
+    footer holds the per-column encodings and zone maps."""
+    columns = list(zip(*rows)) if rows else [() for _ in range(width)]
+    payloads: List[bytes] = []
+    metas: List[dict] = []
+    for values in columns:
+        encoding, shape = _encoding_for(values) if rows else ("obj", None)
+        payload = _encode_column(encoding, shape, values)
+        zone = compute_zone(values)
+        metas.append(
+            {
+                "encoding": encoding,
+                "shape": shape,
+                "length": len(payload),
+                "lo": zone.lo,
+                "hi": zone.hi,
+                "nulls": zone.null_count,
+            }
+        )
+        payloads.append(payload)
+    footer = {"rows": len(rows), "width": width, "columns": metas}
+    footer_bytes = pickle.dumps(footer, protocol=_PICKLE_PROTOCOL)
+    blob = (
+        SEGMENT_MAGIC
+        + b"".join(payloads)
+        + footer_bytes
+        + struct.pack("<Q", len(footer_bytes))
+    )
+    return blob, footer
+
+
+def decode_segment(blob: bytes) -> List[tuple]:
+    """Exact inverse of :func:`encode_segment`."""
+    if not blob.startswith(SEGMENT_MAGIC):
+        raise ValueError("not a segment file (bad magic)")
+    (footer_length,) = struct.unpack("<Q", blob[-8:])
+    footer = pickle.loads(blob[-8 - footer_length : -8])
+    rows = footer["rows"]
+    offset = len(SEGMENT_MAGIC)
+    columns: List[List] = []
+    for meta in footer["columns"]:
+        payload = blob[offset : offset + meta["length"]]
+        offset += meta["length"]
+        columns.append(_decode_column(meta, payload, rows))
+    if rows == 0:
+        return []
+    return list(zip(*columns))
+
+
+def write_segment_file(path: str, rows: Sequence[tuple], width: int) -> dict:
+    blob, footer = encode_segment(rows, width)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return footer
+
+
+def read_segment_file(path: str) -> List[tuple]:
+    with open(path, "rb") as handle:
+        return decode_segment(handle.read())
+
+
+# -- in-memory segment view -------------------------------------------------
+
+
+class MemorySegment:
+    """A logical segment over an in-memory row chunk: same zone maps and
+    byte accounting as a sealed disk segment, no file behind it. Used
+    for memory-mode tables and for the not-yet-sealed tail of a
+    disk-mode partition."""
+
+    __slots__ = ("rows", "width", "_sizes", "_total", "_zones")
+
+    def __init__(self, rows: Sequence[tuple], width: int):
+        self.rows = list(rows)
+        self.width = width
+        self._sizes: Optional[List[float]] = None
+        self._total: Optional[float] = None
+        self._zones: Optional[List[ZoneMap]] = None
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def sizes(self) -> List[float]:
+        if self._sizes is None:
+            self._sizes = [row_bytes(row) for row in self.rows]
+        return self._sizes
+
+    @property
+    def total_bytes(self) -> float:
+        if self._total is None:
+            self._total = sum(self.sizes())
+        return self._total
+
+    def zone(self, position: int) -> Optional[ZoneMap]:
+        if self._zones is None:
+            self._zones = compute_zones(self.rows, self.width)
+        if position >= len(self._zones):
+            return None
+        return self._zones[position]
+
+    def read(self, pool=None) -> Tuple[List[tuple], List[float], Optional[str]]:
+        """Rows, per-row serialized sizes, and the buffer-pool outcome
+        (always None: memory segments never touch the pool)."""
+        return self.rows, self.sizes(), None

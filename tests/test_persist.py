@@ -96,6 +96,242 @@ class TestRoundTrip:
         assert restored.config == db.config
 
 
+class TestFormatV2:
+    def test_v2_restore_skips_stats_rescan(self, db, tmp_path, monkeypatch):
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        from repro.db import Database as DatabaseClass
+
+        calls = []
+        monkeypatch.setattr(
+            DatabaseClass,
+            "_refresh_stats",
+            lambda self, entry: calls.append(entry.name),
+        )
+        restored = Database.restore(path)
+        assert calls == []
+        assert restored.catalog.table("pts").stats.row_count == 12
+        assert restored.catalog.table("keyed").stats.distinct("k") == 3
+
+    def test_v2_restored_stats_refine_types(self, db, tmp_path):
+        from repro.types import VectorType
+
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        stats = Database.restore(path).catalog.table("pts").stats
+        assert stats.column("vec").refine_type(VectorType(None)) == VectorType(4)
+
+    def test_catalog_version_survives(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        assert restored.catalog.version >= db.catalog.version
+
+    def test_v1_files_still_restore_with_rescan(self, db, tmp_path):
+        """A hand-built v1 payload (no stats, no catalog_version) must
+        load through the old rescan path with identical results."""
+        import pickle
+
+        path = str(tmp_path / "db.repro")
+        before = db.execute("SELECT SUM(get_scalar(vec, 1)) FROM pts").scalar()
+        db.save(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["version"] = 1
+        payload.pop("catalog_version")
+        for table in payload["tables"]:
+            table.pop("stats")
+            table.pop("insert_cursor")
+            table["rows"] = [
+                row for part in table.pop("partitions") for row in part
+            ]
+        v1_path = str(tmp_path / "db_v1.repro")
+        with open(v1_path, "wb") as handle:
+            pickle.dump(payload, handle)
+        restored = Database.restore(v1_path)
+        after = restored.execute(
+            "SELECT SUM(get_scalar(vec, 1)) FROM pts"
+        ).scalar()
+        assert after == pytest.approx(before)
+        assert restored.catalog.table("pts").stats.row_count == 12
+
+    def test_unknown_version_rejected(self, db, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["version"] = 99
+        bad_path = str(tmp_path / "db_v99.repro")
+        with open(bad_path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(ReproError):
+            Database.restore(bad_path)
+
+
+class TestConfigMerge:
+    """restore(config=...) must not silently drop the saved fault plan
+    or execution mode when the override leaves them at their defaults."""
+
+    @staticmethod
+    def _saved(tmp_path):
+        from repro.faults import FaultPlan
+
+        config = ClusterConfig(
+            machines=2,
+            cores_per_machine=2,
+            fault_plan=FaultPlan(seed=7),
+            execution_mode="row",
+        )
+        db = Database(config)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.load("t", [(1,), (2,)])
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        return path
+
+    def test_default_override_inherits_saved_fields(self, tmp_path):
+        path = self._saved(tmp_path)
+        restored = Database.restore(
+            path, config=ClusterConfig(machines=5, cores_per_machine=4)
+        )
+        assert restored.config.slots == 20
+        assert restored.config.fault_plan is not None
+        assert restored.config.fault_plan.seed == 7
+        assert restored.config.execution_mode == "row"
+
+    def test_explicit_override_wins(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        path = self._saved(tmp_path)
+        restored = Database.restore(
+            path,
+            config=ClusterConfig(
+                machines=3,
+                cores_per_machine=1,
+                fault_plan=FaultPlan(seed=99),
+                execution_mode="batch",
+            ),
+        )
+        assert restored.config.fault_plan.seed == 99
+        # "batch" is the dataclass default, so the saved "row" mode is
+        # inherited — overriding *to the default* requires no merge
+        assert restored.config.execution_mode == "row"
+
+    def test_explicit_non_default_mode_wins(self, tmp_path):
+        config = ClusterConfig(
+            machines=2, cores_per_machine=2, execution_mode="batch"
+        )
+        db = Database(config)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(
+            path, config=ClusterConfig(execution_mode="row")
+        )
+        assert restored.config.execution_mode == "row"
+
+
+class TestStorageModeRoundTrip:
+    def test_disk_database_round_trips(self, tmp_path):
+        config = ClusterConfig(
+            machines=2, cores_per_machine=2, storage_mode="disk"
+        )
+        db = Database(config)
+        db.execute("CREATE TABLE t (a INTEGER, b DOUBLE)")
+        db.load("t", [(i, float(i) * 0.5) for i in range(16)])
+        before = sorted(db.execute("SELECT t.a, t.b FROM t").rows)
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        assert restored.config.storage_mode == "disk"
+        assert sorted(restored.execute("SELECT t.a, t.b FROM t").rows) == before
+
+    def test_cross_mode_restore(self, tmp_path):
+        """A disk-mode save restores onto a memory-mode cluster."""
+        db = Database(
+            ClusterConfig(machines=2, cores_per_machine=2, storage_mode="disk")
+        )
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.load("t", [(i,) for i in range(8)])
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(
+            path,
+            config=ClusterConfig(
+                machines=2, cores_per_machine=2, storage_mode="memory"
+            ),
+        )
+        assert restored.config.storage_mode == "memory"
+        assert restored.execute("SELECT COUNT(*) FROM t").scalar() == 8
+
+
+class TestPartitionLayout:
+    """v2 keeps rows per partition, so a same-shape restore reproduces
+    the exact slot layout — and therefore bit-identical float sums."""
+
+    def test_same_shape_restore_is_bit_identical(self, db, tmp_path):
+        sql = "SELECT SUM(outer_product(vec, vec)) FROM pts"
+        before = db.execute(sql).scalar()
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        after = restored.execute(sql).scalar()
+        assert after.data.tobytes() == before.data.tobytes()
+        before_parts = [
+            list(part) for part in db.catalog.table("pts").storage.partitions
+        ]
+        after_storage = restored.catalog.table("pts").storage
+        after_parts = [
+            [tuple(row) for row in after_storage.partition_rows(slot)]
+            for slot in range(after_storage.slots)
+        ]
+        assert len(after_parts) == len(before_parts)
+        for got, want in zip(after_parts, before_parts):
+            assert len(got) == len(want)
+            for got_row, want_row in zip(got, want):
+                assert got_row[0] == want_row[0]
+                assert got_row[1].data.tobytes() == want_row[1].data.tobytes()
+
+    def test_insert_cursor_survives(self, db, tmp_path):
+        """Round-robin placement of post-restore inserts continues from
+        where the saved database left off."""
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        restored = Database.restore(path)
+        assert restored.catalog.table("pts").storage._next == (
+            db.catalog.table("pts").storage._next
+        )
+        db.execute("INSERT INTO pts VALUES (99, NULL, 'extra')")
+        restored.execute("INSERT INTO pts VALUES (99, NULL, 'extra')")
+        slot_of = lambda database: next(
+            slot
+            for slot, part in enumerate(
+                database.catalog.table("pts").storage.partitions
+            )
+            for row in part
+            if row[0] == 99
+        )
+        assert slot_of(restored) == slot_of(db)
+
+    def test_different_shape_restore_re_deals(self, db, tmp_path):
+        path = str(tmp_path / "db.repro")
+        want = sorted(
+            row[0] for row in db.execute("SELECT pts.id FROM pts").rows
+        )
+        db.save(path)
+        restored = Database.restore(
+            path, config=ClusterConfig(machines=3, cores_per_machine=1)
+        )
+        storage = restored.catalog.table("pts").storage
+        assert storage.slots == 3
+        got = sorted(
+            row[0] for row in restored.execute("SELECT pts.id FROM pts").rows
+        )
+        assert got == want
+
+
 class TestBadFiles:
     def test_garbage_rejected(self, tmp_path):
         path = tmp_path / "not_a_db"
