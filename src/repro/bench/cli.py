@@ -62,6 +62,39 @@ def run_serve_target(
     return format_serve(with_cache, without_cache)
 
 
+def run_open_loop_target(
+    clients: int = 100,
+    queries: int = 400,
+    rate: float = 200.0,
+    seed: int = 0,
+    check: bool = False,
+    out: str = "BENCH_serve.json",
+) -> "tuple":
+    """Returns (report text, ok) for the open-loop socket benchmark.
+
+    ``check`` shrinks the run for CI (still real sockets, still the
+    serial bit-identity comparison); ``out`` is where the JSON snapshot
+    lands (empty string skips the write)."""
+    from .openloop import (
+        OpenLoopConfig,
+        format_open_loop,
+        run_open_loop,
+        write_snapshot,
+    )
+
+    if check:
+        clients = min(clients, 16)
+        queries = min(queries, 64)
+        rate = min(rate, 120.0)
+    config = OpenLoopConfig(
+        clients=clients, queries=queries, arrival_rate_qps=rate, seed=seed
+    )
+    report = run_open_loop(config)
+    if out:
+        write_snapshot(report, out)
+    return format_open_loop(report), report.ok()
+
+
 def run_exec_target(repeats: int = 3, smoke: bool = False) -> "tuple":
     """Returns (report text, ok) for the execution-mode benchmark."""
     from .execbench import format_exec, run_exec_bench
@@ -139,10 +172,18 @@ def main(argv=None) -> int:
     )
     serve_group = parser.add_argument_group("serve options")
     serve_group.add_argument(
-        "--clients", type=int, default=6, help="closed-loop clients (serve)"
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent clients (serve; default 6 closed-loop, "
+        "100 open-loop)",
     )
     serve_group.add_argument(
-        "--queries", type=int, default=20, help="queries per client (serve)"
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per client closed-loop / total queries open-loop "
+        "(serve; default 20 closed-loop, 400 open-loop)",
     )
     serve_group.add_argument(
         "--max-concurrency",
@@ -164,6 +205,27 @@ def main(argv=None) -> int:
     )
     serve_group.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed (serve)"
+    )
+    serve_group.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="run the real-socket open-loop benchmark instead of the "
+        "simulated closed loop: start the HTTP server, fire Poisson "
+        "arrivals from --clients persistent connections, report real "
+        "wall-clock throughput and p50/p95/p99, and compare every "
+        "result bit-for-bit against a serial baseline (serve)",
+    )
+    serve_group.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="offered load in arrivals per real second (serve --open-loop)",
+    )
+    serve_group.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="where to write the JSON snapshot; '' skips the write "
+        "(serve --open-loop)",
     )
     exec_group = parser.add_argument_group("exec/faults/trace options")
     exec_group.add_argument(
@@ -224,10 +286,27 @@ def main(argv=None) -> int:
             return 1
         return 0
     if args.target == "serve":
+        if args.open_loop:
+            text, ok = run_open_loop_target(
+                clients=args.clients if args.clients is not None else 100,
+                queries=args.queries if args.queries is not None else 400,
+                rate=args.rate,
+                seed=args.seed,
+                check=args.check,
+                out=args.out,
+            )
+            print(text)
+            if args.check and not ok:
+                print(
+                    "serve check FAILED: no traffic got through or a "
+                    "concurrent result diverged from the serial baseline"
+                )
+                return 1
+            return 0
         print(
             run_serve_target(
-                clients=args.clients,
-                queries=args.queries,
+                clients=args.clients if args.clients is not None else 6,
+                queries=args.queries if args.queries is not None else 20,
                 max_concurrency=args.max_concurrency,
                 queue_limit=args.queue_limit,
                 think_time_s=args.think_time,

@@ -1,0 +1,379 @@
+"""Open-loop serving benchmark over real sockets (``repro-bench serve
+--open-loop``).
+
+The closed-loop driver in :mod:`repro.bench.serve` measures the service
+in *simulated* time with logical clients. This driver measures the
+whole network stack in *real* time: it starts the asyncio HTTP server
+(:class:`repro.server.Server`), spawns hundreds of client threads each
+holding one persistent socket connection, and fires queries at the
+server on a **Poisson arrival schedule** — arrivals come when the
+schedule says, not when the previous response lands, which is what
+makes the load open-loop and the latencies honest (a slow server sees
+its queue grow instead of its offered load shrink).
+
+Every scheduled query is also executed **serially** beforehand on an
+identically seeded database, and each concurrent response is compared
+against the serial answer on the canonical JSON encoding
+(:func:`repro.server.protocol.canonical_result`) — the report's
+``mismatches`` counter is a bit-identity check that concurrent
+execution through the worker pool returns exactly the serial results.
+
+The report carries real wall-clock throughput, p50/p95/p99 latency
+measured from each query's *scheduled arrival* (so queueing delay and
+lateness count), and error/shed rates; ``write_snapshot`` persists it
+as ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..db import Database
+from ..server import Server, ServerClient, ServerConfig, ServerError, canonical_json
+from ..server.protocol import canonical_result
+from ..service import QueryService, ServiceConfig
+from ..service.metrics import percentile
+from .serve import TEMPLATES, ServeConfig, build_database
+
+#: the closed-loop templates (all single-row aggregates) plus scans
+#: returning up to ``rows`` tuples, so the wire-level pagination path
+#: actually streams multi-page results under load
+OPEN_LOOP_TEMPLATES: Tuple[str, ...] = TEMPLATES + (
+    "SELECT i, y_i FROM outcomes WHERE i < :k",
+    "SELECT i, vec * :w FROM points WHERE i < :k",
+)
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """Shape of the open-loop run."""
+
+    #: concurrent socket clients (each one persistent connection)
+    clients: int = 100
+    #: total queries on the Poisson schedule
+    queries: int = 400
+    #: mean offered load (arrivals per real second)
+    arrival_rate_qps: float = 200.0
+    #: rows per page over the wire (small, to exercise pagination)
+    page_size: int = 16
+    #: workload data shape (same generator as the closed-loop bench)
+    rows: int = 80
+    dims: int = 6
+    seed: int = 0
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
+    cluster: Optional[ClusterConfig] = None
+
+    def with_updates(self, **kwargs) -> "OpenLoopConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class OpenLoopReport:
+    """What one open-loop run measured (real wall-clock time)."""
+
+    clients: int
+    scheduled: int
+    completed: int
+    errors: int
+    shed: int
+    mismatches: int
+    wall_clock_s: float
+    schedule_span_s: float
+    offered_qps: float
+    throughput_qps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    error_rate: float
+    shed_rate: float
+    pages_fetched: int
+    errors_by_code: Dict[str, int]
+    server_stats: Dict[str, object]
+
+    def ok(self) -> bool:
+        """The check gate: traffic got through and every concurrent
+        result was bit-identical to its serial baseline."""
+        return self.completed > 0 and self.throughput_qps > 0 and self.mismatches == 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "benchmark": "open-loop-serving",
+            "clients": self.clients,
+            "scheduled": self.scheduled,
+            "completed": self.completed,
+            "errors": self.errors,
+            "shed": self.shed,
+            "mismatches": self.mismatches,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+            "schedule_span_s": round(self.schedule_span_s, 4),
+            "offered_qps": round(self.offered_qps, 2),
+            "throughput_qps": round(self.throughput_qps, 2),
+            "latency_ms": {
+                "p50": round(self.latency_p50_ms, 3),
+                "p95": round(self.latency_p95_ms, 3),
+                "p99": round(self.latency_p99_ms, 3),
+                "max": round(self.latency_max_ms, 3),
+            },
+            "error_rate": round(self.error_rate, 4),
+            "shed_rate": round(self.shed_rate, 4),
+            "pages_fetched": self.pages_fetched,
+            "errors_by_code": self.errors_by_code,
+            "server_stats": self.server_stats,
+            "ok": self.ok(),
+        }
+
+
+@dataclass
+class _WorkItem:
+    """One scheduled arrival and its serial ground truth."""
+
+    index: int
+    arrival_s: float
+    sql: str
+    params: Dict[str, object]
+    expected: str  # canonical JSON of the serial result
+
+
+def _make_schedule(config: OpenLoopConfig) -> List[Tuple[float, str, Dict[str, object]]]:
+    """Poisson arrivals over the closed-loop bench's query templates."""
+    rng = np.random.default_rng(config.seed + 17)
+    schedule = []
+    clock = 0.0
+    for _ in range(config.queries):
+        clock += float(rng.exponential(1.0 / config.arrival_rate_qps))
+        template = OPEN_LOOP_TEMPLATES[
+            int(rng.integers(len(OPEN_LOOP_TEMPLATES)))
+        ]
+        params: Dict[str, object] = {}
+        if ":k" in template:
+            params["k"] = int(rng.integers(1, config.rows))
+        if ":w" in template:
+            params["w"] = float(rng.normal())
+        schedule.append((clock, template, params))
+    return schedule
+
+
+def _serve_config(config: OpenLoopConfig) -> ServeConfig:
+    return ServeConfig(
+        dims=config.dims,
+        rows=config.rows,
+        seed=config.seed,
+        cluster=config.cluster,
+    )
+
+
+def _serial_baseline(
+    config: OpenLoopConfig,
+    schedule: List[Tuple[float, str, Dict[str, object]]],
+) -> List[_WorkItem]:
+    """Run the whole schedule serially on an identically seeded database
+    and record each canonical result — the bit-identity ground truth."""
+    db = build_database(_serve_config(config))
+    service = QueryService(db, config.service)
+    items: List[_WorkItem] = []
+    with service.session("serial-baseline") as session:
+        for index, (arrival, sql, params) in enumerate(schedule):
+            result = session.execute(sql, params)
+            items.append(
+                _WorkItem(
+                    index=index,
+                    arrival_s=arrival,
+                    sql=sql,
+                    params=params,
+                    expected=canonical_result(result.columns, result.rows),
+                )
+            )
+    return items
+
+
+class _ClientWorker(threading.Thread):
+    """One socket client draining its round-robin share of the schedule.
+
+    Open-loop: each item is sent at its scheduled arrival time (or
+    immediately, if the previous response already made us late — the
+    lateness then shows up in the measured latency, which starts at the
+    *scheduled* arrival)."""
+
+    def __init__(self, worker_id: int, server: Server, items: List[_WorkItem],
+                 start_barrier: threading.Barrier, epoch: List[float],
+                 page_size: int):
+        super().__init__(name=f"openloop-client-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.server = server
+        self.items = items
+        self.start_barrier = start_barrier
+        self.epoch = epoch
+        self.page_size = page_size
+        self.latencies_ms: List[float] = []
+        self.completed = 0
+        self.errors = 0
+        self.shed = 0
+        self.mismatches = 0
+        self.pages_fetched = 0
+        self.errors_by_code: Dict[str, int] = {}
+
+    def run(self) -> None:
+        host, port = self.server.address
+        client = ServerClient(host, port, timeout=60.0)
+        try:
+            client._connect()  # hold the socket before the gun goes off
+            self.start_barrier.wait()
+            epoch = self.epoch[0]
+            for item in self.items:
+                delay = (epoch + item.arrival_s) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                self._fire(client, item, epoch)
+        finally:
+            client.close()
+
+    def _fire(self, client: ServerClient, item: _WorkItem, epoch: float) -> None:
+        try:
+            response = client.query(
+                item.sql, item.params, tenant=f"tenant{self.worker_id % 4}",
+                page_size=self.page_size,
+            )
+            rows = list(response["rows"])
+            while not response["done"]:
+                response = client.fetch(response["cursor"])
+                rows.extend(response["rows"])
+                self.pages_fetched += 1
+        except ServerError as exc:
+            if exc.status == 429:
+                self.shed += 1
+            else:
+                self.errors += 1
+            self.errors_by_code[exc.code] = self.errors_by_code.get(exc.code, 0) + 1
+            return
+        finish = time.perf_counter()
+        # round-trip the payload through the canonical encoder: equal
+        # results give byte-identical strings (see server.protocol)
+        actual = canonical_json({"columns": response["columns"], "rows": rows})
+        if actual != item.expected:
+            self.mismatches += 1
+        self.completed += 1
+        self.latencies_ms.append((finish - (epoch + item.arrival_s)) * 1000.0)
+
+
+def run_open_loop(config: Optional[OpenLoopConfig] = None) -> OpenLoopReport:
+    """Serial baseline, then the real-socket open-loop run."""
+    config = config or OpenLoopConfig()
+    schedule = _make_schedule(config)
+    items = _serial_baseline(config, schedule)
+
+    db = build_database(_serve_config(config))
+    server = Server(db, config=config.server, service_config=config.service)
+    shards: List[List[_WorkItem]] = [[] for _ in range(config.clients)]
+    for item in items:
+        shards[item.index % config.clients].append(item)
+
+    with server:
+        barrier = threading.Barrier(config.clients + 1)
+        epoch: List[float] = [0.0]
+        workers = [
+            _ClientWorker(n, server, shards[n], barrier, epoch, config.page_size)
+            for n in range(config.clients)
+        ]
+        for worker in workers:
+            worker.start()
+        # every client is connected and parked on the barrier; release
+        # them against one shared epoch so arrivals line up
+        epoch[0] = time.perf_counter() + 0.05
+        start = epoch[0]
+        barrier.wait()
+        for worker in workers:
+            worker.join()
+        wall_clock = time.perf_counter() - start
+        stats = server.stats()
+
+    latencies = sorted(
+        latency for worker in workers for latency in worker.latencies_ms
+    )
+    completed = sum(w.completed for w in workers)
+    errors = sum(w.errors for w in workers)
+    shed = sum(w.shed for w in workers)
+    mismatches = sum(w.mismatches for w in workers)
+    errors_by_code: Dict[str, int] = {}
+    for worker in workers:
+        for code, count in worker.errors_by_code.items():
+            errors_by_code[code] = errors_by_code.get(code, 0) + count
+    scheduled = len(items)
+    span = schedule[-1][0] if schedule else 0.0
+    wall_clock = max(wall_clock, 1e-9)
+    server_section = stats.get("server", {})
+    return OpenLoopReport(
+        clients=config.clients,
+        scheduled=scheduled,
+        completed=completed,
+        errors=errors,
+        shed=shed,
+        mismatches=mismatches,
+        wall_clock_s=wall_clock,
+        schedule_span_s=span,
+        offered_qps=scheduled / max(span, 1e-9),
+        throughput_qps=completed / wall_clock,
+        latency_p50_ms=percentile(latencies, 50.0),
+        latency_p95_ms=percentile(latencies, 95.0),
+        latency_p99_ms=percentile(latencies, 99.0),
+        latency_max_ms=latencies[-1] if latencies else 0.0,
+        error_rate=errors / scheduled if scheduled else 0.0,
+        shed_rate=shed / scheduled if scheduled else 0.0,
+        pages_fetched=sum(w.pages_fetched for w in workers),
+        errors_by_code=errors_by_code,
+        server_stats={
+            "requests_total": server_section.get("requests_total", 0),
+            "shed_total": server_section.get("shed_total", 0),
+            "rate_limited_total": server_section.get("rate_limited_total", 0),
+            "worker_threads": server_section.get("worker_threads", 0),
+            "plan_cache_hit_rate": stats["plan_cache"]["hit_rate"],
+            "session_gc": stats["session_gc"],
+        },
+    )
+
+
+def write_snapshot(report: OpenLoopReport, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_open_loop(report: OpenLoopReport) -> str:
+    """The ``repro-bench serve --open-loop`` table."""
+    lines = [
+        f"open-loop serving benchmark — {report.clients} socket client(s), "
+        f"Poisson arrivals at {report.offered_qps:.0f} q/s offered",
+        f"{'scheduled':<26}{report.scheduled:>12d}",
+        f"{'completed':<26}{report.completed:>12d}",
+        f"{'errors':<26}{report.errors:>12d}",
+        f"{'shed (429)':<26}{report.shed:>12d}",
+        f"{'result mismatches':<26}{report.mismatches:>12d}",
+        f"{'wall clock (s)':<26}{report.wall_clock_s:>12.2f}",
+        f"{'throughput (q/s)':<26}{report.throughput_qps:>12.1f}",
+        f"{'latency p50 (ms)':<26}{report.latency_p50_ms:>12.1f}",
+        f"{'latency p95 (ms)':<26}{report.latency_p95_ms:>12.1f}",
+        f"{'latency p99 (ms)':<26}{report.latency_p99_ms:>12.1f}",
+        f"{'latency max (ms)':<26}{report.latency_max_ms:>12.1f}",
+        f"{'error rate':<26}{report.error_rate:>12.1%}",
+        f"{'shed rate':<26}{report.shed_rate:>12.1%}",
+        f"{'pages fetched':<26}{report.pages_fetched:>12d}",
+    ]
+    if report.errors_by_code:
+        codes = ", ".join(
+            f"{code}={count}" for code, count in sorted(report.errors_by_code.items())
+        )
+        lines.append(f"error codes: {codes}")
+    verdict = "OK" if report.ok() else "FAILED"
+    lines.append(
+        f"bit-identity vs serial baseline: {verdict} "
+        f"({report.completed} compared, {report.mismatches} mismatch(es))"
+    )
+    return "\n".join(lines)

@@ -82,6 +82,12 @@ class ClusterConfig:
     #: pruning granule). Small values are useful in tests to force
     #: multi-segment partitions.
     segment_rows: int = 4096
+    #: size of the real-thread worker pool the network serving layer
+    #: (``repro.server``) drives the simulated cluster with; requests
+    #: beyond it queue inside the server. Statement execution itself is
+    #: serialized on the cluster, so this governs how many requests can
+    #: be mid-plan/mid-wait concurrently, not parallel execution.
+    worker_threads: int = 8
 
     @property
     def effective_buffer_pool_bytes(self) -> float:

@@ -22,6 +22,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -117,6 +118,12 @@ class Database:
         #: every table and executor of this database
         self.storage = StorageEngine(self.config)
         self._executor = Executor(self.cluster, execution_mode, storage=self.storage)
+        #: serializes statement execution and catalog/storage mutation —
+        #: the simulated cluster runs one statement at a time in process
+        #: time, and the network serving layer drives this database from
+        #: a real worker-thread pool (reentrant: service-layer callers
+        #: hold their own lock while calling in)
+        self._exec_lock = threading.RLock()
 
     @property
     def execution_mode(self) -> str:
@@ -156,6 +163,15 @@ class Database:
         """Create a table from ``(name, type)`` pairs (types may be
         strings like ``"MATRIX[10][]"``); optionally hash-partitioned on
         some columns at load time."""
+        with self._exec_lock:
+            return self._create_table_locked(name, columns, partition_by)
+
+    def _create_table_locked(
+        self,
+        name: str,
+        columns: Sequence,
+        partition_by: Optional[Sequence[str]] = None,
+    ) -> TableEntry:
         schema = Schema(columns)
         entry = self.catalog.create_table(name, schema)
         if self.storage.mode == "disk":
@@ -179,13 +195,14 @@ class Database:
     def load(self, name: str, rows: Iterable[Sequence]) -> int:
         """Bulk-load rows (each a sequence of values; numpy arrays become
         vectors/matrices) and refresh the table's statistics."""
-        entry = self.catalog.table(name)
-        converted = [
-            tuple(_convert_value(value) for value in row) for row in rows
-        ]
-        count = entry.storage.insert_many(converted)
-        self._refresh_stats(entry, appended=converted)
-        return count
+        with self._exec_lock:
+            entry = self.catalog.table(name)
+            converted = [
+                tuple(_convert_value(value) for value in row) for row in rows
+            ]
+            count = entry.storage.insert_many(converted)
+            self._refresh_stats(entry, appended=converted)
+            return count
 
     def _refresh_stats(
         self, entry: TableEntry, appended: Optional[List[tuple]] = None
@@ -277,6 +294,12 @@ class Database:
     # -- statement dispatch ------------------------------------------------------
 
     def _execute_statement(
+        self, statement: ast.Statement, params: Optional[Dict[str, object]]
+    ) -> Result:
+        with self._exec_lock:
+            return self._execute_statement_locked(statement, params)
+
+    def _execute_statement_locked(
         self, statement: ast.Statement, params: Optional[Dict[str, object]]
     ) -> Result:
         if isinstance(statement, ast.SelectStatement):
@@ -464,11 +487,12 @@ class Database:
         return PhysicalPlanner(self.cost_model).plan(logical)
 
     def _execute_physical(self, logical, physical) -> Result:
-        rows, metrics = self._executor.run(physical)
-        if metrics.trace is not None:
-            # annotate estimates here (not in the executor) so both
-            # direct execution and service-cached plans carry them
-            self.cost_model.annotate_trace(metrics.trace, physical)
+        with self._exec_lock:
+            rows, metrics = self._executor.run(physical)
+            if metrics.trace is not None:
+                # annotate estimates here (not in the executor) so both
+                # direct execution and service-cached plans carry them
+                self.cost_model.annotate_trace(metrics.trace, physical)
         columns = [column.name for column in logical.columns]
         return Result(columns, rows, metrics)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from typing import List, Optional
 
 from ..config import ClusterConfig
@@ -256,16 +257,35 @@ class SlotTimeline:
 
 
 class Cluster:
-    """A simulated cluster accumulating per-query metrics."""
+    """A simulated cluster accumulating per-query metrics.
+
+    The metrics accumulator is **thread-local**: the network serving
+    layer (``repro.server``) drives the cluster from a pool of worker
+    threads, and each thread's in-flight statement charges into its own
+    :class:`QueryMetrics` record. Statement execution itself is
+    serialized by :attr:`Database._exec_lock` (one statement occupies
+    the simulated cluster at a time, as in process-time reality), but
+    the thread-local accumulator guarantees that even a misbehaving
+    caller cannot corrupt another thread's per-query metrics.
+    """
 
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config or ClusterConfig()
-        self.metrics = QueryMetrics()
+        self._local = threading.local()
+
+    @property
+    def metrics(self) -> QueryMetrics:
+        """The calling thread's current metrics accumulator."""
+        current = getattr(self._local, "metrics", None)
+        if current is None:
+            current = self._local.metrics = QueryMetrics()
+        return current
 
     def reset_metrics(self) -> QueryMetrics:
-        """Start a fresh metrics record, returning the previous one."""
+        """Start a fresh metrics record (for the calling thread),
+        returning the previous one."""
         previous = self.metrics
-        self.metrics = QueryMetrics()
+        self._local.metrics = QueryMetrics()
         return previous
 
     def operator(self, name: str) -> OperatorRun:

@@ -10,15 +10,32 @@ time (section 3.1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro system."""
+    """Base class for all errors raised by the repro system.
+
+    Every error carries a machine-readable ``code`` and renders to a
+    structured payload via :meth:`to_payload` — the same shape the
+    network serving layer puts on the wire, so Python-API callers and
+    HTTP clients see identical error structure.
+    """
+
+    #: machine-readable error code (stable across releases; the wire
+    #: protocol and client retry logic key on it, not on the message)
+    code = "internal_error"
+
+    def to_payload(self) -> Dict[str, object]:
+        """The structured ``{"code", "message", ...}`` rendering of this
+        error; subclasses add their machine-readable fields."""
+        return {"code": self.code, "message": str(self)}
 
 
 class SqlSyntaxError(ReproError):
     """The SQL text could not be tokenized or parsed."""
+
+    code = "sql_syntax"
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
@@ -27,22 +44,36 @@ class SqlSyntaxError(ReproError):
             message = f"{message} (at line {line}, column {column})"
         super().__init__(message)
 
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["line"] = self.line
+        payload["column"] = self.column
+        return payload
+
 
 class CompileError(ReproError):
     """Semantic analysis failed: unknown name, bad types, arity, etc."""
+
+    code = "compile_error"
 
 
 class TypeCheckError(CompileError):
     """A type or declared vector/matrix dimension mismatch found at
     compile time."""
 
+    code = "type_check"
+
 
 class NameResolutionError(CompileError):
     """A table, column, or function name could not be resolved."""
 
+    code = "name_resolution"
+
 
 class CatalogError(ReproError):
     """Catalog-level problem: duplicate table, missing table, etc."""
+
+    code = "catalog_error"
 
 
 class ExecutionError(ReproError):
@@ -56,6 +87,8 @@ class ExecutionError(ReproError):
     message), so fault-path failures stay diagnosable end to end.
     """
 
+    code = "execution_error"
+
     #: ``describe()`` of the physical operator the error surfaced in
     operator: Optional[str] = None
     #: pre-order position of that operator in the physical plan
@@ -67,16 +100,27 @@ class ExecutionError(ReproError):
             return base
         return f"{base} [in {self.operator}, plan position {self.plan_position}]"
 
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        if self.operator is not None:
+            payload["operator"] = self.operator
+            payload["plan_position"] = self.plan_position
+        return payload
+
 
 class RuntimeTypeError(ExecutionError):
     """A dimension mismatch involving dimensions that were unspecified in
     the schema, discovered only when the offending tuples flowed through
     the plan (section 3.1 of the paper)."""
 
+    code = "runtime_type"
+
 
 class ResourceExhaustedError(ExecutionError):
     """The simulated cluster ran out of a resource (e.g. per-worker RAM),
     corresponding to the 'Fail' entries in the paper's Figure 3."""
+
+    code = "resource_exhausted"
 
 
 class TransientClusterError(ExecutionError):
@@ -85,14 +129,20 @@ class TransientClusterError(ExecutionError):
     caller — chained under a plain :class:`ExecutionError` — when the
     bounded retry budget is exhausted."""
 
+    code = "transient_cluster"
+
 
 class FaultRecoveryExhaustedError(ExecutionError):
     """Recovery gave up: a partition kept failing past the
     ``FaultPlan.max_partition_retries`` budget."""
 
+    code = "fault_recovery_exhausted"
+
 
 class ServiceError(ReproError):
     """Base class for errors raised by the multi-session query service."""
+
+    code = "service_error"
 
 
 class ServiceOverloadedError(ServiceError):
@@ -104,6 +154,8 @@ class ServiceOverloadedError(ServiceError):
     from the current queue backlog (or the breaker's remaining cooldown).
     Clients should wait at least that long before resubmitting.
     """
+
+    code = "service_overloaded"
 
     def __init__(
         self,
@@ -117,16 +169,75 @@ class ServiceOverloadedError(ServiceError):
         self.retry_after_s = retry_after_s
         super().__init__(message)
 
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["retry_after_s"] = self.retry_after_s
+        payload["queue_depth"] = self.queue_depth
+        payload["queue_limit"] = self.queue_limit
+        return payload
+
 
 class QueryTimeoutError(ServiceError):
     """The query exceeded the service's per-query timeout, either
     waiting in the admission queue or executing."""
+
+    code = "query_timeout"
 
     def __init__(self, message: str, timeout_s: float = 0.0, elapsed_s: float = 0.0):
         self.timeout_s = timeout_s
         self.elapsed_s = elapsed_s
         super().__init__(message)
 
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["timeout_s"] = self.timeout_s
+        payload["elapsed_s"] = self.elapsed_s
+        return payload
+
 
 class SessionClosedError(ServiceError):
     """A statement was submitted on a session that has been closed."""
+
+    code = "session_closed"
+
+
+class CursorError(ServiceError):
+    """Base class for streaming-cursor failures."""
+
+    code = "cursor_error"
+
+
+class CursorClosedError(CursorError):
+    """A fetch on a cursor that was closed — explicitly, or because its
+    owning session was closed or garbage-collected."""
+
+    code = "cursor_closed"
+
+
+class CursorInvalidatedError(CursorError):
+    """A fetch on a cursor opened before a DDL/DML statement changed the
+    shared catalog; the snapshot the cursor paginates can no longer be
+    assumed consistent with the catalog, so the cursor is invalidated."""
+
+    code = "cursor_invalidated"
+
+
+class RateLimitedError(ServiceError):
+    """A per-tenant token-bucket rate limit rejected the request.
+
+    ``retry_after_s`` is the *real* (wall-clock) time until the bucket
+    has refilled enough to admit one request.
+    """
+
+    code = "rate_limited"
+
+    def __init__(self, message: str, tenant: str = "", retry_after_s: float = 0.0):
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["tenant"] = self.tenant
+        payload["retry_after_s"] = self.retry_after_s
+        return payload

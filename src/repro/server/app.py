@@ -1,0 +1,562 @@
+"""The asyncio HTTP serving layer in front of :class:`QueryService`.
+
+A deliberately small HTTP/1.1 server — stdlib asyncio only, no web
+framework — exposing the query service over real sockets:
+
+======  ======================  ==========================================
+method  path                    purpose
+======  ======================  ==========================================
+GET     /health                 liveness + protocol version
+GET     /stats                  service + server counters (JSON)
+POST    /sessions               open a named session (temp views, params)
+DELETE  /sessions/<name>        close it (releases temp views + cursors)
+POST    /query                  execute a statement; first page + cursor
+POST    /fetch                  next page of a streaming cursor
+POST    /jobs                   submit a detached job, return its id
+GET     /jobs/<id>              poll a job (cursor token once done)
+DELETE  /jobs/<id>              drop the job and release its result
+======  ======================  ==========================================
+
+**Concurrency model.** The event loop only parses HTTP and JSON; every
+statement runs on a fixed pool of ``ClusterConfig.worker_threads`` real
+threads (``run_in_executor``) driving the thread-safe
+:class:`QueryService`, whose lock serializes planning + simulated
+execution. Two load-shedding layers sit in front of the pool, both
+answering 429 with a ``Retry-After`` header:
+
+* a server-wide in-flight cap (``ServerConfig.max_inflight``) bounding
+  concurrently admitted requests, and
+* per-tenant token buckets (``ServerConfig.rate_limit_qps``) on the
+  statement-submitting endpoints.
+
+Service-level overloads (admission queue full, circuit breaker open)
+and timeouts surface the same way: the structured error payload in the
+body, the HTTP status from :func:`~repro.server.protocol.status_for_error`.
+
+**Streaming.** ``POST /query`` returns at most ``page_size`` rows plus
+an opaque cursor token when more remain; ``POST /fetch`` pages through
+the rest and closes the cursor on the final page. Anonymous queries run
+on ephemeral sessions that are released the moment their last cursor
+closes; named sessions persist until ``DELETE /sessions/<name>`` or TTL
+garbage collection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..db import Database
+from ..errors import (
+    CursorClosedError,
+    ReproError,
+    ServiceOverloadedError,
+    SessionClosedError,
+)
+from ..service import QueryService, ServiceConfig
+from .jobs import JobManager
+from .protocol import (
+    PROTOCOL_VERSION,
+    canonical_json,
+    decode_params,
+    encode_result,
+    encode_rows,
+    error_body,
+    retry_after_header,
+    status_for_error,
+)
+from .ratelimit import TenantRateLimiter
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of the network layer (the service has its own config)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; read it back from ``Server.address``
+    port: int = 0
+    #: requests being processed at once before the server sheds with 429
+    max_inflight: int = 64
+    #: per-tenant token-bucket refill rate (requests/second) on /query
+    #: and /jobs; None disables rate limiting
+    rate_limit_qps: Optional[float] = None
+    #: bucket capacity (burst); defaults to the refill rate
+    rate_limit_burst: Optional[float] = None
+    #: Retry-After hint on in-flight-cap shedding (seconds)
+    shed_retry_after_s: float = 0.05
+    #: reject request bodies larger than this
+    max_body_bytes: int = 8 * 1024 * 1024
+
+    def with_updates(self, **kwargs) -> "ServerConfig":
+        return replace(self, **kwargs)
+
+
+class _HttpError(Exception):
+    """Non-:class:`ReproError` protocol failures (bad JSON, bad route)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def encode_cursor_token(session_name: str, cursor_id: int) -> str:
+    """Opaque cursor handle: the client never parses it, the server
+    round-trips it back to (session, cursor)."""
+    raw = canonical_json({"c": cursor_id, "s": session_name}).encode("ascii")
+    return base64.urlsafe_b64encode(raw).decode("ascii").rstrip("=")
+
+
+def decode_cursor_token(token: str) -> Tuple[str, int]:
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        raw = base64.urlsafe_b64decode(padded.encode("ascii"))
+        payload = json.loads(raw.decode("ascii"))
+        return str(payload["s"]), int(payload["c"])
+    except (ValueError, KeyError, binascii.Error, UnicodeDecodeError):
+        raise _HttpError(400, "bad_cursor", f"malformed cursor token {token!r}")
+
+
+class Server:
+    """One HTTP server bound to one :class:`QueryService`.
+
+    Run it threaded (tests, examples, the open-loop benchmark)::
+
+        server = Server(db, service_config=ServiceConfig(max_concurrency=4))
+        server.start()                 # binds, spawns the loop thread
+        host, port = server.address    # real socket address
+        ...
+        server.stop()
+
+    or embed it in an existing event loop via :meth:`start_async` /
+    :meth:`stop_async`.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        config: Optional[ServerConfig] = None,
+        service: Optional[QueryService] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config or ServerConfig()
+        self.service = service or QueryService(db, service_config)
+        self.db = self.service.db
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.db.config.worker_threads,
+            thread_name_prefix="repro-server",
+        )
+        self.limiter = TenantRateLimiter(
+            self.config.rate_limit_qps, self.config.rate_limit_burst
+        )
+        self.jobs = JobManager(self.service, self.executor)
+        self._inflight = 0
+        self.requests_total = 0
+        self.shed_total = 0
+        self.rate_limited_total = 0
+        self.responses_by_status: Dict[int, int] = {}
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.address: Optional[Tuple[str, int]] = None
+        # assigned last: post-construction writes require the lock (see
+        # repro.service.locking)
+        self._lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start_async(self) -> None:
+        """Bind and start accepting on the current event loop."""
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sock = server.sockets[0].getsockname()
+        with self._lock:
+            self._asyncio_server = server
+            self._loop = asyncio.get_running_loop()
+            self.address = (sock[0], sock[1])
+
+    async def stop_async(self) -> None:
+        with self._lock:
+            server = self._asyncio_server
+            self._asyncio_server = None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        self.jobs.shutdown()
+        self.executor.shutdown(wait=True)
+
+    def start(self) -> "Server":
+        """Run the event loop on a dedicated thread; returns once the
+        socket is bound and ``self.address`` is valid."""
+        ready = threading.Event()
+
+        def loop_main() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.start_async())
+            ready.set()
+            loop.run_forever()
+            # stop() path: drain callbacks scheduled during shutdown
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        thread = threading.Thread(
+            target=loop_main, name="repro-server-loop", daemon=True
+        )
+        with self._lock:
+            self._thread = thread
+        thread.start()
+        ready.wait()
+        return self
+
+    def stop(self) -> None:
+        """Stop the threaded server and release every resource."""
+        with self._lock:
+            loop = self._loop
+            thread = self._thread
+            self._loop = None
+            self._thread = None
+        if loop is None:
+            return
+
+        async def shutdown() -> None:
+            await self.stop_async()
+            asyncio.get_running_loop().stop()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), loop)
+        if thread is not None:
+            thread.join(timeout=10)
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        if self.address is None:
+            raise RuntimeError("server is not started")
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    # -- http --------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload, extra = await self._dispatch(method, path, body)
+                writer.write(self._render(status, payload, extra, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one HTTP/1.1 request; None on clean EOF."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "headers_too_large", "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise ConnectionError("malformed request line")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            raise ConnectionError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    def _render(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> bytes:
+        body = canonical_json(payload).encode("utf-8")
+        with self._lock:
+            self.responses_by_status[status] = (
+                self.responses_by_status.get(status, 0) + 1
+            )
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request. Returns (status, payload, extra_headers)."""
+        with self._lock:
+            self.requests_total += 1
+            if self._inflight >= self.config.max_inflight:
+                self.shed_total += 1
+                exc = ServiceOverloadedError(
+                    f"server at max_inflight={self.config.max_inflight} "
+                    f"concurrent requests",
+                    retry_after_s=self.config.shed_retry_after_s,
+                )
+                return 429, error_body(exc), {
+                    "Retry-After": retry_after_header(exc)
+                }
+            self._inflight += 1
+        try:
+            return await self._route(method, path, body)
+        except _HttpError as exc:
+            return exc.status, {
+                "error": {"code": exc.code, "message": str(exc)}
+            }, {}
+        except ReproError as exc:
+            headers: Dict[str, str] = {}
+            status = status_for_error(exc)
+            retry_after = retry_after_header(exc)
+            if status == 429 and retry_after is not None:
+                headers["Retry-After"] = retry_after
+            if exc.code == "rate_limited":
+                with self._lock:
+                    self.rate_limited_total += 1
+            return status, error_body(exc), headers
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/health" and method == "GET":
+            return 200, self._health(), {}
+        if path == "/stats" and method == "GET":
+            return 200, await self._run(self.stats), {}
+        if path == "/sessions" and method == "POST":
+            return 200, await self._run(self._open_session, self._json(body)), {}
+        if path.startswith("/sessions/") and method == "DELETE":
+            name = path[len("/sessions/"):]
+            return 200, await self._run(self._close_session, name), {}
+        if path == "/query" and method == "POST":
+            return 200, await self._run(self._query, self._json(body)), {}
+        if path == "/fetch" and method == "POST":
+            return 200, await self._run(self._fetch, self._json(body)), {}
+        if path == "/jobs" and method == "POST":
+            return 200, await self._run(self._submit_job, self._json(body)), {}
+        if path.startswith("/jobs/") and method == "GET":
+            return 200, await self._run(self._poll_job, path[len("/jobs/"):]), {}
+        if path.startswith("/jobs/") and method == "DELETE":
+            return 200, await self._run(self._delete_job, path[len("/jobs/"):]), {}
+        known = {"/health", "/stats", "/sessions", "/query", "/fetch", "/jobs"}
+        root = "/" + path.lstrip("/").split("/", 1)[0]
+        if root in known or path in known:
+            raise _HttpError(405, "method_not_allowed", f"{method} {path}")
+        raise _HttpError(404, "not_found", f"no route for {method} {path}")
+
+    async def _run(self, fn, *args):
+        """Blocking work goes to the worker pool, not the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, fn, *args)
+
+    @staticmethod
+    def _json(body: bytes) -> Dict[str, object]:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, "bad_json", f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "bad_json", "request body must be an object")
+        return payload
+
+    # -- handlers (worker threads) -----------------------------------------
+
+    def _health(self) -> Dict[str, object]:
+        with self._lock:
+            inflight = self._inflight
+        return {
+            "status": "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "inflight": inflight,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Service stats plus the network layer's own counters."""
+        snapshot = self.service.stats()
+        with self._lock:
+            snapshot["server"] = {
+                "requests_total": self.requests_total,
+                "shed_total": self.shed_total,
+                "rate_limited_total": self.rate_limited_total,
+                "inflight": self._inflight,
+                "max_inflight": self.config.max_inflight,
+                "worker_threads": self.db.config.worker_threads,
+                "responses_by_status": {
+                    str(status): count
+                    for status, count in sorted(self.responses_by_status.items())
+                },
+            }
+        snapshot["rate_limiter"] = self.limiter.stats()
+        snapshot["jobs"] = self.jobs.stats()
+        return snapshot
+
+    def _open_session(self, payload: Dict[str, object]) -> Dict[str, object]:
+        name = payload.get("name")
+        tenant = payload.get("tenant")
+        session = self.service.session(name, tenant=tenant)
+        return {"session": session.name, "tenant": session.tenant}
+
+    def _close_session(self, name: str) -> Dict[str, object]:
+        session = self.service.sessions().get(name)
+        if session is None:
+            raise SessionClosedError(f"no active session named {name!r}")
+        session.close()
+        return {"session": name, "closed": True}
+
+    def _resolve_session(self, payload: Dict[str, object]):
+        """(session, ephemeral): the named session, or a fresh one that
+        lives only as long as this request's result."""
+        name = payload.get("session")
+        if name is not None:
+            session = self.service.sessions().get(name)
+            if session is None:
+                raise SessionClosedError(f"no active session named {name!r}")
+            self.service.touch(session)
+            return session, False
+        tenant = payload.get("tenant")
+        return self.service.session(tenant=tenant), True
+
+    def _query(self, payload: Dict[str, object]) -> Dict[str, object]:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise _HttpError(400, "bad_request", "missing 'sql' string")
+        params = decode_params(payload.get("params"))
+        page_size = payload.get("page_size")
+        session, ephemeral = self._resolve_session(payload)
+        self.limiter.acquire(session.tenant)
+        try:
+            result = session.execute(sql, params)
+        except ReproError:
+            if ephemeral:
+                session.close()
+            raise
+        cursor = session.open_cursor(result, page_size)
+        if ephemeral:
+            session.ephemeral = True
+        rows = cursor.fetchmany()
+        response = {
+            "session": session.name,
+            "columns": list(result.columns),
+            "rows": encode_rows(rows),
+            "row_count": len(result.rows),
+            "done": cursor.exhausted,
+        }
+        if cursor.exhausted:
+            cursor.close()
+        else:
+            response["cursor"] = encode_cursor_token(session.name, cursor.id)
+        return response
+
+    def _fetch(self, payload: Dict[str, object]) -> Dict[str, object]:
+        token = payload.get("cursor")
+        if not isinstance(token, str):
+            raise _HttpError(400, "bad_request", "missing 'cursor' token")
+        session_name, cursor_id = decode_cursor_token(token)
+        session = self.service.sessions().get(session_name)
+        if session is None:
+            raise CursorClosedError(
+                f"cursor {token!r}: owning session {session_name!r} is closed"
+            )
+        cursor = session.cursor(cursor_id)
+        if cursor is None:
+            raise CursorClosedError(f"cursor {token!r} is closed")
+        size = payload.get("size")
+        rows = cursor.fetchmany(size)
+        response = {
+            "session": session.name,
+            "columns": cursor.columns,
+            "rows": encode_rows(rows),
+            "position": cursor.position,
+            "done": cursor.exhausted,
+        }
+        if cursor.exhausted:
+            cursor.close()
+        else:
+            response["cursor"] = token
+        return response
+
+    def _submit_job(self, payload: Dict[str, object]) -> Dict[str, object]:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise _HttpError(400, "bad_request", "missing 'sql' string")
+        tenant = payload.get("tenant")
+        self.limiter.acquire(tenant or "anonymous")
+        job = self.jobs.submit(
+            sql,
+            decode_params(payload.get("params")),
+            tenant=tenant,
+            page_size=payload.get("page_size"),
+        )
+        return {"job_id": job.id, "state": "queued"}
+
+    def _poll_job(self, job_id: str) -> Dict[str, object]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, "job_not_found", f"no job {job_id!r}")
+        payload = job.describe()
+        with job._lock:
+            if job.state == "done" and job.cursor is not None:
+                if not job.cursor.closed:
+                    payload["cursor"] = encode_cursor_token(
+                        job.session.name, job.cursor.id
+                    )
+                else:
+                    payload["fetched"] = True
+        return payload
+
+    def _delete_job(self, job_id: str) -> Dict[str, object]:
+        if not self.jobs.delete(job_id):
+            raise _HttpError(404, "job_not_found", f"no job {job_id!r}")
+        return {"job_id": job_id, "deleted": True}

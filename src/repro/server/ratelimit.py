@@ -1,0 +1,145 @@
+"""Per-tenant token-bucket rate limiting for the serving layer.
+
+The query service already protects the *cluster* (bounded admission
+queue, circuit breaker, fair-share scheduling in simulated time); the
+token bucket protects the *server* from any single tenant hogging the
+request path in real time. Each tenant owns a bucket of ``burst``
+tokens refilled at ``rate`` tokens per real second; a request costs one
+token, and an empty bucket rejects with
+:class:`~repro.errors.RateLimitedError` whose ``retry_after_s`` says
+when the next token lands — the HTTP layer surfaces it as a 429 with a
+``Retry-After`` header.
+
+Thread-safe: buckets are consulted from every server worker thread. The
+time source is injectable so tests can drive refills deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import RateLimitedError
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        time_source: Optional[Callable[[], float]] = None,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._time = time_source or time.monotonic
+        self.tokens = self.burst
+        self.last_refill = self._time()
+        self.granted = 0
+        self.rejected = 0
+        # assigned last: post-construction writes require the lock (see
+        # repro.service.locking)
+        self._lock = threading.RLock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.last_refill)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.last_refill = now
+
+    def try_acquire(self, cost: float = 1.0) -> Optional[float]:
+        """Take ``cost`` tokens. Returns None on success, otherwise the
+        seconds until enough tokens will have refilled."""
+        with self._lock:
+            now = self._time()
+            self._refill(now)
+            if self.tokens >= cost:
+                self.tokens -= cost
+                self.granted += 1
+                return None
+            self.rejected += 1
+            return (cost - self.tokens) / self.rate
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            self._refill(self._time())
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "tokens": self.tokens,
+                "granted": self.granted,
+                "rejected": self.rejected,
+            }
+
+
+class TenantRateLimiter:
+    """Lazily-created per-tenant buckets behind one acquire() call.
+
+    ``rate``/``burst`` apply to every tenant alike (per-tenant
+    overrides can be installed with :meth:`configure_tenant`). A rate of
+    ``None`` disables limiting entirely — acquire always succeeds.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        time_source: Optional[Callable[[], float]] = None,
+    ):
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else None)
+        self._time = time_source or time.monotonic
+        self._buckets: Dict[str, TokenBucket] = {}
+        # assigned last: post-construction writes require the lock (see
+        # repro.service.locking)
+        self._lock = threading.RLock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def configure_tenant(self, tenant: str, rate: float, burst: float) -> None:
+        """Install a tenant-specific bucket (replacing any existing)."""
+        with self._lock:
+            self._buckets[tenant] = TokenBucket(
+                rate, burst, time_source=self._time
+            )
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.rate, self.burst, time_source=self._time
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def acquire(self, tenant: str) -> None:
+        """Spend one token for ``tenant`` or raise
+        :class:`RateLimitedError` with a ``retry_after_s`` hint."""
+        if not self.enabled:
+            return
+        retry_after = self._bucket(tenant).try_acquire()
+        if retry_after is not None:
+            raise RateLimitedError(
+                f"tenant {tenant!r} exceeded {self.rate:g} requests/s "
+                f"(burst {self.burst:g}); retry in {retry_after:.3f}s",
+                tenant=tenant,
+                retry_after_s=retry_after,
+            )
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "burst": self.burst,
+                "tenants": {
+                    tenant: bucket.stats()
+                    for tenant, bucket in sorted(self._buckets.items())
+                },
+            }

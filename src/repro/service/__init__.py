@@ -23,11 +23,17 @@ Quickstart::
 """
 
 from ..errors import (
+    CursorClosedError,
+    CursorError,
+    CursorInvalidatedError,
     QueryTimeoutError,
+    RateLimitedError,
     ServiceError,
     ServiceOverloadedError,
     SessionClosedError,
 )
+from .cursors import Cursor
+from .locking import LockDisciplineAuditor, LockViolation, owned
 from .metrics import ServiceMetrics, SessionStats, percentile
 from .plan_cache import (
     CachedPlan,
@@ -43,12 +49,19 @@ from .session import PreparedStatement, Session, SessionCatalog
 __all__ = [
     "CachedPlan",
     "CircuitBreaker",
+    "Cursor",
+    "CursorClosedError",
+    "CursorError",
+    "CursorInvalidatedError",
+    "LockDisciplineAuditor",
+    "LockViolation",
     "PendingQuery",
     "PlanCache",
     "PlanCacheKey",
     "PreparedStatement",
     "QueryService",
     "QueryTimeoutError",
+    "RateLimitedError",
     "ServiceConfig",
     "ServiceError",
     "ServiceMetrics",
@@ -60,6 +73,7 @@ __all__ = [
     "SlotScheduler",
     "Ticket",
     "normalize_sql",
+    "owned",
     "param_signature",
     "percentile",
 ]

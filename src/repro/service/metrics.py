@@ -9,6 +9,7 @@ about — not the dedicated-cluster times of the paper's figures.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
@@ -62,43 +63,54 @@ class ServiceMetrics:
     q_errors: List[float] = field(default_factory=list)
     worst_q_error: float = 0.0
     worst_q_error_operator: str = ""
+    #: declared last so every earlier field is assigned during (exempt)
+    #: construction; post-construction writes require the lock (see
+    #: repro.service.locking)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def session(self, name: str) -> SessionStats:
-        stats = self.per_session.get(name)
-        if stats is None:
-            stats = self.per_session[name] = SessionStats()
-        return stats
+        with self._lock:
+            stats = self.per_session.get(name)
+            if stats is None:
+                stats = self.per_session[name] = SessionStats()
+            return stats
 
     def observe(self, session_name: str, metrics: QueryMetrics, cache_hit: bool) -> None:
-        self.latencies.append(metrics.elapsed_seconds)
-        self.compile_latencies.append(metrics.compile_seconds)
-        self.queue_latencies.append(metrics.queue_seconds)
-        stats = self.session(session_name)
-        stats.queries += 1
-        stats.cache_hits += int(cache_hit)
-        stats.elapsed_seconds += metrics.elapsed_seconds
-        stats.queue_seconds += metrics.queue_seconds
-        if metrics.trace is not None:
-            for node in metrics.trace.walk():
-                q_error = node.q_error
-                if q_error is None:
-                    continue
-                self.q_errors.append(q_error)
-                if q_error > self.worst_q_error:
-                    self.worst_q_error = q_error
-                    self.worst_q_error_operator = node.name
+        with self._lock:
+            self.latencies.append(metrics.elapsed_seconds)
+            self.compile_latencies.append(metrics.compile_seconds)
+            self.queue_latencies.append(metrics.queue_seconds)
+            stats = self.session(session_name)
+            stats.queries += 1
+            stats.cache_hits += int(cache_hit)
+            stats.elapsed_seconds += metrics.elapsed_seconds
+            stats.queue_seconds += metrics.queue_seconds
+            if metrics.trace is not None:
+                for node in metrics.trace.walk():
+                    q_error = node.q_error
+                    if q_error is None:
+                        continue
+                    self.q_errors.append(q_error)
+                    if q_error > self.worst_q_error:
+                        self.worst_q_error = q_error
+                        self.worst_q_error_operator = node.name
 
     def observe_rejection(self, session_name: str) -> None:
-        self.rejected += 1
-        self.session(session_name).rejected += 1
+        with self._lock:
+            self.rejected += 1
+            self.session(session_name).rejected += 1
 
     def observe_timeout(self, session_name: str) -> None:
-        self.timeouts += 1
-        self.session(session_name).timeouts += 1
+        with self._lock:
+            self.timeouts += 1
+            self.session(session_name).timeouts += 1
 
     def observe_retry(self, session_name: str) -> None:
-        self.retries += 1
-        self.session(session_name).retries += 1
+        with self._lock:
+            self.retries += 1
+            self.session(session_name).retries += 1
 
     @property
     def queries(self) -> int:
@@ -135,6 +147,10 @@ class ServiceMetrics:
         return percentile(self.q_errors, 95.0)
 
     def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, object]:
         return {
             "queries": self.queries,
             "rejected": self.rejected,

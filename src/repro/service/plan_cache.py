@@ -23,6 +23,7 @@ Bounded LRU; hit/miss/eviction counters feed the service metrics.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -126,39 +127,46 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
+        # assigned last: post-construction writes require the lock (see
+        # repro.service.locking)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, key: PlanCacheKey) -> Optional[CachedPlan]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: PlanCacheKey, plan: CachedPlan) -> None:
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def purge_stale(self, current_version: int) -> int:
         """Drop entries compiled against an older catalog version; they
         can never hit again (the key embeds the version), so this only
         frees memory. Returns the number dropped."""
-        stale = [
-            key
-            for key in self._entries
-            if key.catalog_version != current_version
-        ]
-        for key in stale:
-            del self._entries[key]
-        self.invalidated += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.catalog_version != current_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidated += len(stale)
+            return len(stale)
 
     @property
     def hit_rate(self) -> float:
@@ -166,12 +174,13 @@ class PlanCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "evictions": self.evictions,
-            "invalidated": self.invalidated,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "invalidated": self.invalidated,
+            }

@@ -34,6 +34,7 @@ interactive use just submits at the current clock).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -92,6 +93,10 @@ class SlotScheduler:
         self.queued = 0
         self.queue_peak = 0
         self.total_queue_seconds = 0.0
+        # assigned last: from here on, every attribute write must hold
+        # the lock (enforced by the lock-discipline lint, see
+        # repro.service.locking)
+        self._lock = threading.RLock()
 
     # -- public API --------------------------------------------------------
 
@@ -110,54 +115,57 @@ class SlotScheduler:
         time ``arrival`` (default: the current clock). Returns its
         ticket; ``start``/``finish`` are filled in once scheduled —
         immediately if a gang is idle."""
-        if arrival is None:
-            arrival = self.clock
-        arrival = max(arrival, self.clock)
-        self._advance(arrival)
-        self.clock = arrival
-        self._seq += 1
-        ticket = Ticket(tenant, arrival, service_seconds, self._seq)
-        gang = self.timeline.idle_gang(arrival) if not self._waiting else None
-        if gang is not None:
-            self._start(ticket, arrival, gang)
-        elif len(self._waiting) >= self.queue_limit:
-            self.rejected += 1
-            raise ServiceOverloadedError(
-                f"admission queue full ({len(self._waiting)}/{self.queue_limit} "
-                f"waiting, {len(self._running)} running)",
-                queue_depth=len(self._waiting),
-                queue_limit=self.queue_limit,
-                retry_after_s=self.retry_after_estimate(arrival),
-            )
-        else:
-            self._waiting.append(ticket)
-            self.queued += 1
-            self.queue_peak = max(self.queue_peak, len(self._waiting))
-        self.admitted += 1
-        return ticket
+        with self._lock:
+            if arrival is None:
+                arrival = self.clock
+            arrival = max(arrival, self.clock)
+            self._advance(arrival)
+            self.clock = arrival
+            self._seq += 1
+            ticket = Ticket(tenant, arrival, service_seconds, self._seq)
+            gang = self.timeline.idle_gang(arrival) if not self._waiting else None
+            if gang is not None:
+                self._start(ticket, arrival, gang)
+            elif len(self._waiting) >= self.queue_limit:
+                self.rejected += 1
+                raise ServiceOverloadedError(
+                    f"admission queue full ({len(self._waiting)}/{self.queue_limit} "
+                    f"waiting, {len(self._running)} running)",
+                    queue_depth=len(self._waiting),
+                    queue_limit=self.queue_limit,
+                    retry_after_s=self.retry_after_estimate(arrival),
+                )
+            else:
+                self._waiting.append(ticket)
+                self.queued += 1
+                self.queue_peak = max(self.queue_peak, len(self._waiting))
+            self.admitted += 1
+            return ticket
 
     def retry_after_estimate(self, now: Optional[float] = None) -> float:
         """A backoff hint for rejected clients: time until the next gang
         frees up, plus the waiting room's aggregate service demand
         spread over all gangs. A resubmission after this long sees a
         drained (or at least shorter) queue."""
-        if now is None:
-            now = self.clock
-        next_free = max(0.0, self.timeline.earliest_free() - now)
-        backlog = sum(t.service_seconds for t in self._waiting)
-        return next_free + backlog / self.max_concurrency
+        with self._lock:
+            if now is None:
+                now = self.clock
+            next_free = max(0.0, self.timeline.earliest_free() - now)
+            backlog = sum(t.service_seconds for t in self._waiting)
+            return next_free + backlog / self.max_concurrency
 
     def next_completion(self) -> Optional[Ticket]:
         """The next query (by simulated finish time) to complete; frees
         its gang and fairly starts a waiting query. ``None`` when
         nothing is in flight."""
-        if self._backlog:
-            return self._backlog.popleft()
-        ticket = self._pop_earliest_running()
-        if ticket is None:
-            return None
-        self._dispatch_waiting()
-        return ticket
+        with self._lock:
+            if self._backlog:
+                return self._backlog.popleft()
+            ticket = self._pop_earliest_running()
+            if ticket is None:
+                return None
+            self._dispatch_waiting()
+            return ticket
 
     def drain(self) -> List[Ticket]:
         """Run the simulation until idle; completed tickets in order."""
@@ -169,18 +177,19 @@ class SlotScheduler:
             completed.append(ticket)
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "max_concurrency": self.max_concurrency,
-            "queue_limit": self.queue_limit,
-            "admitted": self.admitted,
-            "queued": self.queued,
-            "rejected": self.rejected,
-            "queue_depth": self.queue_depth,
-            "queue_peak": self.queue_peak,
-            "total_queue_seconds": self.total_queue_seconds,
-            "clock": self.clock,
-            "utilisation": self.timeline.utilisation(self.clock),
-        }
+        with self._lock:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "queue_limit": self.queue_limit,
+                "admitted": self.admitted,
+                "queued": self.queued,
+                "rejected": self.rejected,
+                "queue_depth": self.queue_depth,
+                "queue_peak": self.queue_peak,
+                "total_queue_seconds": self.total_queue_seconds,
+                "clock": self.clock,
+                "utilisation": self.timeline.utilisation(self.clock),
+            }
 
     # -- internals ---------------------------------------------------------
 

@@ -23,9 +23,11 @@ concurrent clients of the simulation — the driver in
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..db import Database, Result, _convert_value
 from ..engine.metrics import QueryMetrics
@@ -89,6 +91,17 @@ class ServiceConfig:
     #: simulated seconds the breaker stays open, shedding submissions
     #: without touching the scheduler
     breaker_cooldown_s: float = 30.0
+    #: idle sessions older than this many *real* seconds are garbage-
+    #: collected on the next sweep (temp views and cursors released)
+    #: instead of accumulating for the process lifetime; None disables
+    #: TTL collection (explicit close() still releases immediately)
+    session_ttl_s: Optional[float] = None
+    #: default rows per cursor page when the client does not ask for a
+    #: specific page size
+    default_page_size: int = 256
+    #: hard upper bound on any cursor page (a fetch asking for more is
+    #: clamped, keeping single responses bounded)
+    max_page_size: int = 10_000
 
     def with_updates(self, **kwargs) -> "ServiceConfig":
         return replace(self, **kwargs)
@@ -114,6 +127,9 @@ class CircuitBreaker:
         self.opened = 0
         #: submissions fast-failed while open
         self.shed = 0
+        # assigned last: post-construction writes require the lock (see
+        # repro.service.locking)
+        self._lock = threading.RLock()
 
     @property
     def enabled(self) -> bool:
@@ -121,41 +137,45 @@ class CircuitBreaker:
 
     def check(self, now: float) -> None:
         """Raise if the breaker is open at simulated time ``now``."""
-        if not self.enabled or self.open_until is None:
-            return
-        if now >= self.open_until:
-            # cooldown elapsed: half-open, let one probe through
-            self.open_until = None
-            return
-        self.shed += 1
-        raise ServiceOverloadedError(
-            f"circuit breaker open for another "
-            f"{self.open_until - now:.3f}s (tripped by "
-            f"{self.threshold} consecutive rejections)",
-            retry_after_s=self.open_until - now,
-        )
+        with self._lock:
+            if not self.enabled or self.open_until is None:
+                return
+            if now >= self.open_until:
+                # cooldown elapsed: half-open, let one probe through
+                self.open_until = None
+                return
+            self.shed += 1
+            raise ServiceOverloadedError(
+                f"circuit breaker open for another "
+                f"{self.open_until - now:.3f}s (tripped by "
+                f"{self.threshold} consecutive rejections)",
+                retry_after_s=self.open_until - now,
+            )
 
     def record_rejection(self, now: float) -> None:
-        if not self.enabled:
-            return
-        self.consecutive_rejections += 1
-        if self.consecutive_rejections >= self.threshold:
-            self.open_until = now + self.cooldown_s
-            self.opened += 1
-            self.consecutive_rejections = 0
+        with self._lock:
+            if not self.enabled:
+                return
+            self.consecutive_rejections += 1
+            if self.consecutive_rejections >= self.threshold:
+                self.open_until = now + self.cooldown_s
+                self.opened += 1
+                self.consecutive_rejections = 0
 
     def record_success(self) -> None:
-        self.consecutive_rejections = 0
-        self.open_until = None
+        with self._lock:
+            self.consecutive_rejections = 0
+            self.open_until = None
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "enabled": self.enabled,
-            "open": self.open_until is not None,
-            "opened": self.opened,
-            "shed": self.shed,
-            "consecutive_rejections": self.consecutive_rejections,
-        }
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "open": self.open_until is not None,
+                "opened": self.opened,
+                "shed": self.shed,
+                "consecutive_rejections": self.consecutive_rejections,
+            }
 
 
 class PendingQuery:
@@ -200,13 +220,30 @@ class PendingQuery:
 
 
 class QueryService:
-    """Multi-session serving facade over one database."""
+    """Multi-session serving facade over one database.
 
-    def __init__(self, db: Database, config: Optional[ServiceConfig] = None):
+    Thread-safe: the network serving layer (``repro.server``) drives
+    one service instance from a pool of real worker threads. A single
+    reentrant lock serializes planning, execution, and scheduler state;
+    the plan cache, scheduler, breaker, and metrics additionally own
+    their component locks so they stay safe when used standalone. The
+    lock-discipline lint (``tests/test_lock_discipline.py``) audits
+    that every post-construction attribute write holds the owning lock.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        config: Optional[ServiceConfig] = None,
+        time_source: Optional[Callable[[], float]] = None,
+    ):
         self.db = db
         self.config = config or ServiceConfig()
         if self.config.execution_mode is not None:
             db.set_execution_mode(self.config.execution_mode)
+        #: real (wall-clock) time source for session idle tracking;
+        #: injectable so TTL garbage collection is testable
+        self._time = time_source or time.monotonic
         self.plan_cache = PlanCache(self.config.plan_cache_capacity)
         self.scheduler = SlotScheduler(
             self.config.max_concurrency, self.config.admission_queue_limit
@@ -219,26 +256,68 @@ class QueryService:
         self._session_counter = 0
         self._inflight: Dict[int, PendingQuery] = {}
         self._ready: Deque[PendingQuery] = deque()
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        #: sessions reaped by TTL garbage collection (subset of closed)
+        self.sessions_collected = 0
+        # assigned last: post-construction writes require the lock (see
+        # repro.service.locking)
+        self._lock = threading.RLock()
 
     # -- sessions ----------------------------------------------------------
 
-    def session(self, name: Optional[str] = None) -> Session:
+    def session(
+        self, name: Optional[str] = None, tenant: Optional[str] = None
+    ) -> Session:
         """Acquire a new session (auto-named ``s1``, ``s2``, ... unless
-        a name is given)."""
-        if name is None:
-            self._session_counter += 1
-            name = f"s{self._session_counter}"
-        if name in self._sessions:
-            raise ValueError(f"session {name!r} already active")
-        session = Session(self, name)
-        self._sessions[name] = session
-        return session
+        a name is given). ``tenant`` groups sessions for per-tenant
+        accounting (rate limits in the network layer); it defaults to
+        the session name."""
+        with self._lock:
+            self.gc_sessions()
+            if name is None:
+                self._session_counter += 1
+                name = f"s{self._session_counter}"
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} already active")
+            session = Session(self, name, tenant=tenant)
+            self._sessions[name] = session
+            self.sessions_opened += 1
+            return session
 
     def sessions(self) -> Dict[str, Session]:
-        return dict(self._sessions)
+        with self._lock:
+            return dict(self._sessions)
+
+    def touch(self, session: Session) -> None:
+        """Refresh a session's idle clock (called on every statement)."""
+        with self._lock:
+            session.last_used = self._time()
+
+    def gc_sessions(self, now: Optional[float] = None) -> List[str]:
+        """Close sessions idle past ``ServiceConfig.session_ttl_s``,
+        releasing their temp views and cursors. Returns the names of the
+        collected sessions. A no-op when TTL collection is disabled."""
+        ttl = self.config.session_ttl_s
+        if ttl is None:
+            return []
+        with self._lock:
+            if now is None:
+                now = self._time()
+            expired = [
+                session
+                for session in self._sessions.values()
+                if now - session.last_used > ttl
+            ]
+            for session in expired:
+                self.sessions_collected += 1
+                session.close()
+            return [session.name for session in expired]
 
     def _release(self, session: Session) -> None:
-        self._sessions.pop(session.name, None)
+        with self._lock:
+            if self._sessions.pop(session.name, None) is not None:
+                self.sessions_closed += 1
 
     # -- planning ----------------------------------------------------------
 
@@ -301,6 +380,20 @@ class QueryService:
         is full or the circuit breaker is open, and
         :class:`QueryTimeoutError` when the query's own service demand
         already exceeds the per-query timeout."""
+        with self._lock:
+            return self._submit_select_locked(
+                session, sql, statement, params, arrival
+            )
+
+    def _submit_select_locked(
+        self,
+        session: Session,
+        sql: str,
+        statement: ast.SelectStatement,
+        params: Dict[str, object],
+        arrival: Optional[float] = None,
+    ) -> PendingQuery:
+        session.last_used = self._time()
         if arrival is None:
             arrival = session.clock
         self.breaker.check(max(arrival, self.scheduler.clock))
@@ -356,6 +449,10 @@ class QueryService:
         its completion; other queries completing on the way are parked
         for :meth:`next_completion`. Raises :class:`QueryTimeoutError`
         when the completed query blew the per-query timeout."""
+        with self._lock:
+            return self._wait_locked(pending)
+
+    def _wait_locked(self, pending: PendingQuery) -> Result:
         while not pending.finalized:
             ticket = self.scheduler.next_completion()
             if ticket is None:  # pragma: no cover - defensive
@@ -366,6 +463,13 @@ class QueryService:
             self._finalize(other)
             if other is not pending:
                 self._ready.append(other)
+        # claim our own completion: another waiter may have finalized us
+        # and parked us in _ready — remove so next_completion() cannot
+        # deliver this query a second time
+        try:
+            self._ready.remove(pending)
+        except ValueError:
+            pass
         self._inflight.pop(pending.ticket.seq, None)
         if pending.timed_out:
             timeout = self.config.query_timeout_s or 0.0
@@ -381,17 +485,18 @@ class QueryService:
     def next_completion(self) -> Optional[PendingQuery]:
         """The next submitted query to complete in simulated time, or
         ``None`` when nothing is in flight."""
-        while True:
-            if self._ready:
-                return self._ready.popleft()
-            ticket = self.scheduler.next_completion()
-            if ticket is None:
-                return None
-            pending = self._inflight.pop(ticket.seq, None)
-            if pending is None:
-                continue
-            self._finalize(pending)
-            return pending
+        with self._lock:
+            while True:
+                if self._ready:
+                    return self._ready.popleft()
+                ticket = self.scheduler.next_completion()
+                if ticket is None:
+                    return None
+                pending = self._inflight.pop(ticket.seq, None)
+                if pending is None:
+                    continue
+                self._finalize(pending)
+                return pending
 
     def _finalize(self, pending: PendingQuery) -> None:
         if pending.finalized:
@@ -429,9 +534,11 @@ class QueryService:
     ) -> Result:
         """Non-SELECT statements: run directly on the shared database.
         DDL/DML bumps the catalog version, invalidating cached plans."""
-        result = self.db._execute_statement(statement, params)
-        self.metrics.session(session.name).queries += 1
-        return result
+        with self._lock:
+            session.last_used = self._time()
+            result = self.db._execute_statement(statement, params)
+            self.metrics.session(session.name).queries += 1
+            return result
 
     # -- introspection -----------------------------------------------------
 
@@ -442,13 +549,21 @@ class QueryService:
 
     def stats(self) -> Dict[str, object]:
         """One merged snapshot: service, cache, and scheduler metrics."""
-        snapshot = self.metrics.snapshot()
-        snapshot["plan_cache"] = self.plan_cache.stats()
-        snapshot["scheduler"] = self.scheduler.stats()
-        snapshot["breaker"] = self.breaker.stats()
-        snapshot["storage"] = self.db.storage.stats()
-        snapshot["active_sessions"] = sorted(self._sessions)
-        return snapshot
+        with self._lock:
+            snapshot = self.metrics.snapshot()
+            snapshot["plan_cache"] = self.plan_cache.stats()
+            snapshot["scheduler"] = self.scheduler.stats()
+            snapshot["breaker"] = self.breaker.stats()
+            snapshot["storage"] = self.db.storage.stats()
+            snapshot["active_sessions"] = sorted(self._sessions)
+            snapshot["session_gc"] = {
+                "opened": self.sessions_opened,
+                "closed": self.sessions_closed,
+                "collected": self.sessions_collected,
+                "active": len(self._sessions),
+                "ttl_s": self.config.session_ttl_s,
+            }
+            return snapshot
 
     def report(self) -> str:
         """Human-readable service dashboard."""

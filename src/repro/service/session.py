@@ -109,9 +109,12 @@ class PreparedStatement:
 class Session:
     """One client's handle on the query service."""
 
-    def __init__(self, service, name: str):
+    def __init__(self, service, name: str, tenant: Optional[str] = None):
         self._service = service
         self.name = name
+        #: accounting group for per-tenant rate limits in the network
+        #: layer; many sessions may share a tenant
+        self.tenant = tenant or name
         self.catalog = SessionCatalog(service.db.catalog)
         self.params: Dict[str, object] = {}
         self._view_version = 0
@@ -121,6 +124,15 @@ class Session:
         #: closed-loop client: it issues the next query after seeing the
         #: previous result)
         self.clock = 0.0
+        #: real (wall-clock) time of the last statement; the service's
+        #: TTL garbage collector reaps sessions idle past session_ttl_s
+        self.last_used = service._time()
+        #: open streaming cursors by id (see repro.service.cursors)
+        self._cursors: Dict[int, "Cursor"] = {}
+        self._cursor_seq = 0
+        #: ephemeral sessions (created per-request by the network layer)
+        #: auto-close once their last cursor is released
+        self.ephemeral = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,9 +141,17 @@ class Session:
         return self._closed
 
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
-            self._service._release(self)
+        """Close the session, releasing everything it holds: open
+        cursors, temp views, and session parameters. Idempotent."""
+        with self._service._lock:
+            if not self._closed:
+                self._closed = True
+                for cursor in list(self._cursors.values()):
+                    cursor.close()
+                self._cursors.clear()
+                self.catalog._temp_views.clear()
+                self.params.clear()
+                self._service._release(self)
 
     def __enter__(self) -> "Session":
         return self
@@ -142,6 +162,42 @@ class Session:
     def _check_open(self) -> None:
         if self._closed:
             raise SessionClosedError(f"session {self.name!r} is closed")
+
+    # -- cursors -----------------------------------------------------------
+
+    def open_cursor(self, result, page_size: Optional[int] = None) -> "Cursor":
+        """Wrap a completed result in a paginated :class:`Cursor`.
+
+        ``page_size`` defaults to ``ServiceConfig.default_page_size`` and
+        is clamped to ``ServiceConfig.max_page_size``; it bounds every
+        page the cursor will ever serve."""
+        from .cursors import Cursor
+
+        with self._service._lock:
+            self._check_open()
+            config = self._service.config
+            if page_size is None:
+                page_size = config.default_page_size
+            page_size = min(page_size, config.max_page_size)
+            self._cursor_seq += 1
+            cursor = Cursor(self, result, page_size, self._cursor_seq)
+            self._cursors[cursor.id] = cursor
+            return cursor
+
+    def cursor(self, cursor_id: int) -> Optional["Cursor"]:
+        """Look up an open cursor by id (None if closed or unknown)."""
+        return self._cursors.get(cursor_id)
+
+    def open_cursors(self) -> List["Cursor"]:
+        return list(self._cursors.values())
+
+    def _cursor_closed(self, cursor: "Cursor") -> None:
+        with self._service._lock:
+            self._cursors.pop(cursor.id, None)
+            # per-request sessions created by the network layer live only
+            # as long as their streaming results do
+            if self.ephemeral and not self._cursors and not self._closed:
+                self.close()
 
     # -- session state -----------------------------------------------------
 

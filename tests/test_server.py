@@ -1,0 +1,501 @@
+"""The HTTP serving layer: wire protocol, streaming fetch, detached
+jobs, rate limiting, shedding, and the concurrent-vs-serial
+bit-identity stress test."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import Database, TEST_CLUSTER
+from repro.server import (
+    Server,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    canonical_json,
+    canonical_result,
+    decode_cursor_token,
+    decode_value,
+    encode_cursor_token,
+    encode_value,
+)
+from repro.server.ratelimit import TenantRateLimiter, TokenBucket
+from repro.service import QueryService, ServiceConfig
+from repro.types import LabeledScalar, Matrix, Vector
+
+
+def make_db(rows=24, dims=4, seed=7):
+    db = Database(TEST_CLUSTER)
+    db.execute("CREATE TABLE points (i INTEGER, vec VECTOR[])")
+    db.execute("CREATE TABLE outcomes (i INTEGER, y_i DOUBLE)")
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, dims))
+    beta = rng.normal(size=dims)
+    outcomes = data @ beta
+    db.load("points", [(i, data[i]) for i in range(rows)])
+    db.load("outcomes", [(i, float(outcomes[i])) for i in range(rows)])
+    return db
+
+
+@pytest.fixture
+def server():
+    with Server(make_db(), service_config=ServiceConfig(default_page_size=8)) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServerClient(*server.address) as c:
+        yield c
+
+
+def wait_job(client, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        poll = client.poll_job(job_id)
+        if poll["state"] in ("done", "error"):
+            return poll
+        time.sleep(0.005)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+# -- protocol encoding -------------------------------------------------------
+
+
+def test_value_codec_roundtrip():
+    values = [
+        None,
+        True,
+        7,
+        2.5,
+        "text",
+        LabeledScalar(1.5, 3),
+        Vector([1.0, 2.0, 3.0], label=9),
+        Matrix([[1.0, 0.0], [0.0, 1.0]]),
+    ]
+    for value in values:
+        decoded = decode_value(encode_value(value))
+        if isinstance(value, Vector):
+            assert isinstance(decoded, Vector)
+            assert np.array_equal(decoded.data, value.data)
+            assert decoded.label == value.label
+        elif isinstance(value, Matrix):
+            assert isinstance(decoded, Matrix)
+            assert np.array_equal(decoded.data, value.data)
+        else:
+            assert decoded == value
+
+
+def test_canonical_json_is_deterministic():
+    a = canonical_json({"b": [1.0, 0.1], "a": "x"})
+    b = canonical_json({"a": "x", "b": [1.0, 0.1]})
+    assert a == b
+    assert " " not in a
+
+
+def test_cursor_token_roundtrip():
+    token = encode_cursor_token("session-1", 42)
+    assert decode_cursor_token(token) == ("session-1", 42)
+    assert "session-1" not in token  # opaque, not plain text
+
+
+# -- basic endpoints ---------------------------------------------------------
+
+
+def test_health(client):
+    payload = client.health()
+    assert payload["status"] == "ok"
+    assert payload["protocol_version"] == 1
+
+
+def test_stats_includes_server_section(client):
+    client.query("SELECT COUNT(i) FROM points")
+    stats = client.stats()
+    assert stats["server"]["requests_total"] >= 2
+    assert "rate_limiter" in stats
+    assert "jobs" in stats
+    assert "session_gc" in stats
+
+
+def test_query_single_page(client):
+    resp = client.query("SELECT SUM(y_i) FROM outcomes")
+    assert resp["done"] is True
+    assert "cursor" not in resp
+    assert resp["row_count"] == 1
+    assert len(resp["rows"]) == 1
+
+
+def test_query_pagination_over_wire(client):
+    resp = client.query("SELECT i, y_i FROM outcomes", page_size=5)
+    assert resp["done"] is False
+    assert len(resp["rows"]) == 5
+    rows = list(resp["rows"])
+    pages = 1
+    while not resp["done"]:
+        resp = client.fetch(resp["cursor"])
+        rows.extend(resp["rows"])
+        pages += 1
+    assert len(rows) == 24
+    assert pages == 5  # 24 rows / 5 per page
+    assert sorted(row[0] for row in rows) == list(range(24))
+
+
+def test_query_with_params_and_vector_values(client):
+    cols, rows = client.query_all(
+        "SELECT i, vec FROM points WHERE i < :k", {"k": 3}
+    )
+    assert cols == ["i", "vec"]
+    assert len(rows) == 3
+    assert all(isinstance(row[1], Vector) for row in rows)
+
+
+def test_named_sessions_and_temp_views(client):
+    name = client.open_session("alice")
+    assert name == "alice"
+    client.query("CREATE TEMP VIEW few AS SELECT i FROM points WHERE i < 2",
+                 session="alice")
+    _, rows = client.query_all("SELECT COUNT(i) FROM few", session="alice")
+    assert rows == [[2]]
+    client.close_session("alice")
+    with pytest.raises(ServerError) as excinfo:
+        client.query("SELECT i FROM points", session="alice")
+    assert excinfo.value.status == 410
+    assert excinfo.value.code == "session_closed"
+
+
+def test_fetch_after_session_close_is_410(client):
+    client.open_session("bob")
+    resp = client.query("SELECT i FROM outcomes", session="bob", page_size=4)
+    token = resp["cursor"]
+    client.close_session("bob")
+    with pytest.raises(ServerError) as excinfo:
+        client.fetch(token)
+    assert excinfo.value.status == 410
+    assert excinfo.value.code == "cursor_closed"
+
+
+def test_ddl_invalidates_wire_cursor(client):
+    client.open_session("carol")
+    resp = client.query("SELECT i FROM outcomes", session="carol", page_size=4)
+    client.query("CREATE TABLE scratch (j INTEGER)", session="carol")
+    with pytest.raises(ServerError) as excinfo:
+        client.fetch(resp["cursor"])
+    assert excinfo.value.status == 410
+    assert excinfo.value.code == "cursor_invalidated"
+
+
+def test_ephemeral_sessions_do_not_accumulate(server, client):
+    for _ in range(5):
+        client.query("SELECT COUNT(i) FROM points")
+    # fully-drained anonymous queries release their sessions at once
+    assert server.service.sessions() == {}
+    resp = client.query("SELECT i FROM outcomes", page_size=4)
+    assert len(server.service.sessions()) == 1  # cursor keeps it alive
+    while not resp["done"]:
+        resp = client.fetch(resp["cursor"])
+    assert server.service.sessions() == {}
+
+
+# -- error mapping -----------------------------------------------------------
+
+
+def test_syntax_error_is_400_with_structured_payload(client):
+    with pytest.raises(ServerError) as excinfo:
+        client.query("SELEKT broken")
+    exc = excinfo.value
+    assert exc.status == 400
+    assert exc.code == "sql_syntax"
+    assert "line" in exc.payload
+
+
+def test_unknown_column_is_400(client):
+    with pytest.raises(ServerError) as excinfo:
+        client.query("SELECT nope FROM points")
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "name_resolution"
+
+
+def test_unknown_route_404_and_method_405(client):
+    status, _, body = client.request("GET", "/nope")
+    assert status == 404
+    assert body["error"]["code"] == "not_found"
+    status, _, body = client.request("PUT", "/query")
+    assert status == 405
+
+
+def test_bad_json_body_is_400(client):
+    status, _, body = client.request("POST", "/query", payload=None)
+    assert status == 400 or body.get("error")
+    # raw invalid bytes
+    import socket as _socket
+
+    raw = (
+        b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n"
+        b"Connection: close\r\n\r\nnotjs"
+    )
+    with _socket.create_connection(client._sock.getpeername() if client._sock
+                                   else (client.host, client.port)) as s:
+        s.sendall(raw)
+        reply = s.recv(65536)
+    assert b"400" in reply.split(b"\r\n", 1)[0]
+
+
+def test_query_timeout_is_504():
+    db = make_db()
+    with Server(db, service_config=ServiceConfig(query_timeout_s=1e-6)) as srv:
+        with ServerClient(*srv.address) as c:
+            with pytest.raises(ServerError) as excinfo:
+                c.query("SELECT SUM(y_i) FROM outcomes")
+            assert excinfo.value.status == 504
+            assert excinfo.value.code == "query_timeout"
+            assert excinfo.value.payload["timeout_s"] == 1e-6
+
+
+def test_service_overload_is_429_with_retry_after():
+    db = make_db()
+    config = ServiceConfig(memory_budget_bytes=1.0)  # rejects everything
+    with Server(db, service_config=config) as srv:
+        with ServerClient(*srv.address) as c:
+            with pytest.raises(ServerError) as excinfo:
+                c.query("SELECT SUM(y_i) FROM outcomes")
+            exc = excinfo.value
+            assert exc.status == 429
+            assert exc.code == "service_overloaded"
+            assert "retry-after" in exc.headers
+
+
+def test_inflight_cap_sheds_with_retry_after_header():
+    db = make_db()
+    with Server(db, config=ServerConfig(max_inflight=0,
+                                        shed_retry_after_s=0.125)) as srv:
+        with ServerClient(*srv.address) as c:
+            with pytest.raises(ServerError) as excinfo:
+                c.health()
+            exc = excinfo.value
+            assert exc.status == 429
+            assert exc.headers["retry-after"] == "0.125"
+            assert exc.retry_after_s == 0.125
+        assert srv.shed_total == 1
+
+
+# -- rate limiting -----------------------------------------------------------
+
+
+def test_token_bucket_refills():
+    clock = {"now": 0.0}
+    bucket = TokenBucket(rate=2.0, burst=2.0, time_source=lambda: clock["now"])
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is None
+    retry_after = bucket.try_acquire()
+    assert retry_after == pytest.approx(0.5)
+    clock["now"] += 0.5
+    assert bucket.try_acquire() is None
+    assert bucket.stats()["granted"] == 3
+    assert bucket.stats()["rejected"] == 1
+
+
+def test_rate_limiter_is_per_tenant():
+    clock = {"now": 0.0}
+    limiter = TenantRateLimiter(rate=1.0, burst=1.0,
+                                time_source=lambda: clock["now"])
+    limiter.acquire("a")
+    limiter.acquire("b")  # separate bucket, not affected by a's spend
+    from repro.errors import RateLimitedError
+
+    with pytest.raises(RateLimitedError) as excinfo:
+        limiter.acquire("a")
+    assert excinfo.value.tenant == "a"
+    assert excinfo.value.retry_after_s > 0
+
+
+def test_wire_rate_limit_429():
+    db = make_db()
+    config = ServerConfig(rate_limit_qps=0.001, rate_limit_burst=1.0)
+    with Server(db, config=config) as srv:
+        with ServerClient(*srv.address) as c:
+            c.query("SELECT COUNT(i) FROM points", tenant="acme")
+            with pytest.raises(ServerError) as excinfo:
+                c.query("SELECT COUNT(i) FROM points", tenant="acme")
+            exc = excinfo.value
+            assert exc.status == 429
+            assert exc.code == "rate_limited"
+            assert exc.payload["tenant"] == "acme"
+            assert "retry-after" in exc.headers
+            # another tenant still gets through
+            c.query("SELECT COUNT(i) FROM points", tenant="other")
+        assert srv.rate_limited_total == 1
+
+
+# -- detached jobs -----------------------------------------------------------
+
+
+def test_job_lifecycle(client):
+    job_id = client.submit_job("SELECT SUM(y_i) FROM outcomes")
+    poll = wait_job(client, job_id)
+    assert poll["state"] == "done"
+    assert poll["columns"] == ["sum"]
+    assert poll["row_count"] == 1
+    page = client.fetch(poll["cursor"])
+    assert page["done"] is True
+    assert len(page["rows"]) == 1
+    # the result was fetched; polling again reflects that
+    assert client.poll_job(job_id).get("fetched") is True
+    client.delete_job(job_id)
+    with pytest.raises(ServerError) as excinfo:
+        client.poll_job(job_id)
+    assert excinfo.value.status == 404
+
+
+def test_job_error_surfaces_structured_payload(client):
+    job_id = client.submit_job("SELECT nope FROM points")
+    poll = wait_job(client, job_id)
+    assert poll["state"] == "error"
+    assert poll["error"]["code"] == "name_resolution"
+    client.delete_job(job_id)
+
+
+def test_job_result_streams_in_pages(client):
+    job_id = client.submit_job("SELECT i, y_i FROM outcomes", page_size=10)
+    poll = wait_job(client, job_id)
+    rows = []
+    resp = client.fetch(poll["cursor"])
+    rows.extend(resp["rows"])
+    while not resp["done"]:
+        resp = client.fetch(resp["cursor"])
+        rows.extend(resp["rows"])
+    assert len(rows) == 24
+    client.delete_job(job_id)
+
+
+def test_delete_running_job_releases_session(server, client):
+    job_id = client.submit_job("SELECT SUM(outer_product(vec, vec)) FROM points")
+    client.delete_job(job_id)
+    wait_deadline = time.monotonic() + 10.0
+    while time.monotonic() < wait_deadline:
+        if not any(n.startswith("job-") for n in server.service.sessions()):
+            break
+        time.sleep(0.005)
+    assert not any(n.startswith("job-") for n in server.service.sessions())
+
+
+# -- concurrency stress: bit-identity vs serial ------------------------------
+
+
+STRESS_QUERIES = [
+    ("SELECT SUM(outer_product(vec, vec)) FROM points WHERE i < :k", {"k": 11}),
+    ("SELECT SUM(vec * :w) FROM points", {"w": 0.75}),
+    ("SELECT COUNT(i) FROM points WHERE i < :k", {"k": 19}),
+    ("SELECT i, y_i FROM outcomes WHERE i < :k", {"k": 17}),
+    ("SELECT SUM(vec * y_i) FROM points, outcomes "
+     "WHERE points.i = outcomes.i AND points.i < :k", {"k": 13}),
+    ("SELECT i, vec * :w FROM points WHERE i < :k", {"k": 9, "w": -1.5}),
+]
+
+
+def serial_answers():
+    """Ground truth: the same queries, one session, no concurrency."""
+    db = make_db()
+    service = QueryService(db, ServiceConfig())
+    answers = {}
+    with service.session() as session:
+        for sql, params in STRESS_QUERIES:
+            result = session.execute(sql, params)
+            answers[sql] = canonical_result(result.columns, result.rows)
+    return answers
+
+
+def test_concurrent_results_bit_identical_to_serial():
+    """Many real threads over real sockets, every response compared
+    byte-for-byte against a serial single-session run."""
+    expected = serial_answers()
+    db = make_db()
+    threads = 8
+    rounds = 6
+    mismatches = []
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    with Server(db, service_config=ServiceConfig(default_page_size=7)) as srv:
+
+        def hammer(worker_id):
+            try:
+                with ServerClient(*srv.address) as c:
+                    barrier.wait()
+                    for round_no in range(rounds):
+                        sql, params = STRESS_QUERIES[
+                            (worker_id + round_no) % len(STRESS_QUERIES)
+                        ]
+                        resp = c.query(sql, params, page_size=7)
+                        rows = list(resp["rows"])
+                        while not resp["done"]:
+                            resp = c.fetch(resp["cursor"])
+                            rows.extend(resp["rows"])
+                        actual = canonical_json(
+                            {"columns": resp["columns"], "rows": rows}
+                        )
+                        if actual != expected[sql]:
+                            mismatches.append((worker_id, sql))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append((worker_id, repr(exc)))
+
+        workers = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+    assert errors == []
+    assert mismatches == []
+
+
+def test_concurrent_mixed_api_and_wire_traffic():
+    """Direct Python-API sessions and HTTP clients share one service;
+    results on both paths must agree with the serial baseline."""
+    expected = serial_answers()
+    db = make_db()
+    errors = []
+    mismatches = []
+
+    with Server(db, service_config=ServiceConfig(default_page_size=16)) as srv:
+
+        def api_worker():
+            try:
+                for sql, params in STRESS_QUERIES:
+                    with srv.service.session() as session:
+                        result = session.execute(sql, params)
+                        actual = canonical_result(result.columns, result.rows)
+                        if actual != expected[sql]:
+                            mismatches.append(("api", sql))
+            except Exception as exc:  # pragma: no cover
+                errors.append(("api", repr(exc)))
+
+        def wire_worker():
+            try:
+                with ServerClient(*srv.address) as c:
+                    for sql, params in STRESS_QUERIES:
+                        resp = c.query(sql, params)
+                        rows = list(resp["rows"])
+                        while not resp["done"]:
+                            resp = c.fetch(resp["cursor"])
+                            rows.extend(resp["rows"])
+                        actual = canonical_json(
+                            {"columns": resp["columns"], "rows": rows}
+                        )
+                        if actual != expected[sql]:
+                            mismatches.append(("wire", sql))
+            except Exception as exc:  # pragma: no cover
+                errors.append(("wire", repr(exc)))
+
+        workers = [threading.Thread(target=api_worker) for _ in range(3)]
+        workers += [threading.Thread(target=wire_worker) for _ in range(3)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+    assert errors == []
+    assert mismatches == []
