@@ -263,7 +263,20 @@ class Server:
     async def _handle_connection(self, reader, writer) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # parse-level failures (oversized head, bad
+                    # Content-Length) still get an HTTP response; the
+                    # stream is unsynchronized afterwards, so close
+                    writer.write(self._render(
+                        exc.status,
+                        {"error": {"code": exc.code, "message": str(exc)}},
+                        {},
+                        False,
+                    ))
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
@@ -303,9 +316,21 @@ class Server:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, "bad_content_length",
+                f"malformed Content-Length {raw_length!r}",
+            )
+        if length < 0:
+            raise _HttpError(
+                400, "bad_content_length",
+                f"negative Content-Length {length}",
+            )
         if length > self.config.max_body_bytes:
-            raise ConnectionError("request body too large")
+            raise _HttpError(413, "body_too_large", "request body too large")
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
 
@@ -364,6 +389,21 @@ class Server:
                 with self._lock:
                     self.rate_limited_total += 1
             return status, error_body(exc), headers
+        except ValueError as exc:
+            # client-triggerable decode failures (bare JSON arrays,
+            # unknown $type tags, bad sizes) are the client's fault
+            return 400, {
+                "error": {"code": "bad_request", "message": str(exc)}
+            }, {}
+        except Exception as exc:
+            # every request gets *a* response; an unexpected handler
+            # failure must not silently drop the connection
+            return 500, {
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            }, {}
         finally:
             with self._lock:
                 self._inflight -= 1
@@ -410,6 +450,20 @@ class Server:
         if not isinstance(payload, dict):
             raise _HttpError(400, "bad_json", "request body must be an object")
         return payload
+
+    @staticmethod
+    def _positive_int(payload: Dict[str, object], key: str) -> Optional[int]:
+        """An optional positive-integer field, validated before it can
+        reach a cursor (where bad values raise non-ReproError)."""
+        value = payload.get(key)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise _HttpError(
+                400, "bad_request",
+                f"{key!r} must be a positive integer, got {value!r}",
+            )
+        return value
 
     # -- handlers (worker threads) -----------------------------------------
 
@@ -473,10 +527,12 @@ class Server:
         if not isinstance(sql, str) or not sql.strip():
             raise _HttpError(400, "bad_request", "missing 'sql' string")
         params = decode_params(payload.get("params"))
-        page_size = payload.get("page_size")
+        page_size = self._positive_int(payload, "page_size")
         session, ephemeral = self._resolve_session(payload)
-        self.limiter.acquire(session.tenant)
         try:
+            # rate limiting inside the try: a shed ephemeral session
+            # must be closed, not left to accumulate in the service
+            self.limiter.acquire(session.tenant)
             result = session.execute(sql, params)
         except ReproError:
             if ephemeral:
@@ -512,7 +568,7 @@ class Server:
         cursor = session.cursor(cursor_id)
         if cursor is None:
             raise CursorClosedError(f"cursor {token!r} is closed")
-        size = payload.get("size")
+        size = self._positive_int(payload, "size")
         rows = cursor.fetchmany(size)
         response = {
             "session": session.name,
@@ -532,12 +588,13 @@ class Server:
         if not isinstance(sql, str) or not sql.strip():
             raise _HttpError(400, "bad_request", "missing 'sql' string")
         tenant = payload.get("tenant")
+        page_size = self._positive_int(payload, "page_size")
         self.limiter.acquire(tenant or "anonymous")
         job = self.jobs.submit(
             sql,
             decode_params(payload.get("params")),
             tenant=tenant,
-            page_size=payload.get("page_size"),
+            page_size=page_size,
         )
         return {"job_id": job.id, "state": "queued"}
 

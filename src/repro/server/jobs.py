@@ -98,6 +98,12 @@ class JobManager:
         session = self.service.session(f"job-{job.id}", tenant=tenant)
         with job._lock:
             job.session = session
+            # a concurrent delete() in the window before this assignment
+            # saw session=None and closed nothing; it is on us now
+            deleted = job.state == "deleted"
+        if deleted:
+            session.close()
+            return job
         self.executor.submit(self._run, job, page_size)
         return job
 
@@ -116,11 +122,20 @@ class JobManager:
                 job.state = "done"
             with self._lock:
                 self.completed += 1
-        except ReproError as exc:
+        except Exception as exc:
+            # anything — including non-ReproError bugs — must land the
+            # job in 'error', or clients poll a stuck 'running' forever
+            if isinstance(exc, ReproError):
+                payload = exc.to_payload()
+            else:
+                payload = {
+                    "code": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
             with job._lock:
-                if job.state != "running":
+                if job.state != "running":  # deleted mid-flight
                     return
-                job.error = exc.to_payload()
+                job.error = payload
                 job.state = "error"
             with self._lock:
                 self.failed += 1

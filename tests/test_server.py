@@ -242,6 +242,89 @@ def test_bad_json_body_is_400(client):
     assert b"400" in reply.split(b"\r\n", 1)[0]
 
 
+def test_bad_page_size_is_400(client):
+    for bad in (0, -3, "ten", 1.5, True):
+        status, _, body = client.request(
+            "POST", "/query",
+            payload={"sql": "SELECT i FROM points", "page_size": bad},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+    # still no stray sessions from the rejected requests
+    assert client.health()["status"] == "ok"
+
+
+def test_job_bad_page_size_is_400_and_registers_no_job(client):
+    status, _, body = client.request(
+        "POST", "/jobs",
+        payload={"sql": "SELECT i FROM points", "page_size": 0},
+    )
+    assert status == 400
+    assert body["error"]["code"] == "bad_request"
+    assert client.stats()["jobs"]["live"] == 0
+
+
+def test_bad_fetch_size_is_400(client):
+    resp = client.query("SELECT i FROM outcomes", page_size=4)
+    for bad in (0, -1, "lots"):
+        status, _, body = client.request(
+            "POST", "/fetch", payload={"cursor": resp["cursor"], "size": bad}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+    # the cursor survived the rejected fetches
+    page = client.fetch(resp["cursor"])
+    assert len(page["rows"]) == 4
+
+
+def test_bad_params_get_400_not_dropped_connection(client):
+    # bare JSON array (ambiguous) and unknown $type both raise ValueError
+    # deep in decode_params; the server must answer 400, not hang up
+    for bad in ([1.0, 2.0], {"$type": "tensor", "data": []}):
+        status, _, body = client.request(
+            "POST", "/query",
+            payload={"sql": "SELECT i FROM points", "params": {"v": bad}},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+    # same keep-alive connection still works
+    assert client.health()["status"] == "ok"
+
+
+def _raw_roundtrip(address, data):
+    import socket
+
+    with socket.create_connection(address) as s:
+        s.sendall(data)
+        reply = b""
+        while True:
+            part = s.recv(65536)
+            if not part:
+                break
+            reply += part
+    return reply
+
+
+def test_malformed_content_length_is_400(server):
+    reply = _raw_roundtrip(
+        server.address,
+        b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+    )
+    assert reply.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
+    assert b"bad_content_length" in reply
+
+
+def test_oversized_body_is_413():
+    db = make_db()
+    with Server(db, config=ServerConfig(max_body_bytes=64)) as srv:
+        reply = _raw_roundtrip(
+            srv.address,
+            b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n",
+        )
+    assert reply.split(b"\r\n", 1)[0] == b"HTTP/1.1 413 Payload Too Large"
+    assert b"body_too_large" in reply
+
+
 def test_query_timeout_is_504():
     db = make_db()
     with Server(db, service_config=ServiceConfig(query_timeout_s=1e-6)) as srv:
@@ -328,6 +411,21 @@ def test_wire_rate_limit_429():
         assert srv.rate_limited_total == 1
 
 
+def test_rate_limited_ephemeral_session_is_released():
+    """A 429 on an anonymous query must not leak its ephemeral session
+    into the service (unbounded growth under sustained shed traffic)."""
+    db = make_db()
+    config = ServerConfig(rate_limit_qps=0.001, rate_limit_burst=1.0)
+    with Server(db, config=config) as srv:
+        with ServerClient(*srv.address) as c:
+            c.query("SELECT COUNT(i) FROM points", tenant="acme")
+            for _ in range(3):
+                with pytest.raises(ServerError) as excinfo:
+                    c.query("SELECT COUNT(i) FROM points", tenant="acme")
+                assert excinfo.value.status == 429
+        assert srv.service.sessions() == {}
+
+
 # -- detached jobs -----------------------------------------------------------
 
 
@@ -378,6 +476,56 @@ def test_delete_running_job_releases_session(server, client):
             break
         time.sleep(0.005)
     assert not any(n.startswith("job-") for n in server.service.sessions())
+
+
+class _ImmediateExecutor:
+    """Runs the job synchronously in submit(), for deterministic tests."""
+
+    def submit(self, fn, *args):
+        fn(*args)
+
+
+def test_job_internal_error_lands_in_error_state_not_stuck_running():
+    """A non-ReproError inside the worker (here: an invalid page_size
+    reaching the cursor directly, bypassing HTTP validation) must
+    transition the job to 'error' and release its session — never leave
+    it 'running' forever."""
+    from repro.server.jobs import JobManager
+
+    service = QueryService(make_db(), ServiceConfig())
+    manager = JobManager(service, _ImmediateExecutor())
+    job = manager.submit("SELECT COUNT(i) FROM points", page_size=0)
+    assert job.state == "error"
+    assert job.error["code"] == "internal"
+    assert job.session.closed
+    assert service.sessions() == {}
+    assert manager.stats()["failed"] == 1
+
+
+def test_delete_during_submit_window_closes_session():
+    """delete() racing submit() in the window between job registration
+    and session assignment must not leak the session."""
+    from repro.server.jobs import JobManager
+
+    service = QueryService(make_db(), ServiceConfig())
+    manager = JobManager(service, _ImmediateExecutor())
+    real_session = service.session
+
+    def delete_in_window(name=None, tenant=None):
+        session = real_session(name, tenant=tenant)
+        # the job is registered but job.session is still None: exactly
+        # the window where a concurrent DELETE /jobs/<id> sees nothing
+        assert manager.delete(name[len("job-"):])
+        return session
+
+    service.session = delete_in_window
+    try:
+        job = manager.submit("SELECT COUNT(i) FROM points")
+    finally:
+        service.session = real_session
+    assert job.state == "deleted"
+    assert job.session.closed
+    assert service.sessions() == {}
 
 
 # -- concurrency stress: bit-identity vs serial ------------------------------
