@@ -1,0 +1,151 @@
+"""Reader–writer statement admission for the database.
+
+Historically every statement serialized on a single ``Database._exec_lock``
+— correct, but it capped the PR 6 server's real throughput at
+single-statement speed. The engine's execution model (independent
+per-partition units of work, thread-local metrics, per-statement
+executors) never needed that: only the *catalog and table storage* must
+not change underneath a running statement.
+
+:class:`AdmissionGate` encodes exactly that discipline:
+
+* **shared** admission — read-only statements (SELECT / UNION, and the
+  read phase of EXPLAIN ANALYZE). Any number run concurrently; each
+  sees the catalog version current at admission, and because no writer
+  can be interleaved, that snapshot is stable for the statement's whole
+  lifetime (the plan cache additionally keys compiled plans on the
+  catalog version).
+* **exclusive** admission — DDL/DML (CREATE/DROP/INSERT/DELETE/``load``)
+  and configuration swaps (``set_execution_mode``). Exactly one runs,
+  with no readers in flight; it bumps the catalog version as before.
+
+Semantics:
+
+* Reentrant both ways: a thread holding either side may re-enter it
+  (UNION branches re-plan and re-execute inside the statement's
+  admission; CTAS/INSERT ... SELECT run their inner SELECT while
+  holding the exclusive side).
+* A thread holding **exclusive** may also enter **shared** (the inner
+  SELECT above). The reverse — upgrading shared to exclusive — would
+  deadlock with a concurrent upgrader and raises ``RuntimeError``.
+* Writer preference: once a writer waits, *new* readers queue behind it
+  (reentrant readers still pass), so DDL cannot be starved by a steady
+  stream of queries.
+
+Lock ordering: the service layer acquires its own ``_lock`` before the
+gate and never the reverse, so the two can never deadlock against each
+other.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class AdmissionGate:
+    """A reentrant reader–writer gate (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: per-thread shared admission depth
+        self._readers: Dict[int, int] = {}
+        #: thread ident holding exclusive admission, with its depth
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        # cumulative counters (exposed through Database.stats paths)
+        self.shared_admissions = 0
+        self.exclusive_admissions = 0
+        # alias for the lock-discipline auditor (assigned last; every
+        # post-construction write above happens under the condition)
+        self._lock = self._cond
+
+    # -- shared (read-only statements) -------------------------------------
+
+    def acquire_shared(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # reentrant, or a writer reading inside its own admission
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+            self.shared_admissions += 1
+
+    def release_shared(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me, 0)
+            if depth <= 0:
+                raise RuntimeError("release_shared without a matching acquire")
+            if depth == 1:
+                del self._readers[me]
+                self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    @contextmanager
+    def shared(self):
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    # -- exclusive (DDL / DML / config swaps) ------------------------------
+
+    def acquire_exclusive(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._readers.get(me):
+                raise RuntimeError(
+                    "cannot upgrade a shared admission to exclusive"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+            self.exclusive_admissions += 1
+
+    def release_exclusive(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError(
+                    "release_exclusive by a thread not holding it"
+                )
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "shared_admissions": self.shared_admissions,
+                "exclusive_admissions": self.exclusive_admissions,
+                "active_readers": len(self._readers),
+                "writer_active": int(self._writer is not None),
+                "writers_waiting": self._writers_waiting,
+            }

@@ -69,15 +69,24 @@ def run_open_loop_target(
     seed: int = 0,
     check: bool = False,
     out: str = "BENCH_serve.json",
+    parallelism: int = 4,
+    scaling: bool = True,
 ) -> "tuple":
     """Returns (report text, ok) for the open-loop socket benchmark.
 
     ``check`` shrinks the run for CI (still real sockets, still the
-    serial bit-identity comparison); ``out`` is where the JSON snapshot
-    lands (empty string skips the write)."""
+    serial bit-identity comparison, still the parallel scaling probe at
+    ``parallelism`` partition tasks); ``out`` is where the JSON snapshot
+    lands (empty string skips the write). The scaling probe's
+    parallel-vs-serial throughput ratio is recorded but never gated on:
+    it tracks the host's real core count (see
+    ``repro.bench.openloop.measure_scaling``). ``ok`` does require both
+    scaling probes to stay bit-identical to their serial baselines."""
     from .openloop import (
         OpenLoopConfig,
         format_open_loop,
+        format_scaling,
+        measure_scaling,
         run_open_loop,
         write_snapshot,
     )
@@ -90,9 +99,29 @@ def run_open_loop_target(
         clients=clients, queries=queries, arrival_rate_qps=rate, seed=seed
     )
     report = run_open_loop(config)
+    ok = report.ok()
+    text = format_open_loop(report)
+    scaling_block = None
+    if scaling:
+        if check:
+            scaling_block = measure_scaling(
+                workers=4,
+                parallelism=parallelism,
+                queries=8,
+                clients=4,
+                rows=128,
+                dims=16,
+                seed=seed,
+            )
+        else:
+            scaling_block = measure_scaling(
+                workers=4, parallelism=parallelism, seed=seed
+            )
+        ok = ok and scaling_block["serial_ok"] and scaling_block["parallel_ok"]
+        text = text + "\n\n" + format_scaling(scaling_block)
     if out:
-        write_snapshot(report, out)
-    return format_open_loop(report), report.ok()
+        write_snapshot(report, out, scaling=scaling_block)
+    return text, ok
 
 
 def run_exec_target(repeats: int = 3, smoke: bool = False) -> "tuple":
@@ -227,6 +256,19 @@ def main(argv=None) -> int:
         help="where to write the JSON snapshot; '' skips the write "
         "(serve --open-loop)",
     )
+    serve_group.add_argument(
+        "--intra-parallelism",
+        type=int,
+        default=4,
+        help="partition tasks per operator in the scaling probe "
+        "(serve --open-loop)",
+    )
+    serve_group.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the parallel-vs-serial scaling probe "
+        "(serve --open-loop)",
+    )
     exec_group = parser.add_argument_group("exec/faults/trace options")
     exec_group.add_argument(
         "--check",
@@ -294,6 +336,8 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 check=args.check,
                 out=args.out,
+                parallelism=args.intra_parallelism,
+                scaling=not args.no_scaling,
             )
             print(text)
             if args.check and not ok:

@@ -84,10 +84,19 @@ class ClusterConfig:
     segment_rows: int = 4096
     #: size of the real-thread worker pool the network serving layer
     #: (``repro.server``) drives the simulated cluster with; requests
-    #: beyond it queue inside the server. Statement execution itself is
-    #: serialized on the cluster, so this governs how many requests can
-    #: be mid-plan/mid-wait concurrently, not parallel execution.
+    #: beyond it queue inside the server. Read-only statements admitted
+    #: through the database's reader–writer gate genuinely overlap on
+    #: these threads; DDL/DML takes the exclusive path.
     worker_threads: int = 8
+    #: real threads used *inside* one statement to run independent
+    #: partition tasks of each operator concurrently (scan/filter/join/
+    #: aggregate partitions, exchange senders/receivers). ``1`` keeps
+    #: the historical sequential interpreter; higher values dispatch
+    #: partition tasks to a shared pool. Results and simulated
+    #: :class:`QueryMetrics` are bit-identical at any setting — the
+    #: per-task metric contexts are merged in deterministic partition
+    #: order (see docs/ENGINE.md).
+    intra_query_parallelism: int = 1
 
     @property
     def effective_buffer_pool_bytes(self) -> float:

@@ -22,11 +22,11 @@ Quickstart::
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .admission import AdmissionGate
 from .catalog import Catalog, Schema, TableEntry, append_stats, collect_stats
 from .config import ClusterConfig
 from .engine import Cluster, Executor, PartitionedTable, QueryMetrics
@@ -117,13 +117,17 @@ class Database:
         #: segment files, buffer pool, and spill bookkeeping — shared by
         #: every table and executor of this database
         self.storage = StorageEngine(self.config)
+        #: executor template: holds mode/storage/fault-injector; every
+        #: statement executes on a ``fresh()`` copy so concurrently
+        #: admitted statements never share per-statement state (lineage
+        #: memos, checkpoints, trace bookkeeping)
         self._executor = Executor(self.cluster, execution_mode, storage=self.storage)
-        #: serializes statement execution and catalog/storage mutation —
-        #: the simulated cluster runs one statement at a time in process
-        #: time, and the network serving layer drives this database from
-        #: a real worker-thread pool (reentrant: service-layer callers
-        #: hold their own lock while calling in)
-        self._exec_lock = threading.RLock()
+        #: reader–writer statement admission: read-only statements run
+        #: concurrently against a stable catalog, DDL/DML and config
+        #: swaps take the exclusive path (see repro/admission.py). This
+        #: replaces the old global ``_exec_lock`` that serialized every
+        #: statement.
+        self._admission = AdmissionGate()
 
     @property
     def execution_mode(self) -> str:
@@ -132,8 +136,16 @@ class Database:
         return self._executor.execution_mode
 
     def set_execution_mode(self, mode: str) -> None:
-        """Switch interpreter back ends between statements."""
-        self._executor = Executor(self.cluster, mode, storage=self.storage)
+        """Switch interpreter back ends between statements. Takes the
+        exclusive admission path: the executor template swap waits for
+        in-flight statements to drain and is never observed mid-run."""
+        with self._admission.exclusive():
+            self._executor = Executor(
+                self.cluster,
+                mode,
+                storage=self.storage,
+                injector=self._executor.injector,
+            )
 
     # -- persistence --------------------------------------------------------------
 
@@ -163,7 +175,7 @@ class Database:
         """Create a table from ``(name, type)`` pairs (types may be
         strings like ``"MATRIX[10][]"``); optionally hash-partitioned on
         some columns at load time."""
-        with self._exec_lock:
+        with self._admission.exclusive():
             return self._create_table_locked(name, columns, partition_by)
 
     def _create_table_locked(
@@ -195,7 +207,7 @@ class Database:
     def load(self, name: str, rows: Iterable[Sequence]) -> int:
         """Bulk-load rows (each a sequence of values; numpy arrays become
         vectors/matrices) and refresh the table's statistics."""
-        with self._exec_lock:
+        with self._admission.exclusive():
             entry = self.catalog.table(name)
             converted = [
                 tuple(_convert_value(value) for value in row) for row in rows
@@ -251,8 +263,9 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise CompileError("EXPLAIN supports SELECT statements only")
-        logical = self._plan_select(statement, params)
-        physical = PhysicalPlanner(self.cost_model).plan(logical)
+        with self._admission.shared():
+            logical = self._plan_select(statement, params)
+            physical = PhysicalPlanner(self.cost_model).plan(logical)
         cost_model = self.cost_model if verbose else None
         text = (
             "== logical ==\n"
@@ -275,9 +288,10 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise CompileError("EXPLAIN ANALYZE supports SELECT statements only")
-        logical = self._plan_select(statement, params)
-        physical = self._plan_physical(logical)
-        result = self._execute_physical(logical, physical)
+        with self._admission.shared():
+            logical = self._plan_select(statement, params)
+            physical = self._plan_physical(logical)
+            result = self._execute_physical(logical, physical)
         trace = result.metrics.trace
         assert trace is not None
         lines = [trace.render()]
@@ -296,10 +310,17 @@ class Database:
     def _execute_statement(
         self, statement: ast.Statement, params: Optional[Dict[str, object]]
     ) -> Result:
-        with self._exec_lock:
-            return self._execute_statement_locked(statement, params)
+        # read-only statements overlap under shared admission; anything
+        # that can mutate the catalog or table storage takes the
+        # exclusive path (and bumps the catalog version, invalidating
+        # cached plans)
+        if isinstance(statement, (ast.SelectStatement, ast.UnionStatement)):
+            with self._admission.shared():
+                return self._dispatch_statement(statement, params)
+        with self._admission.exclusive():
+            return self._dispatch_statement(statement, params)
 
-    def _execute_statement_locked(
+    def _dispatch_statement(
         self, statement: ast.Statement, params: Optional[Dict[str, object]]
     ) -> Result:
         if isinstance(statement, ast.SelectStatement):
@@ -486,9 +507,16 @@ class Database:
     def _plan_physical(self, logical):
         return PhysicalPlanner(self.cost_model).plan(logical)
 
-    def _execute_physical(self, logical, physical) -> Result:
-        with self._exec_lock:
-            rows, metrics = self._executor.run(physical)
+    def _execute_physical(self, logical, physical, param_cells=None) -> Result:
+        # shared admission (reentrant when the caller already holds an
+        # admission, e.g. DML running its inner SELECT): read-only
+        # execution overlaps with other readers. Each statement gets a
+        # fresh executor so no per-statement state is shared; the
+        # template's fault injector is shared so cumulative fault
+        # counters stay database-wide.
+        with self._admission.shared():
+            executor = self._executor.fresh()
+            rows, metrics = executor.run(physical, param_cells=param_cells)
             if metrics.trace is not None:
                 # annotate estimates here (not in the executor) so both
                 # direct execution and service-cached plans carry them

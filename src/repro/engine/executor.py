@@ -24,11 +24,24 @@ Both charge identical simulated costs and produce identical rows; the
 batch path only improves *real* wall-clock time. The equivalence
 contract is documented in ``docs/ENGINE.md`` and enforced by
 ``tests/test_exec_modes.py``.
+
+With ``ClusterConfig.intra_query_parallelism > 1`` each operator's
+per-partition loop is dispatched as independent partition tasks to the
+cluster's shared thread pool (see :class:`_PartitionTasks`). Partition
+tasks charge private :class:`OperatorRun` sub-runs that are absorbed in
+deterministic partition order, so rows *and* simulated metrics stay
+bit-identical at any parallelism (``tests/test_parallel_exec.py``).
+Fault injection is schedule-independent by construction: every draw is
+a pure hash of ``(plan seed, kind, operator pre-order index, partition,
+attempt)`` — per-statement coordinates, never thread identity or real
+time — and all injector interaction happens on the coordinator thread
+around the handlers.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -93,12 +106,22 @@ class CheckpointStore:
     possible: a consumer that finds a partition lost recomputes it from
     the checkpointed producer instead of restarting the query. Entries
     live for the duration of one ``Executor.run`` and are evicted when
-    the query completes (success or failure)."""
+    the query completes (success or failure).
 
-    def __init__(self):
+    Entries are keyed by plan-node identity and hold one statement's
+    exchange outputs, so every statement gets its own store (fresh
+    executors never share entries) — but the cumulative eviction counter
+    is database-wide observability, shared across the fresh executors of
+    one database."""
+
+    def __init__(self, evictions: Optional["_EvictionCounter"] = None):
         self._entries: Dict[int, Tuple[DistributedRelation, OperatorMetrics]] = {}
-        #: total entries evicted over this store's lifetime
-        self.evicted = 0
+        self._evictions = _EvictionCounter() if evictions is None else evictions
+
+    @property
+    def evicted(self) -> int:
+        """Total entries evicted across every store sharing the counter."""
+        return self._evictions.count
 
     def put(
         self,
@@ -116,12 +139,103 @@ class CheckpointStore:
     def clear(self) -> int:
         """Evict everything; returns how many entries were dropped."""
         dropped = len(self._entries)
-        self.evicted += dropped
+        self._evictions.add(dropped)
         self._entries.clear()
         return dropped
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class _EvictionCounter:
+    """Cumulative checkpoint-eviction count, shared by the per-statement
+    stores of one database (statements clear their stores concurrently)."""
+
+    __slots__ = ("count", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int) -> None:
+        if n:
+            with self._lock:
+                self.count += n
+
+
+class _PartitionTasks:
+    """Per-partition task dispatch for one operator.
+
+    ``map(fn)`` runs ``fn(slot, run)`` for every partition index and
+    returns the results in partition order. With parallelism disabled
+    (no shared pool) the calls run inline against the operator's main
+    :class:`OperatorRun` — byte-identical to the historical sequential
+    interpreter. With a pool, every partition index gets a private
+    sub-run for the *whole operator* (multi-phase operators like hash
+    exchange or hash join call ``map`` several times; phase N of
+    partition ``i`` keeps charging the same sub-run as phase N-1, which
+    preserves the exact per-slot float-addition chains), and
+    ``finish()`` absorbs the sub-runs back into the main run in
+    partition order. Once an operator uses tasks, *all* its per-slot
+    charging must route through them — mixing direct main-run charges
+    with sub-run charges for the same slot index would reorder float
+    additions.
+    """
+
+    __slots__ = ("run", "count", "pool", "subs", "_params")
+
+    def __init__(self, executor: "Executor", run, count: int):
+        self.run = run
+        self.count = count
+        pool = executor.cluster.task_pool() if count > 1 else None
+        self.pool = pool
+        if pool is None:
+            self.subs = None
+            self._params = None
+        else:
+            self.subs = [
+                executor.cluster.operator(run.name) for _ in range(count)
+            ]
+            self._params = executor._param_snapshot
+
+    def _call(self, slot: int, fn):
+        # runs on a pool thread: install the coordinator's parameter
+        # bindings (ParamCell state is thread-local) before the body
+        for cell, value, bound in self._params:
+            if bound:
+                cell.set(value)
+            else:
+                cell.clear()
+        return fn(slot, self.subs[slot])
+
+    def map(self, fn, count: Optional[int] = None) -> list:
+        n = self.count if count is None else count
+        if self.subs is None:
+            return [fn(slot, self.run) for slot in range(n)]
+        if n <= 1:
+            # not worth a dispatch, but still charge the sub-run so the
+            # per-slot addition chain stays whole across phases
+            return [fn(slot, self.subs[slot]) for slot in range(n)]
+        futures = [
+            self.pool.submit(self._call, slot, fn) for slot in range(n)
+        ]
+        results: list = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # drain every task before raising
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def finish(self) -> None:
+        """Absorb the per-partition sub-runs, in partition order."""
+        if self.subs is not None:
+            for sub in self.subs:
+                self.run.absorb(sub)
 
 
 class Executor:
@@ -130,6 +244,7 @@ class Executor:
         cluster: Cluster,
         execution_mode: Optional[str] = None,
         storage: Optional["StorageEngine"] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         self.cluster = cluster
         self.slots = cluster.config.slots
@@ -171,11 +286,18 @@ class Executor:
                 PSortLimit: self._sort_limit,
             }
         fault_plan = cluster.config.fault_plan
-        self.injector: Optional[FaultInjector] = (
-            FaultInjector(fault_plan)
-            if fault_plan is not None and fault_plan.enabled
-            else None
-        )
+        if injector is not None:
+            self.injector: Optional[FaultInjector] = injector
+        else:
+            self.injector = (
+                FaultInjector(fault_plan)
+                if fault_plan is not None and fault_plan.enabled
+                else None
+            )
+        #: parameter-cell bindings snapshotted on the coordinator thread
+        #: at ``run()`` time, re-installed inside every partition task
+        #: (cells are thread-local; see ``plan.expressions.ParamCell``)
+        self._param_snapshot: List[tuple] = []
         #: relations memoized by plan-node identity — the lineage store.
         #: A child executed once is never re-executed when a faulted
         #: parent retries; retries replay against these memoized inputs,
@@ -192,11 +314,41 @@ class Executor:
         self._node_retries: Dict[int, int] = {}
         self._node_faults: Dict[int, int] = {}
 
-    def run(self, plan: PhysicalNode) -> Tuple[List[tuple], QueryMetrics]:
+    def fresh(self) -> "Executor":
+        """A new executor sharing this one's cluster, mode, storage and
+        fault injector, with clean per-statement state. The database
+        runs every statement on a fresh executor so concurrently
+        admitted statements never share lineage memos, checkpoints or
+        trace bookkeeping; the shared injector keeps cumulative fault
+        counts cluster-wide."""
+        twin = Executor(
+            self.cluster,
+            execution_mode=self.execution_mode,
+            storage=self.storage,
+            injector=self.injector,
+        )
+        # per-statement entries, database-wide eviction count
+        twin.checkpoints = CheckpointStore(self.checkpoints._evictions)
+        return twin
+
+    def _partition_tasks(self, run, count: int) -> _PartitionTasks:
+        return _PartitionTasks(self, run, count)
+
+    def run(
+        self,
+        plan: PhysicalNode,
+        param_cells: Optional[Dict[str, object]] = None,
+    ) -> Tuple[List[tuple], QueryMetrics]:
         """Execute a plan; returns (all result rows, metrics for this
         statement, carrying the per-operator estimate-vs-actual trace).
-        The cluster's running metrics are reset first."""
+        The cluster's running metrics are reset first. ``param_cells``
+        (name -> ParamCell) carries prepared-statement bindings from the
+        coordinator thread into partition tasks."""
         self.cluster.reset_metrics()
+        cells = list(param_cells.values()) if param_cells else []
+        self._param_snapshot = [
+            (cell, cell.value, cell.bound) for cell in cells
+        ]
         self._materialized.clear()
         self._op_sequence = 0
         self._node_ops.clear()
@@ -616,17 +768,21 @@ class Executor:
         predicates = resolve_prune_predicates(
             getattr(node, "prune_predicates", ())
         )
-        parts: List[List[tuple]] = []
-        parts_bytes: List[List[float]] = []
-        for slot in range(self.slots):
-            rows, sizes = self._scan_partition(storage, slot, predicates, run)
+        tasks = self._partition_tasks(run, self.slots)
+
+        def scan_slot(slot, op):
+            rows, sizes = self._scan_partition(storage, slot, predicates, op)
             scanned = sum(sizes)
-            run.charge_disk(slot, scanned)
-            run.charge_cpu(slot, tuples=len(rows))
-            run.rows_out += len(rows)
-            run.bytes_out += scanned
-            parts.append(rows)
-            parts_bytes.append(sizes)
+            op.charge_disk(slot, scanned)
+            op.charge_cpu(slot, tuples=len(rows))
+            op.rows_out += len(rows)
+            op.bytes_out += scanned
+            return rows, sizes
+
+        scanned_parts = tasks.map(scan_slot)
+        tasks.finish()
+        parts = [rows for rows, _ in scanned_parts]
+        parts_bytes = [sizes for _, sizes in scanned_parts]
         run.rows_in = run.rows_out
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
@@ -638,9 +794,10 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator("Filter")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[List[tuple]] = []
-        parts_bytes: List[List[float]] = []
-        for slot, rows in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def filter_slot(slot, op):
+            rows = parts_in[slot]
             cost = EvalCost()
             child_bytes = child.partition_row_bytes(slot)
             kept = []
@@ -650,11 +807,15 @@ class Executor:
                 if node.predicate.evaluate(view, cost):
                     kept.append(row)
                     kept_bytes.append(child_bytes[i])
-            run.charge_eval(slot, len(rows), cost)
-            run.rows_in += len(rows)
-            run.rows_out += len(kept)
-            parts_out.append(kept)
-            parts_bytes.append(kept_bytes)
+            op.charge_eval(slot, len(rows), cost)
+            op.rows_in += len(rows)
+            op.rows_out += len(kept)
+            return kept, kept_bytes
+
+        filtered = tasks.map(filter_slot)
+        tasks.finish()
+        parts_out = [kept for kept, _ in filtered]
+        parts_bytes = [sizes for _, sizes in filtered]
         self.cluster.record(run)
         return self._wrap_output(
             child.column_ids,
@@ -668,9 +829,10 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator("Project")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[List[tuple]] = []
-        parts_bytes: List[List[float]] = []
-        for slot, rows in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def project_slot(slot, op):
+            rows = parts_in[slot]
             cost = EvalCost()
             out = []
             sizes = []
@@ -679,12 +841,16 @@ class Executor:
                 projected = tuple(expr.evaluate(view, cost) for expr in node.exprs)
                 out.append(projected)
                 sizes.append(row_bytes(projected))
-            run.charge_eval(slot, len(rows), cost)
-            run.rows_in += len(rows)
-            run.rows_out += len(out)
-            run.bytes_out += sum(sizes)
-            parts_out.append(out)
-            parts_bytes.append(sizes)
+            op.charge_eval(slot, len(rows), cost)
+            op.rows_in += len(rows)
+            op.rows_out += len(out)
+            op.bytes_out += sum(sizes)
+            return out, sizes
+
+        projected_parts = tasks.map(project_slot)
+        tasks.finish()
+        parts_out = [out for out, _ in projected_parts]
+        parts_bytes = [sizes for _, sizes in projected_parts]
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
         return self._wrap_output(
@@ -749,38 +915,59 @@ class Executor:
                 child.column_ids, parts_out, SINGLE, row_bytes=bytes_out
             )
 
-        # hash repartition
-        balanced_assignment: Dict[tuple, int] = {}
-        for slot, part in enumerate(source_parts):
+        # hash repartition. Map tasks evaluate partition keys and charge
+        # the map side; the coordinator then scatters rows sequentially
+        # in (source slot, row) order — that order is what fixes both
+        # the per-target row order and the balanced first-seen key
+        # assignment — and reduce tasks charge the receive side. Both
+        # phases share one task set so every slot's float-addition chain
+        # stays whole.
+        tasks = self._partition_tasks(run, self.slots)
+
+        def map_side(slot, op):
+            part = source_parts[slot]
             cost = EvalCost()
-            child_bytes = child.partition_row_bytes(slot)
             moved = 0.0
+            keys = []
+            child_bytes = child.partition_row_bytes(slot)
             for i, row in enumerate(part):
                 view = child.view(row)
-                key = tuple(expr.evaluate(view, cost) for expr in node.keys)
+                keys.append(tuple(expr.evaluate(view, cost) for expr in node.keys))
+                moved += child_bytes[i]
+            op.charge_eval(slot, len(part), cost)
+            op.charge_disk(slot, moved)  # map output spill
+            op.charge_network(moved)
+            op.rows_in += len(part)
+            return keys
+
+        keyed = tasks.map(map_side, count=len(source_parts))
+        balanced_assignment: Dict[tuple, int] = {}
+        for slot, part in enumerate(source_parts):
+            child_bytes = child.partition_row_bytes(slot)
+            for i, key in enumerate(keyed[slot]):
                 if self.cluster.config.balanced_placement:
                     target = balanced_assignment.setdefault(
                         key, len(balanced_assignment) % self.slots
                     )
                 else:
                     target = stable_hash(key) % self.slots
-                parts_out[target].append(row)
+                parts_out[target].append(part[i])
                 bytes_out[target].append(child_bytes[i])
-                moved += child_bytes[i]
-            run.charge_eval(slot, len(part), cost)
-            run.charge_disk(slot, moved)  # map output spill
-            run.charge_network(moved)
-            run.rows_in += len(part)
-        for slot, rows in enumerate(parts_out):
+
+        def reduce_side(slot, op):
+            rows = parts_out[slot]
             received = sum(bytes_out[slot])
             # reduce-side staging above the budget spills before the read
-            if self._spill_state(run, slot, received):
+            if self._spill_state(op, slot, received):
                 rows = self._spill_roundtrip_rows(rows)
                 parts_out[slot] = rows
-            run.charge_disk(slot, received)  # reduce-side read
-            run.charge_cpu(slot, tuples=len(rows))
-            run.rows_out += len(rows)
-            run.bytes_out += received
+            op.charge_disk(slot, received)  # reduce-side read
+            op.charge_cpu(slot, tuples=len(rows))
+            op.rows_out += len(rows)
+            op.bytes_out += received
+
+        tasks.map(reduce_side)
+        tasks.finish()
         self.cluster.record(run)
         return DistributedRelation(
             child.column_ids, parts_out, node.partitioning, row_bytes=bytes_out
@@ -792,7 +979,6 @@ class Executor:
         run = self.cluster.operator("HashJoin")
 
         build_broadcast = build_rel.partitioning.kind == "broadcast"
-        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
         probe_parts, probe_was_broadcast = self._effective_partitions(probe_rel)
         if probe_was_broadcast:
             raise ExecutionError("hash join probe side cannot be broadcast")
@@ -806,8 +992,11 @@ class Executor:
             shared_bytes = build_rel.partition_total_bytes(0)
             if self._over_budget(shared_bytes):
                 shared_rows = self._spill_roundtrip_rows(shared_rows)
-        tables: List[Dict[tuple, List[tuple]]] = []
-        for slot in range(self.slots):
+        # build and probe share one task set: both phases of partition
+        # ``i`` charge the same per-task sub-run
+        tasks = self._partition_tasks(run, self.slots)
+
+        def build_slot(slot, op):
             if build_broadcast:
                 build_rows, build_bytes = shared_rows, shared_bytes
             else:
@@ -815,7 +1004,7 @@ class Executor:
                 build_bytes = build_rel.partition_total_bytes(slot)
                 if self._over_budget(build_bytes):
                     build_rows = self._spill_roundtrip_rows(build_rows)
-            self._spill_state(run, slot, build_bytes)
+            self._spill_state(op, slot, build_bytes)
             cost = EvalCost()
             table: Dict[tuple, List[tuple]] = {}
             for row in build_rows:
@@ -824,17 +1013,21 @@ class Executor:
                 if any(value is None for value in key):
                     continue
                 table.setdefault(_hashable(key), []).append(row)
-            run.charge_eval(slot, len(build_rows), cost)
-            tables.append(table)
-            run.rows_in += len(build_rows)
+            op.charge_eval(slot, len(build_rows), cost)
+            op.rows_in += len(build_rows)
+            return table
+
+        tables = tasks.map(build_slot)
 
         out_index = {
             column.column_id: i for i, column in enumerate(node.columns)
         }
-        for slot, rows in enumerate(probe_parts):
+
+        def probe_slot(slot, op):
+            rows = probe_parts[slot]
             cost = EvalCost()
             table = tables[slot]
-            out = parts_out[slot]
+            out: List[tuple] = []
             emitted = 0
             for row in rows:
                 view = probe_rel.view(row)
@@ -854,9 +1047,13 @@ class Executor:
                             continue
                     out.append(joined)
                     emitted += 1
-            run.charge_eval(slot, len(rows) + emitted, cost)
-            run.rows_in += len(rows)
-            run.rows_out += emitted
+            op.charge_eval(slot, len(rows) + emitted, cost)
+            op.rows_in += len(rows)
+            op.rows_out += emitted
+            return out
+
+        parts_out = tasks.map(probe_slot)
+        tasks.finish()
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
         return DistributedRelation(column_ids, parts_out, node.partitioning)
@@ -872,10 +1069,12 @@ class Executor:
         if probe_was_broadcast:
             raise ExecutionError("nested-loop probe side cannot be broadcast")
         out_index = {column.column_id: i for i, column in enumerate(node.columns)}
-        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
-        for slot, rows in enumerate(probe_parts):
+        tasks = self._partition_tasks(run, len(probe_parts))
+
+        def join_slot(slot, op):
+            rows = probe_parts[slot]
             cost = EvalCost()
-            out = parts_out[slot]
+            out: List[tuple] = []
             emitted = 0
             for row in rows:
                 for build_row in build_rows:
@@ -888,9 +1087,13 @@ class Executor:
                             continue
                     out.append(joined)
                     emitted += 1
-            run.charge_eval(slot, len(rows) * max(len(build_rows), 1) + emitted, cost)
-            run.rows_in += len(rows)
-            run.rows_out += emitted
+            op.charge_eval(slot, len(rows) * max(len(build_rows), 1) + emitted, cost)
+            op.rows_in += len(rows)
+            op.rows_out += emitted
+            return out
+
+        parts_out = tasks.map(join_slot)
+        tasks.finish()
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
         return DistributedRelation(column_ids, parts_out, node.partitioning)
@@ -901,8 +1104,10 @@ class Executor:
         parts_in, _ = self._effective_partitions(child)
         if child.partitioning.kind == "broadcast":
             raise ExecutionError("aggregating a broadcast relation")
-        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
-        for slot, rows in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def aggregate_slot(slot, op):
+            rows = parts_in[slot]
             cost = EvalCost()
             groups: Dict[tuple, list] = {}
             for row in rows:
@@ -929,7 +1134,7 @@ class Executor:
                         states[i] = spec.aggregate.add(states[i], value)
                         if value is not None:
                             cost.stream_bytes += value_bytes(value)
-            out = parts_out[slot]
+            out: List[tuple] = []
             for key, states in groups.values():
                 out.append(tuple(key) + tuple(states))
             # the group hash table is this operator's in-memory state;
@@ -937,13 +1142,17 @@ class Executor:
             # simulated in every mode — DISTINCT states are Python sets
             # whose iteration order would not survive a physical round
             # trip, and the final fold must stay bit-identical.
-            self._spill_state(run, slot, sum(row_bytes(row) for row in out))
+            self._spill_state(op, slot, sum(row_bytes(row) for row in out))
             # hash aggregation costs ~2x a plain per-tuple pass: hash the
             # key, probe the table, update the state (this is why the
             # paper's Figure 4 shows aggregation dominating the join)
-            run.charge_eval(slot, 2 * len(rows) + len(out), cost)
-            run.rows_in += len(rows)
-            run.rows_out += len(out)
+            op.charge_eval(slot, 2 * len(rows) + len(out), cost)
+            op.rows_in += len(rows)
+            op.rows_out += len(out)
+            return out
+
+        parts_out = tasks.map(aggregate_slot)
+        tasks.finish()
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
         return DistributedRelation(column_ids, parts_out, ROUND_ROBIN)
@@ -952,14 +1161,13 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator("FinalAggregate")
         key_count = len(node.group_columns)
-        parts_out: List[List[tuple]] = [[] for _ in range(self.slots)]
-        saw_rows = False
-        for slot, part in enumerate(child.partitions):
-            rows = partition_rows(part)
+        tasks = self._partition_tasks(run, len(child.partitions))
+
+        def merge_slot(slot, op):
+            rows = partition_rows(child.partitions[slot])
             cost = EvalCost()
             merged: Dict[tuple, list] = {}
             for row in rows:
-                saw_rows = True
                 key = row[:key_count]
                 states = row[key_count:]
                 bucket = merged.get(_hashable(key))
@@ -974,7 +1182,7 @@ class Executor:
                             existing[i] = spec.aggregate.merge(existing[i], states[i])
                 for state in states:
                     cost.stream_bytes += value_bytes(state) if state is not None else 1.0
-            out = parts_out[slot]
+            out: List[tuple] = []
             for key, states in merged.values():
                 finished = []
                 for spec, state in zip(node.aggregates, states):
@@ -985,9 +1193,15 @@ class Executor:
                         state = fold
                     finished.append(spec.aggregate.finish(state))
                 out.append(tuple(key) + tuple(finished))
-            run.charge_eval(slot, len(rows), cost)
-            run.rows_in += len(rows)
-            run.rows_out += len(out)
+            op.charge_eval(slot, len(rows), cost)
+            op.rows_in += len(rows)
+            op.rows_out += len(out)
+            return len(rows) > 0, out
+
+        merged_parts = tasks.map(merge_slot)
+        tasks.finish()
+        saw_rows = any(saw for saw, _ in merged_parts)
+        parts_out = [out for _, out in merged_parts]
         if key_count == 0 and not saw_rows:
             # SQL scalar aggregates yield exactly one row on empty input
             finished = []
@@ -1003,20 +1217,25 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator(f"Distinct({'local' if node.local else 'final'})")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[List[tuple]] = []
-        for slot, rows in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def distinct_slot(slot, op):
+            rows = parts_in[slot]
             seen = {}
             for row in rows:
                 seen.setdefault(_hashable(row), row)
             out = list(seen.values())
-            run.charge_cpu(
+            op.charge_cpu(
                 slot,
                 tuples=len(rows),
                 stream_bytes=child.partition_total_bytes(slot),
             )
-            run.rows_in += len(rows)
-            run.rows_out += len(out)
-            parts_out.append(out)
+            op.rows_in += len(rows)
+            op.rows_out += len(out)
+            return out
+
+        parts_out = tasks.map(distinct_slot)
+        tasks.finish()
         self.cluster.record(run)
         return self._wrap_output(
             child.column_ids, parts_out, was_broadcast, child.partitioning
@@ -1026,8 +1245,10 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator(f"Sort({'final' if node.final else 'local'})")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[List[tuple]] = []
-        for slot, rows in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def sort_slot(slot, op):
+            rows = parts_in[slot]
             ordered = list(rows)
             for expr, ascending in reversed(node.keys):
                 cost = EvalCost()
@@ -1035,14 +1256,17 @@ class Executor:
                     key=lambda row: _sort_key(expr.evaluate(child.view(row), cost)),
                     reverse=not ascending,
                 )
-                run.charge_eval(slot, 0, cost)
+                op.charge_eval(slot, 0, cost)
             if node.limit is not None:
                 ordered = ordered[: node.limit]
             comparisons = len(rows) * max(1.0, math.log2(len(rows) + 1))
-            run.charge_cpu(slot, tuples=comparisons)
-            run.rows_in += len(rows)
-            run.rows_out += len(ordered)
-            parts_out.append(ordered)
+            op.charge_cpu(slot, tuples=comparisons)
+            op.rows_in += len(rows)
+            op.rows_out += len(ordered)
+            return ordered
+
+        parts_out = tasks.map(sort_slot)
+        tasks.finish()
         self.cluster.record(run)
         return self._wrap_output(
             child.column_ids, parts_out, was_broadcast, child.partitioning
@@ -1083,16 +1307,17 @@ class Executor:
         use_columnar = (
             not predicates and not disk_mode and hasattr(storage, "columnar")
         )
-        parts: List[Batch] = []
-        for slot in range(self.slots):
+        tasks = self._partition_tasks(run, self.slots)
+
+        def scan_slot(slot, op):
             if use_columnar:
                 columns, sizes = storage.columnar(slot)
                 batch = Batch(column_ids, columns, len(sizes), row_bytes=sizes)
                 if hasattr(storage, "segments"):
-                    run.segments_scanned += len(storage.segments(slot))
+                    op.segments_scanned += len(storage.segments(slot))
             else:
                 rows, size_list = self._scan_partition(
-                    storage, slot, predicates, run
+                    storage, slot, predicates, op
                 )
                 batch = Batch.from_rows(
                     column_ids,
@@ -1100,11 +1325,14 @@ class Executor:
                     row_bytes=np.asarray(size_list, dtype=np.float64),
                 )
             scanned = batch.total_bytes()
-            run.charge_disk(slot, scanned)
-            run.charge_cpu(slot, tuples=batch.length)
-            run.rows_out += batch.length
-            run.bytes_out += scanned
-            parts.append(batch)
+            op.charge_disk(slot, scanned)
+            op.charge_cpu(slot, tuples=batch.length)
+            op.rows_out += batch.length
+            op.bytes_out += scanned
+            return batch
+
+        parts = tasks.map(scan_slot)
+        tasks.finish()
         run.rows_in = run.rows_out
         self.cluster.record(run)
         return DistributedRelation(column_ids, parts, node.partitioning)
@@ -1113,15 +1341,20 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator("Filter")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def filter_slot(slot, op):
+            batch = parts_in[slot]
             cost = EvalCost()
             mask = truth(node.predicate.evaluate_batch(batch, cost))
             kept = batch.filter(mask)
-            run.charge_eval(slot, batch.length, cost)
-            run.rows_in += batch.length
-            run.rows_out += kept.length
-            parts_out.append(kept)
+            op.charge_eval(slot, batch.length, cost)
+            op.rows_in += batch.length
+            op.rows_out += kept.length
+            return kept
+
+        parts_out = tasks.map(filter_slot)
+        tasks.finish()
         self.cluster.record(run)
         return self._wrap_output_batch(
             child.column_ids, parts_out, was_broadcast, child.partitioning
@@ -1132,16 +1365,21 @@ class Executor:
         run = self.cluster.operator("Project")
         parts_in, was_broadcast = self._effective_partitions(child)
         column_ids = [column.column_id for column in node.columns]
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def project_slot(slot, op):
+            batch = parts_in[slot]
             cost = EvalCost()
             columns = [expr.evaluate_batch(batch, cost) for expr in node.exprs]
             out = Batch(column_ids, columns, batch.length)
-            run.charge_eval(slot, batch.length, cost)
-            run.rows_in += batch.length
-            run.rows_out += out.length
-            run.bytes_out += out.total_bytes()
-            parts_out.append(out)
+            op.charge_eval(slot, batch.length, cost)
+            op.rows_in += batch.length
+            op.rows_out += out.length
+            op.bytes_out += out.total_bytes()
+            return out
+
+        parts_out = tasks.map(project_slot)
+        tasks.finish()
         self.cluster.record(run)
         return self._wrap_output_batch(
             column_ids, parts_out, was_broadcast, node.partitioning
@@ -1192,15 +1430,32 @@ class Executor:
             self.cluster.record(run)
             return DistributedRelation(child.column_ids, parts_out, SINGLE)
 
-        # hash repartition: vectorized key evaluation, per-row placement
+        # hash repartition: vectorized key evaluation, per-row placement.
+        # Map tasks evaluate keys and charge the map side; the
+        # coordinator buckets sequentially in (source slot, row) order —
+        # fixing the per-target batch order and the balanced first-seen
+        # key assignment — and reduce tasks concatenate and charge the
+        # receive side. Both phases share one task set.
         balanced = self.cluster.config.balanced_placement
         balanced_assignment: Dict[tuple, int] = {}
         scattered: List[List[Batch]] = [[] for _ in range(self.slots)]
-        for slot, batch in enumerate(source_parts):
+        tasks = self._partition_tasks(run, self.slots)
+
+        def map_side(slot, op):
+            batch = source_parts[slot]
             cost = EvalCost()
             keys = self._join_keys_batch(batch, node.keys, cost)
+            moved = batch.total_bytes()
+            op.charge_eval(slot, batch.length, cost)
+            op.charge_disk(slot, moved)  # map output spill
+            op.charge_network(moved)
+            op.rows_in += batch.length
+            return keys
+
+        keyed = tasks.map(map_side, count=len(source_parts))
+        for slot, batch in enumerate(source_parts):
             buckets: List[List[int]] = [[] for _ in range(self.slots)]
-            for i, key in enumerate(keys):
+            for i, key in enumerate(keyed[slot]):
                 if balanced:
                     target = balanced_assignment.setdefault(
                         key, len(balanced_assignment) % self.slots
@@ -1213,25 +1468,23 @@ class Executor:
                     scattered[target].append(
                         batch.take(np.asarray(indices, dtype=np.int64))
                     )
-            moved = batch.total_bytes()
-            run.charge_eval(slot, batch.length, cost)
-            run.charge_disk(slot, moved)  # map output spill
-            run.charge_network(moved)
-            run.rows_in += batch.length
-        parts_out = []
-        for slot in range(self.slots):
+
+        def reduce_side(slot, op):
             received_batch = Batch.concat(child.column_ids, scattered[slot])
             received = received_batch.total_bytes()
             # reduce-side staging above the budget spills before the read
-            if self._spill_state(run, slot, received):
+            if self._spill_state(op, slot, received):
                 received_batch = self._spill_roundtrip_batch(
                     received_batch, child.column_ids
                 )
-            run.charge_disk(slot, received)  # reduce-side read
-            run.charge_cpu(slot, tuples=received_batch.length)
-            run.rows_out += received_batch.length
-            run.bytes_out += received
-            parts_out.append(received_batch)
+            op.charge_disk(slot, received)  # reduce-side read
+            op.charge_cpu(slot, tuples=received_batch.length)
+            op.rows_out += received_batch.length
+            op.bytes_out += received
+            return received_batch
+
+        parts_out = tasks.map(reduce_side)
+        tasks.finish()
         self.cluster.record(run)
         return DistributedRelation(child.column_ids, parts_out, node.partitioning)
 
@@ -1293,9 +1546,10 @@ class Executor:
 
         # build per-slot hash tables; a broadcast build side is one shared
         # chunk, but the row path re-evaluates its keys on every slot, so
-        # the identical cost is charged per slot here as well
-        tables: List[Dict[tuple, List[int]]] = []
-        build_batches: List[Batch] = []
+        # the identical cost is charged per slot here as well. Build and
+        # probe share one task set: both phases of partition ``i`` charge
+        # the same per-task sub-run.
+        tasks = self._partition_tasks(run, self.slots)
         if build_broadcast:
             shared = build_rel.partitions[0]
             shared_bytes = build_rel.partition_total_bytes(0)
@@ -1304,29 +1558,34 @@ class Executor:
             shared_cost, shared_table = self._build_join_table(
                 shared, node.build_keys
             )
-            for slot in range(self.slots):
-                self._spill_state(run, slot, shared_bytes)
-                run.charge_eval(slot, shared.length, shared_cost)
-                run.rows_in += shared.length
-                tables.append(shared_table)
-                build_batches.append(shared)
+
+            def build_slot(slot, op):
+                self._spill_state(op, slot, shared_bytes)
+                op.charge_eval(slot, shared.length, shared_cost)
+                op.rows_in += shared.length
+                return shared_table, shared
+
         else:
-            for slot in range(self.slots):
+
+            def build_slot(slot, op):
                 batch = build_rel.partitions[slot]
                 build_bytes = build_rel.partition_total_bytes(slot)
                 if self._over_budget(build_bytes):
                     batch = self._spill_roundtrip_batch(
                         batch, build_rel.column_ids
                     )
-                self._spill_state(run, slot, build_bytes)
+                self._spill_state(op, slot, build_bytes)
                 cost, table = self._build_join_table(batch, node.build_keys)
-                run.charge_eval(slot, batch.length, cost)
-                run.rows_in += batch.length
-                tables.append(table)
-                build_batches.append(batch)
+                op.charge_eval(slot, batch.length, cost)
+                op.rows_in += batch.length
+                return table, batch
 
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(probe_parts):
+        built = tasks.map(build_slot)
+        tables = [table for table, _ in built]
+        build_batches = [batch for _, batch in built]
+
+        def probe_slot(slot, op):
+            batch = probe_parts[slot]
             cost = EvalCost()
             table = tables[slot]
             probe_indices: List[int] = []
@@ -1353,10 +1612,13 @@ class Executor:
             if node.residual is not None and joined.length:
                 residual_mask = truth(node.residual.evaluate_batch(joined, cost))
                 joined = joined.filter(residual_mask)
-            run.charge_eval(slot, batch.length + joined.length, cost)
-            run.rows_in += batch.length
-            run.rows_out += joined.length
-            parts_out.append(joined)
+            op.charge_eval(slot, batch.length + joined.length, cost)
+            op.rows_in += batch.length
+            op.rows_out += joined.length
+            return joined
+
+        parts_out = tasks.map(probe_slot)
+        tasks.finish()
         self.cluster.record(run)
         return DistributedRelation(column_ids, parts_out, node.partitioning)
 
@@ -1372,8 +1634,10 @@ class Executor:
             raise ExecutionError("nested-loop probe side cannot be broadcast")
         column_ids = [column.column_id for column in node.columns]
         build_count = build_batch.length
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(probe_parts):
+        tasks = self._partition_tasks(run, len(probe_parts))
+
+        def join_slot(slot, op):
+            batch = probe_parts[slot]
             cost = EvalCost()
             probe_count = batch.length
             # probe-major cross product, matching the row path's loop order
@@ -1394,12 +1658,15 @@ class Executor:
             if node.residual is not None and joined.length:
                 residual_mask = truth(node.residual.evaluate_batch(joined, cost))
                 joined = joined.filter(residual_mask)
-            run.charge_eval(
+            op.charge_eval(
                 slot, probe_count * max(build_count, 1) + joined.length, cost
             )
-            run.rows_in += probe_count
-            run.rows_out += joined.length
-            parts_out.append(joined)
+            op.rows_in += probe_count
+            op.rows_out += joined.length
+            return joined
+
+        parts_out = tasks.map(join_slot)
+        tasks.finish()
         self.cluster.record(run)
         return DistributedRelation(column_ids, parts_out, node.partitioning)
 
@@ -1411,8 +1678,10 @@ class Executor:
             raise ExecutionError("aggregating a broadcast relation")
         column_ids = [column.column_id for column in node.columns]
         specs = node.aggregates
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def aggregate_slot(slot, op):
+            batch = parts_in[slot]
             cost = EvalCost()
             key_lists = [
                 expr.evaluate_batch(batch, cost).pylist()
@@ -1448,12 +1717,15 @@ class Executor:
             # the DISTINCT-state note there); the sequential sum visits
             # rows in the identical first-seen group order
             self._spill_state(
-                run, slot, sum(row_bytes(row) for row in out_rows)
+                op, slot, sum(row_bytes(row) for row in out_rows)
             )
-            parts_out.append(Batch.from_rows(column_ids, out_rows))
-            run.charge_eval(slot, 2 * batch.length + len(out_rows), cost)
-            run.rows_in += batch.length
-            run.rows_out += len(out_rows)
+            op.charge_eval(slot, 2 * batch.length + len(out_rows), cost)
+            op.rows_in += batch.length
+            op.rows_out += len(out_rows)
+            return Batch.from_rows(column_ids, out_rows)
+
+        parts_out = tasks.map(aggregate_slot)
+        tasks.finish()
         self.cluster.record(run)
         return DistributedRelation(column_ids, parts_out, ROUND_ROBIN)
 
@@ -1516,15 +1788,14 @@ class Executor:
         run = self.cluster.operator("FinalAggregate")
         key_count = len(node.group_columns)
         column_ids = [column.column_id for column in node.columns]
-        parts_out: List[Batch] = []
-        saw_rows = False
-        for slot, part in enumerate(child.partitions):
+        tasks = self._partition_tasks(run, len(child.partitions))
+
+        def merge_slot(slot, op):
             # state merging is inherently value-at-a-time; materialize rows
-            rows = partition_rows(part)
+            rows = partition_rows(child.partitions[slot])
             cost = EvalCost()
             merged: Dict[tuple, list] = {}
             for row in rows:
-                saw_rows = True
                 key = row[:key_count]
                 states = row[key_count:]
                 bucket = merged.get(_hashable(key))
@@ -1550,10 +1821,15 @@ class Executor:
                         state = fold
                     finished.append(spec.aggregate.finish(state))
                 out_rows.append(tuple(key) + tuple(finished))
-            run.charge_eval(slot, len(rows), cost)
-            run.rows_in += len(rows)
-            run.rows_out += len(out_rows)
-            parts_out.append(Batch.from_rows(column_ids, out_rows))
+            op.charge_eval(slot, len(rows), cost)
+            op.rows_in += len(rows)
+            op.rows_out += len(out_rows)
+            return len(rows) > 0, Batch.from_rows(column_ids, out_rows)
+
+        merged_parts = tasks.map(merge_slot)
+        tasks.finish()
+        saw_rows = any(saw for saw, _ in merged_parts)
+        parts_out = [batch for _, batch in merged_parts]
         if key_count == 0 and not saw_rows:
             # SQL scalar aggregates yield exactly one row on empty input
             finished = []
@@ -1568,8 +1844,10 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator(f"Distinct({'local' if node.local else 'final'})")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def distinct_slot(slot, op):
+            batch = parts_in[slot]
             rows = batch.rows()
             seen: Dict[tuple, int] = {}
             keep: List[int] = []
@@ -1578,12 +1856,15 @@ class Executor:
                     seen[_hashable(row)] = i
                     keep.append(i)
             out = batch.take(np.asarray(keep, dtype=np.int64))
-            run.charge_cpu(
+            op.charge_cpu(
                 slot, tuples=batch.length, stream_bytes=batch.total_bytes()
             )
-            run.rows_in += batch.length
-            run.rows_out += out.length
-            parts_out.append(out)
+            op.rows_in += batch.length
+            op.rows_out += out.length
+            return out
+
+        parts_out = tasks.map(distinct_slot)
+        tasks.finish()
         self.cluster.record(run)
         return self._wrap_output_batch(
             child.column_ids, parts_out, was_broadcast, child.partitioning
@@ -1593,8 +1874,10 @@ class Executor:
         child = self.execute(node.child)
         run = self.cluster.operator(f"Sort({'final' if node.final else 'local'})")
         parts_in, was_broadcast = self._effective_partitions(child)
-        parts_out: List[Batch] = []
-        for slot, batch in enumerate(parts_in):
+        tasks = self._partition_tasks(run, len(parts_in))
+
+        def sort_slot(slot, op):
+            batch = parts_in[slot]
             order = list(range(batch.length))
             for expr, ascending in reversed(node.keys):
                 cost = EvalCost()
@@ -1603,15 +1886,18 @@ class Executor:
                     for value in expr.evaluate_batch(batch, cost).pylist()
                 ]
                 order.sort(key=sort_keys.__getitem__, reverse=not ascending)
-                run.charge_eval(slot, 0, cost)
+                op.charge_eval(slot, 0, cost)
             if node.limit is not None:
                 order = order[: node.limit]
             out = batch.take(np.asarray(order, dtype=np.int64))
             comparisons = batch.length * max(1.0, math.log2(batch.length + 1))
-            run.charge_cpu(slot, tuples=comparisons)
-            run.rows_in += batch.length
-            run.rows_out += out.length
-            parts_out.append(out)
+            op.charge_cpu(slot, tuples=comparisons)
+            op.rows_in += batch.length
+            op.rows_out += out.length
+            return out
+
+        parts_out = tasks.map(sort_slot)
+        tasks.finish()
         self.cluster.record(run)
         return self._wrap_output_batch(
             child.column_ids, parts_out, was_broadcast, child.partitioning

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
@@ -102,13 +103,18 @@ class FaultInjector:
     """Reproducible fault draws plus cumulative counters.
 
     Stateless with respect to the draws themselves (every decision is a
-    hash of its coordinates), stateful only in the ``events`` counters
-    the benchmark reads across queries.
+    hash of its coordinates — per-statement operator index, partition
+    and attempt, never thread identity — so injection is independent of
+    real scheduling), stateful only in the ``events`` counters the
+    benchmark reads across queries. One injector is shared by every
+    executor of a database, so the counters are guarded by a lock:
+    concurrently admitted statements count faults at the same time.
     """
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.events: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     # -- draws -------------------------------------------------------------
 
@@ -122,7 +128,8 @@ class FaultInjector:
         return int.from_bytes(hasher.digest(), "little") / _SCALE
 
     def count(self, kind: str, n: int = 1) -> None:
-        self.events[kind] = self.events.get(kind, 0) + n
+        with self._lock:
+            self.events[kind] = self.events.get(kind, 0) + n
 
     def crash_fraction(
         self, op_index: int, slot: int, attempt: int
@@ -159,7 +166,9 @@ class FaultInjector:
 
     @property
     def total_events(self) -> int:
-        return sum(self.events.values())
+        with self._lock:
+            return sum(self.events.values())
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self.events)
+        with self._lock:
+            return dict(self.events)

@@ -17,6 +17,7 @@ expression slots.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -210,20 +211,38 @@ class ParamCell:
 
     Prepared statements and the plan cache bind parameters to cells
     instead of inlining them as literals, so a plan compiled once can be
-    re-executed with fresh values — the service layer writes the cells
-    immediately before each execution (execution is single-threaded per
-    database, so the shared cells are safe)."""
+    re-executed with fresh values. The binding is **thread-local**:
+    statements admitted through the database's reader–writer gate
+    genuinely execute concurrently, and two threads re-binding one
+    cached plan's cells must not observe each other's values. The
+    executor snapshots the coordinator thread's bindings at ``run()``
+    time and re-installs them inside each partition task (partition
+    tasks run on pool threads, which would otherwise see the cell
+    unbound — or worse, a stale binding from an earlier statement)."""
 
-    __slots__ = ("name", "value", "bound")
+    __slots__ = ("name", "_local")
 
     def __init__(self, name: str):
         self.name = name
-        self.value = None
-        self.bound = False
+        self._local = threading.local()
+
+    @property
+    def value(self):
+        return getattr(self._local, "value", None)
+
+    @property
+    def bound(self) -> bool:
+        return getattr(self._local, "bound", False)
 
     def set(self, value) -> None:
-        self.value = value
-        self.bound = True
+        self._local.value = value
+        self._local.bound = True
+
+    def clear(self) -> None:
+        """Drop this thread's binding (stale values must not leak into
+        a later statement executing on the same pool thread)."""
+        self._local.value = None
+        self._local.bound = False
 
     def __repr__(self):
         return f"ParamCell(:{self.name}={self.value!r})"

@@ -20,9 +20,15 @@ DELETE  /jobs/<id>              drop the job and release its result
 **Concurrency model.** The event loop only parses HTTP and JSON; every
 statement runs on a fixed pool of ``ClusterConfig.worker_threads`` real
 threads (``run_in_executor``) driving the thread-safe
-:class:`QueryService`, whose lock serializes planning + simulated
-execution. Two load-shedding layers sit in front of the pool, both
-answering 429 with a ``Retry-After`` header:
+:class:`QueryService`. Worker threads genuinely overlap on read
+statements: the service releases its lock around cluster execution and
+the database's reader–writer admission gate runs concurrent SELECTs
+against a stable catalog snapshot (DDL/DML still admits exclusively).
+Inside each statement, operators additionally fan their partition work
+out to the engine's task pool when
+``ClusterConfig.intra_query_parallelism`` > 1. Two load-shedding layers
+sit in front of the pool, both answering 429 with a ``Retry-After``
+header:
 
 * a server-wide in-flight cap (``ServerConfig.max_inflight``) bounding
   concurrently admitted requests, and

@@ -1,8 +1,10 @@
 """Admission control and the multi-tenant fair-share slot scheduler.
 
-The simulated cluster executes one statement at a time in *process*
-time, but the service layer multiplexes many logical clients onto it in
-*simulated* time. The model is gang scheduling: the cluster's slots are
+Admitted statements genuinely overlap in *process* time (the database's
+reader–writer gate admits any number of concurrent reads, each on its
+own executor), while the service layer multiplexes many logical clients
+onto the simulated cluster in *simulated* time. The scheduler models
+the simulated side as gang scheduling: the cluster's slots are
 carved into ``max_concurrency`` equal gangs, one admitted query per
 gang. A query's service demand on a gang is::
 

@@ -223,12 +223,17 @@ class QueryService:
     """Multi-session serving facade over one database.
 
     Thread-safe: the network serving layer (``repro.server``) drives
-    one service instance from a pool of real worker threads. A single
-    reentrant lock serializes planning, execution, and scheduler state;
-    the plan cache, scheduler, breaker, and metrics additionally own
-    their component locks so they stay safe when used standalone. The
-    lock-discipline lint (``tests/test_lock_discipline.py``) audits
-    that every post-construction attribute write holds the owning lock.
+    one service instance from a pool of real worker threads. The
+    service's reentrant lock guards planning and scheduler/session/
+    breaker state, but it is *released* around cluster execution in
+    :meth:`submit_select` — admitted read statements from different
+    worker threads genuinely overlap, serialized only by the database's
+    reader–writer admission gate (shared for SELECTs, exclusive for
+    DDL/DML). The plan cache, scheduler, breaker, and metrics
+    additionally own their component locks so they stay safe when used
+    standalone. The lock-discipline lint
+    (``tests/test_lock_discipline.py``) audits that every
+    post-construction attribute write holds the owning lock.
     """
 
     def __init__(
@@ -379,70 +384,77 @@ class QueryService:
         Raises :class:`ServiceOverloadedError` when the admission queue
         is full or the circuit breaker is open, and
         :class:`QueryTimeoutError` when the query's own service demand
-        already exceeds the per-query timeout."""
-        with self._lock:
-            return self._submit_select_locked(
-                session, sql, statement, params, arrival
-            )
+        already exceeds the per-query timeout.
 
-    def _submit_select_locked(
-        self,
-        session: Session,
-        sql: str,
-        statement: ast.SelectStatement,
-        params: Dict[str, object],
-        arrival: Optional[float] = None,
-    ) -> PendingQuery:
-        session.last_used = self._time()
-        if arrival is None:
-            arrival = session.clock
-        self.breaker.check(max(arrival, self.scheduler.clock))
-        plan, cache_hit, compile_seconds = self._plan(session, sql, statement, params)
-        budget = self.config.memory_budget_bytes
-        if budget is not None:
-            demand = self._estimate_peak_bytes(plan.physical)
-            if demand > budget:
+        The service lock is held for planning and for scheduler/breaker
+        bookkeeping but *released* around cluster execution, so read
+        statements from different worker threads genuinely overlap: the
+        database's admission gate (shared for SELECTs) and the engine's
+        per-statement executors make that safe, and parameter bindings
+        travel as thread-local cells snapshotted by the executing
+        thread."""
+        with self._lock:
+            session.last_used = self._time()
+            if arrival is None:
+                arrival = session.clock
+            self.breaker.check(max(arrival, self.scheduler.clock))
+            plan, cache_hit, compile_seconds = self._plan(
+                session, sql, statement, params
+            )
+            budget = self.config.memory_budget_bytes
+            if budget is not None:
+                demand = self._estimate_peak_bytes(plan.physical)
+                if demand > budget:
+                    self.metrics.observe_rejection(session.name)
+                    self.breaker.record_rejection(self.scheduler.clock)
+                    raise ServiceOverloadedError(
+                        f"estimated per-slot working set "
+                        f"{demand / 1e6:.2f} MB exceeds the admission memory "
+                        f"budget {budget / 1e6:.2f} MB"
+                    )
+        # execute WITHOUT the service lock: concurrent submitters overlap
+        # here (the expensive part); everything below re-acquires it
+        result = self.db._execute_physical(
+            plan.logical, plan.physical, param_cells=plan.param_cells
+        )
+        with self._lock:
+            metrics = result.metrics
+            metrics.compile_seconds = compile_seconds
+            # gang model: operator work stretches on slots/M cores, per-job
+            # startup does not (see service.scheduler)
+            stretch = metrics.operator_seconds * (
+                self.scheduler.max_concurrency - 1
+            )
+            service_seconds = compile_seconds + metrics.total_seconds + stretch
+            timeout = self.config.query_timeout_s
+            if timeout is not None and service_seconds > timeout:
+                # can never finish in budget even with zero queueing:
+                # fail fast instead of occupying a gang
+                self.metrics.observe_timeout(session.name)
+                raise QueryTimeoutError(
+                    f"query needs {service_seconds:.3f}s of service, over the "
+                    f"{timeout:.3f}s per-query timeout",
+                    timeout_s=timeout,
+                    elapsed_s=service_seconds,
+                )
+            try:
+                ticket = self.scheduler.submit(
+                    session.name, service_seconds, arrival
+                )
+            except ServiceOverloadedError:
                 self.metrics.observe_rejection(session.name)
                 self.breaker.record_rejection(self.scheduler.clock)
-                raise ServiceOverloadedError(
-                    f"estimated per-slot working set "
-                    f"{demand / 1e6:.2f} MB exceeds the admission memory "
-                    f"budget {budget / 1e6:.2f} MB"
-                )
-        result = self.db._execute_physical(plan.logical, plan.physical)
-        metrics = result.metrics
-        metrics.compile_seconds = compile_seconds
-        # gang model: operator work stretches on slots/M cores, per-job
-        # startup does not (see service.scheduler)
-        stretch = metrics.operator_seconds * (self.scheduler.max_concurrency - 1)
-        service_seconds = compile_seconds + metrics.total_seconds + stretch
-        timeout = self.config.query_timeout_s
-        if timeout is not None and service_seconds > timeout:
-            # can never finish in budget even with zero queueing:
-            # fail fast instead of occupying a gang
-            self.metrics.observe_timeout(session.name)
-            raise QueryTimeoutError(
-                f"query needs {service_seconds:.3f}s of service, over the "
-                f"{timeout:.3f}s per-query timeout",
-                timeout_s=timeout,
-                elapsed_s=service_seconds,
-            )
-        try:
-            ticket = self.scheduler.submit(session.name, service_seconds, arrival)
-        except ServiceOverloadedError:
-            self.metrics.observe_rejection(session.name)
-            self.breaker.record_rejection(self.scheduler.clock)
-            raise
-        self.breaker.record_success()
-        metrics.stretch_seconds = stretch
-        pending = PendingQuery(session, sql, result, ticket, cache_hit)
-        self._inflight[ticket.seq] = pending
-        if ticket.finish is not None:
-            # started immediately; timing fully known. It stays in
-            # _inflight so next_completion() still delivers it exactly
-            # once (unless a wait() claims it first).
-            self._finalize(pending)
-        return pending
+                raise
+            self.breaker.record_success()
+            metrics.stretch_seconds = stretch
+            pending = PendingQuery(session, sql, result, ticket, cache_hit)
+            self._inflight[ticket.seq] = pending
+            if ticket.finish is not None:
+                # started immediately; timing fully known. It stays in
+                # _inflight so next_completion() still delivers it exactly
+                # once (unless a wait() claims it first).
+                self._finalize(pending)
+            return pending
 
     def wait(self, pending: PendingQuery) -> Result:
         """Advance the simulation until ``pending`` completes and claim

@@ -13,10 +13,16 @@ The byte currency is the engine's *serialized* row-size accounting
 charges, so the pool budget and the spill threshold speak the same
 units. Hit/miss/eviction counters feed ``QueryMetrics`` and
 ``QueryService.stats()``.
+
+One pool is shared by every concurrently admitted statement (and by the
+partition tasks inside each), so every public method takes the pool's
+lock; pin counts, LRU order, and the byte total are only ever mutated
+under it.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional
 
@@ -39,63 +45,77 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def total_bytes(self) -> float:
+        with self._lock:
+            return self._total_bytes_locked()
+
+    def _total_bytes_locked(self) -> float:
         return sum(entry.nbytes for entry in self._entries.values())
 
     def pins(self, key: Hashable) -> int:
-        entry = self._entries.get(key)
-        return entry.pins if entry is not None else 0
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.pins if entry is not None else 0
 
     def acquire(self, key: Hashable):
         """Look up and pin; returns the payload on a hit, None on a miss
         (the caller should decode and :meth:`insert`)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        entry.pins += 1
-        self._entries.move_to_end(key)
-        return entry.payload
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            entry.pins += 1
+            self._entries.move_to_end(key)
+            return entry.payload
 
     def insert(self, key: Hashable, payload, nbytes: float) -> None:
         """Add a decoded payload, pinned once for the inserting reader
         (pair with :meth:`release`)."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            # raced with another reader of the same segment; share it
-            entry.pins += 1
-            self._entries.move_to_end(key)
-            return
-        self._entries[key] = _Entry(payload, float(nbytes), 1)
-        self._evict()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # raced with another reader of the same segment; share it
+                entry.pins += 1
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = _Entry(payload, float(nbytes), 1)
+            self._evict()
 
     def release(self, key: Hashable) -> None:
         """Drop one pin; over-budget unpinned entries become evictable."""
-        entry = self._entries.get(key)
-        if entry is None:
-            return
-        entry.pins = max(0, entry.pins - 1)
-        self._evict()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            entry.pins = max(0, entry.pins - 1)
+            self._evict()
 
     def invalidate(self, key: Hashable) -> None:
         """Remove an entry whose backing segment was deleted (table
         rewrite); not counted as an eviction."""
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _evict(self) -> None:
-        while self.total_bytes > self.budget_bytes:
+        # callers hold self._lock
+        while self._total_bytes_locked() > self.budget_bytes:
             victim = None
             for key, entry in self._entries.items():  # LRU order
                 if entry.pins == 0:
@@ -107,11 +127,12 @@ class BufferPool:
             self.evictions += 1
 
     def stats(self) -> Dict[str, float]:
-        return {
-            "budget_bytes": self.budget_bytes,
-            "resident_bytes": self.total_bytes,
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "budget_bytes": self.budget_bytes,
+                "resident_bytes": self._total_bytes_locked(),
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

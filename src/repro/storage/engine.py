@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from ..config import ClusterConfig
@@ -45,22 +46,31 @@ class StorageEngine:
         #: cumulative spill accounting across queries (service stats)
         self.spilled_bytes = 0.0
         self.spill_events = 0
+        # one engine is shared by all concurrently admitted statements;
+        # the lock guards the counters and lazy tempdir (assigned last)
+        self._lock = threading.RLock()
 
     @property
     def root(self) -> str:
         """The segment/spill file directory, created on first use."""
-        if self._tempdir is None:
-            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-segments-")
-        return self._tempdir.name
+        with self._lock:
+            if self._tempdir is None:
+                self._tempdir = tempfile.TemporaryDirectory(
+                    prefix="repro-segments-"
+                )
+            return self._tempdir.name
 
     def allocate_segment_path(self, stem: str) -> str:
-        self._counter += 1
+        with self._lock:
+            self._counter += 1
+            counter = self._counter
         safe = "".join(c if c.isalnum() else "_" for c in stem) or "seg"
-        return os.path.join(self.root, f"{safe}-{self._counter:08d}.seg")
+        return os.path.join(self.root, f"{safe}-{counter:08d}.seg")
 
     def note_spill(self, nbytes: float) -> None:
-        self.spilled_bytes += nbytes
-        self.spill_events += 1
+        with self._lock:
+            self.spilled_bytes += nbytes
+            self.spill_events += 1
 
     def spill_roundtrip(self, rows: Sequence[tuple]) -> List[tuple]:
         """Physically write spilled operator state through the segment
@@ -82,17 +92,19 @@ class StorageEngine:
 
     def stats(self) -> Dict[str, object]:
         """The storage block of ``QueryService.stats()``."""
-        out: Dict[str, object] = {
-            "mode": self.mode,
-            "budget_bytes": self.budget_bytes,
-            "spilled_bytes": self.spilled_bytes,
-            "spill_events": self.spill_events,
-        }
+        with self._lock:
+            out: Dict[str, object] = {
+                "mode": self.mode,
+                "budget_bytes": self.budget_bytes,
+                "spilled_bytes": self.spilled_bytes,
+                "spill_events": self.spill_events,
+            }
         if self.buffer_pool is not None:
             out["buffer_pool"] = self.buffer_pool.stats()
         return out
 
     def close(self) -> None:
-        if self._tempdir is not None:
-            self._tempdir.cleanup()
-            self._tempdir = None
+        with self._lock:
+            tempdir, self._tempdir = self._tempdir, None
+        if tempdir is not None:
+            tempdir.cleanup()

@@ -1,0 +1,397 @@
+"""Partition-parallel execution equivalence and admission-gate coverage.
+
+The contract (docs/ENGINE.md): ``ClusterConfig.intra_query_parallelism``
+is a pure dispatch optimization. For any query, any parallelism level
+must produce identical result rows (same order) and *bit-identical*
+simulated :class:`QueryMetrics` — including the per-slot busy-second
+chains — across execution modes, storage modes, and under an active
+:class:`FaultPlan`. The reader–writer :class:`AdmissionGate` replaces
+the old global exec lock; its unit tests and the
+``set_execution_mode``-vs-in-flight-statement regression live here too.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, TEST_CLUSTER
+from repro.admission import AdmissionGate
+from repro.faults import DEFAULT_FAULT_PLAN, FaultPlan
+from repro.types import Vector
+
+PARALLELISMS = (1, 2, 8)
+
+TABLE_A_ROWS = [(i % 7, float(i) - 3.5, i % 3) for i in range(40)]
+TABLE_B_ROWS = [(i % 5, float(i * 2)) for i in range(15)]
+VECTOR_DIM = 4
+TABLE_V_ROWS = [
+    (i, i % 3, Vector([float(i + j * j) - 5.0 for j in range(VECTOR_DIM)]))
+    for i in range(24)
+]
+
+QUERIES = (
+    # exchange + hash join + grouped aggregate (multi-phase operators)
+    "SELECT ta.g, COUNT(*), SUM(ta.x + tb.y) FROM ta, tb "
+    "WHERE ta.k = tb.k GROUP BY ta.g",
+    # scan + filter + project
+    "SELECT ta.k, ta.x * 2 + 1 FROM ta WHERE ta.x > 0",
+    # Gram-style vector aggregate (the paper's workload)
+    "SELECT t.g, SUM(outer_product(t.v, t.v)), COUNT(*) "
+    "FROM tv AS t GROUP BY t.g",
+    # distinct and sort/limit tails
+    "SELECT DISTINCT ta.g FROM ta",
+    "SELECT t.id, inner_product(t.v, t.v) FROM tv AS t ORDER BY id LIMIT 10",
+)
+
+
+def _db(mode="batch", storage="memory", parallelism=1, fault_plan=None):
+    config = TEST_CLUSTER.with_updates(
+        execution_mode=mode,
+        storage_mode=storage,
+        intra_query_parallelism=parallelism,
+        fault_plan=fault_plan,
+    )
+    db = Database(config)
+    db.execute("CREATE TABLE ta (k INTEGER, x DOUBLE, g INTEGER)")
+    db.execute("CREATE TABLE tb (k INTEGER, y DOUBLE)")
+    db.execute("CREATE TABLE tv (id INTEGER, g INTEGER, v VECTOR[])")
+    db.load("ta", TABLE_A_ROWS)
+    db.load("tb", TABLE_B_ROWS)
+    db.load("tv", TABLE_V_ROWS)
+    return db
+
+
+def _fingerprint(metrics):
+    """Every simulated number an operator charges, bit-for-bit —
+    including the per-slot busy-second chains the parallel dispatcher
+    must reassemble in exact partition order."""
+    return (
+        metrics.jobs,
+        metrics.startup_seconds,
+        metrics.total_seconds,
+        metrics.recovery_seconds,
+        metrics.wasted_seconds,
+        metrics.speculative_seconds,
+        tuple(sorted(metrics.fault_events.items())),
+        tuple(
+            (
+                op.name,
+                op.rows_in,
+                op.rows_out,
+                op.bytes_out,
+                op.wall_seconds,
+                op.max_worker_seconds,
+                op.mean_worker_seconds,
+                op.network_bytes,
+                op.slot_seconds,
+                op.spill_bytes,
+                op.spill_events,
+                op.segments_pruned,
+                op.segments_scanned,
+                op.peak_memory_bytes,
+            )
+            for op in metrics.operators
+        ),
+    )
+
+
+def _run(sql, **kwargs):
+    db = _db(**kwargs)
+    try:
+        result = db.execute(sql)
+        return result.rows, _fingerprint(result.metrics)
+    finally:
+        db.cluster.close_task_pool()
+
+
+def _assert_parallelism_invisible(sql, **kwargs):
+    baseline_rows, baseline_print = _run(sql, parallelism=1, **kwargs)
+    for parallelism in PARALLELISMS[1:]:
+        rows, print_ = _run(sql, parallelism=parallelism, **kwargs)
+        assert rows == baseline_rows, (sql, parallelism)
+        assert print_ == baseline_print, (sql, parallelism)
+
+
+# -- bit-identity across the parallelism knob --------------------------------
+
+
+class TestParallelismEquivalence:
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    @pytest.mark.parametrize("storage", ["memory", "disk"])
+    def test_fixed_queries_agree(self, mode, storage):
+        for sql in QUERIES:
+            _assert_parallelism_invisible(sql, mode=mode, storage=storage)
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_agree_under_faults(self, mode):
+        """Fault draws are keyed by (seed, kind, operator, partition,
+        attempt) — never by thread identity — so injection, recovery
+        timings, and retries are schedule-independent."""
+        for sql in QUERIES[:3]:
+            _assert_parallelism_invisible(
+                sql, mode=mode, fault_plan=DEFAULT_FAULT_PLAN
+            )
+
+    def test_agree_under_heavy_faults_on_disk(self):
+        plan = FaultPlan(
+            seed=7,
+            slot_crash_rate=0.15,
+            lost_partition_rate=0.15,
+            transient_error_rate=0.1,
+            straggler_rate=0.2,
+        )
+        _assert_parallelism_invisible(
+            QUERIES[0], mode="batch", storage="disk", fault_plan=plan
+        )
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        join=st.booleans(),
+        grouped=st.booleans(),
+        op=st.sampled_from(["=", "<>", "<", ">", "<=", ">="]),
+        threshold=st.integers(-4, 40),
+    )
+    def test_randomized_queries_agree(self, join, grouped, op, threshold):
+        if join:
+            select = (
+                "ta.g, COUNT(*), SUM(ta.x + tb.y)" if grouped
+                else "ta.k, ta.x, tb.y"
+            )
+            tail = " GROUP BY ta.g" if grouped else ""
+            sql = (
+                f"SELECT {select} FROM ta, tb "
+                f"WHERE ta.k = tb.k AND ta.x {op} {threshold}{tail}"
+            )
+        else:
+            select = (
+                "ta.g, SUM(ta.x), MIN(ta.k), MAX(ta.x), COUNT(*)"
+                if grouped
+                else "ta.k, ta.x * 2 + 1"
+            )
+            tail = " GROUP BY ta.g" if grouped else ""
+            sql = f"SELECT {select} FROM ta WHERE ta.x {op} {threshold}{tail}"
+        _assert_parallelism_invisible(sql)
+
+
+# -- concurrent statements stay deterministic --------------------------------
+
+
+class TestConcurrentStatements:
+    def test_concurrent_selects_match_serial_execution(self):
+        """Many real threads on one database: every statement must see
+        exactly the rows and bit-identical simulated metrics it gets
+        when run alone — concurrency (and a DDL writer churning other
+        tables) must be invisible."""
+        db = _db(parallelism=2)
+        try:
+            references = {
+                sql: (db.execute(sql).rows, _fingerprint(db.execute(sql).metrics))
+                for sql in QUERIES[:3]
+            }
+            errors = []
+            mismatches = []
+
+            def reader(n):
+                try:
+                    for sql in QUERIES[:3]:
+                        result = db.execute(sql)
+                        got = (result.rows, _fingerprint(result.metrics))
+                        if got != references[sql]:
+                            mismatches.append((n, sql))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+
+            def writer():
+                try:
+                    for round_ in range(4):
+                        db.execute(f"CREATE TABLE scratch{round_} (i INTEGER)")
+                        db.load(f"scratch{round_}", [(i,) for i in range(5)])
+                        db.execute(f"DROP TABLE scratch{round_}")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=reader, args=(n,)) for n in range(4)
+            ]
+            threads.append(threading.Thread(target=writer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert mismatches == []
+            stats = db._admission.stats()
+            assert stats["shared_admissions"] >= 12
+            assert stats["exclusive_admissions"] >= 8
+        finally:
+            db.cluster.close_task_pool()
+
+
+# -- the set_execution_mode race (regression) --------------------------------
+
+
+class TestSetExecutionModeRace:
+    def test_swap_waits_for_inflight_statements(self):
+        """``set_execution_mode`` used to swap ``Database._executor``
+        without any exclusion; it now takes the exclusive admission
+        path, so it blocks until in-flight statements drain and no
+        statement ever observes a half-swapped executor."""
+        db = _db()
+        db._admission.acquire_shared()  # simulate an in-flight SELECT
+        swapped = threading.Event()
+
+        def swap():
+            db.set_execution_mode("row")
+            swapped.set()
+
+        thread = threading.Thread(target=swap)
+        thread.start()
+        try:
+            assert not swapped.wait(0.2)  # blocked behind the reader
+            assert db.execution_mode == "batch"
+        finally:
+            db._admission.release_shared()
+            thread.join(5)
+        assert swapped.is_set()
+        assert db.execution_mode == "row"
+        assert db.execute("SELECT ta.k FROM ta WHERE ta.k = 0").rows
+
+    def test_swap_is_atomic_under_concurrent_queries(self):
+        db = _db()
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    db.execute("SELECT SUM(ta.x) FROM ta")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+                    return
+
+        threads = [threading.Thread(target=churn) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for mode in ("row", "batch", "row", "batch"):
+                db.set_execution_mode(mode)
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert db.execution_mode == "batch"
+
+
+# -- AdmissionGate unit coverage ---------------------------------------------
+
+
+class TestAdmissionGate:
+    def test_readers_overlap(self):
+        gate = AdmissionGate()
+        inside = threading.Barrier(2, timeout=5)
+
+        def read():
+            with gate.shared():
+                inside.wait()  # both threads inside simultaneously
+
+        threads = [threading.Thread(target=read) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5)
+        assert gate.stats()["shared_admissions"] == 2
+        assert gate.stats()["active_readers"] == 0
+
+    def test_writer_excludes_readers_and_writers(self):
+        gate = AdmissionGate()
+        gate.acquire_shared()
+        entered = threading.Event()
+
+        def write():
+            with gate.exclusive():
+                entered.set()
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        try:
+            assert not entered.wait(0.1)  # reader still in flight
+        finally:
+            gate.release_shared()
+        thread.join(5)
+        assert entered.is_set()
+
+    def test_reentrant_shared_and_exclusive(self):
+        gate = AdmissionGate()
+        with gate.shared():
+            with gate.shared():
+                assert gate.stats()["active_readers"] == 1
+        with gate.exclusive():
+            with gate.exclusive():
+                assert gate.stats()["writer_active"] == 1
+        assert gate.stats()["active_readers"] == 0
+        assert gate.stats()["writer_active"] == 0
+
+    def test_writer_may_read(self):
+        """CTAS/INSERT..SELECT: the exclusive holder runs its inner
+        SELECT through the shared path without deadlocking."""
+        gate = AdmissionGate()
+        with gate.exclusive():
+            with gate.shared():
+                assert gate.stats()["writer_active"] == 1
+
+    def test_shared_to_exclusive_upgrade_raises(self):
+        gate = AdmissionGate()
+        with gate.shared():
+            with pytest.raises(RuntimeError):
+                gate.acquire_exclusive()
+
+    def test_writer_preference_blocks_new_readers(self):
+        """Once a writer waits, new readers queue behind it — a steady
+        stream of queries cannot starve DDL."""
+        gate = AdmissionGate()
+        gate.acquire_shared()
+        writer_done = threading.Event()
+        late_reader_admitted = threading.Event()
+        order = []
+
+        def write():
+            with gate.exclusive():
+                order.append("writer")
+            writer_done.set()
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        # let the writer reach its wait loop
+        deadline = time.monotonic() + 5
+        while gate.stats()["writers_waiting"] == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+
+        def late_read():
+            with gate.shared():
+                order.append("reader")
+            late_reader_admitted.set()
+
+        reader = threading.Thread(target=late_read)
+        reader.start()
+        assert not late_reader_admitted.wait(0.1)  # queued behind writer
+        gate.release_shared()
+        writer.join(5)
+        reader.join(5)
+        assert order == ["writer", "reader"]
+
+    def test_release_without_acquire_raises(self):
+        gate = AdmissionGate()
+        with pytest.raises(RuntimeError):
+            gate.release_shared()
+        with pytest.raises(RuntimeError):
+            gate.release_exclusive()
