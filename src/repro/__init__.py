@@ -18,6 +18,7 @@ from .db import Database, Result
 from .errors import (
     CatalogError,
     CompileError,
+    DurabilityError,
     ExecutionError,
     FaultRecoveryExhaustedError,
     NameResolutionError,
@@ -28,6 +29,8 @@ from .errors import (
     ServiceError,
     ServiceOverloadedError,
     SessionClosedError,
+    SimulatedCrashError,
+    SnapshotCorruptError,
     SqlSyntaxError,
     TransientClusterError,
     TypeCheckError,
@@ -53,6 +56,9 @@ __all__ = [
     "PAPER_CLUSTER",
     "QueryTimeoutError",
     "ReproError",
+    "DurabilityError",
+    "SimulatedCrashError",
+    "SnapshotCorruptError",
     "ResourceExhaustedError",
     "Result",
     "RuntimeTypeError",

@@ -33,6 +33,7 @@ TARGETS = (
     "faults",
     "trace",
     "spill",
+    "recover",
     "all",
 )
 
@@ -156,6 +157,19 @@ def run_spill_target(smoke: bool = False) -> "tuple":
     return format_spill(report), report.ok()
 
 
+def run_recover_target(
+    seed: int = 0, smoke: bool = False, out: str = "BENCH_recover.json"
+) -> "tuple":
+    """Returns (report text, ok) for the WAL recovery benchmark;
+    ``out`` is where the JSON snapshot lands ('' skips the write)."""
+    from .recoverbench import format_recovery, run_recovery_bench, write_snapshot
+
+    report = run_recovery_bench(seed=seed, smoke=smoke)
+    if out:
+        write_snapshot(report, out)
+    return format_recovery(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -177,6 +191,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return run_trace_target()[0]
     if target == "spill":
         return run_spill_target()[0]
+    if target == "recover":
+        return run_recover_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -252,9 +268,10 @@ def main(argv=None) -> int:
     )
     serve_group.add_argument(
         "--out",
-        default="BENCH_serve.json",
+        default=None,
         help="where to write the JSON snapshot; '' skips the write "
-        "(serve --open-loop)",
+        "(default BENCH_serve.json for serve --open-loop, "
+        "BENCH_recover.json for recover)",
     )
     serve_group.add_argument(
         "--intra-parallelism",
@@ -327,6 +344,21 @@ def main(argv=None) -> int:
             )
             return 1
         return 0
+    if args.target == "recover":
+        text, ok = run_recover_target(
+            seed=args.seed,
+            smoke=args.check,
+            out=args.out if args.out is not None else "BENCH_recover.json",
+        )
+        print(text)
+        if args.check and not ok:
+            print(
+                "recover check FAILED: a recovered database diverged "
+                "from the abandoned one, or a checkpoint failed to "
+                "shed replay work"
+            )
+            return 1
+        return 0
     if args.target == "serve":
         if args.open_loop:
             text, ok = run_open_loop_target(
@@ -335,7 +367,7 @@ def main(argv=None) -> int:
                 rate=args.rate,
                 seed=args.seed,
                 check=args.check,
-                out=args.out,
+                out=args.out if args.out is not None else "BENCH_serve.json",
                 parallelism=args.intra_parallelism,
                 scaling=not args.no_scaling,
             )

@@ -1,0 +1,200 @@
+"""Recovery-time benchmark: crash a durable database, measure replay.
+
+``repro-bench recover`` builds a ``durability_mode="wal"`` database,
+commits a growing number of statements, then *abandons* it without a
+clean shutdown (the WAL is the only persistent copy — exactly the state
+a ``kill -9`` leaves) and measures how long ``Database.restore(data_dir)``
+takes to bring every acknowledged statement back. One extra point takes
+a checkpoint first, demonstrating that recovery cost tracks WAL length
+(records to replay), not database size.
+
+Every point is verified, not just timed: the recovered database must
+match the abandoned one bit-for-bit — rows (tensor payloads compared by
+``tobytes()``), per-table statistics, and the catalog version. ``ok()``
+gates on those checks plus WAL-truncation behaviour; wall-clock numbers
+are recorded for the JSON artifact but never gated (CI machines vary).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..db import Database
+from ..types import Vector
+
+
+def state_fingerprint(db: Database) -> Dict[str, object]:
+    """A comparable digest of everything durability promises to keep:
+    per-partition rows (tensors by exact bytes), per-table row counts
+    and distinct counts, view names, and the catalog version."""
+    tables = {}
+    for entry in db.catalog.tables():
+        storage = entry.storage
+        partitions = []
+        for slot in range(storage.slots):
+            rows = []
+            for row in storage.partition_rows(slot):
+                rows.append(
+                    tuple(
+                        value.data.tobytes()
+                        if hasattr(value, "data")
+                        and isinstance(getattr(value, "data"), np.ndarray)
+                        else value
+                        for value in row
+                    )
+                )
+            partitions.append(rows)
+        tables[entry.name] = {
+            "partitions": partitions,
+            "row_count": entry.stats.row_count,
+            "distincts": {
+                name: col.distinct
+                for name, col in sorted(entry.stats.columns.items())
+            },
+        }
+    return {
+        "tables": tables,
+        "views": sorted(db.catalog._views),
+        "catalog_version": db.catalog.version,
+    }
+
+
+def _workload(db: Database, statements: int, seed: int) -> None:
+    """Commit ``statements`` acknowledged operations: inserts with
+    vector payloads plus periodic deletes (replay must reproduce both)."""
+    rng = np.random.default_rng(seed)
+    for i in range(statements):
+        if i % 7 == 6:
+            db.execute("DELETE FROM points WHERE k = :k", {"k": i - 3})
+        else:
+            db.execute(
+                "INSERT INTO points VALUES (:k, :v)",
+                {"k": i, "v": Vector(rng.standard_normal(8))},
+            )
+
+
+@dataclass
+class RecoveryPoint:
+    """One measured recovery."""
+
+    statements: int
+    checkpointed: bool
+    wal_bytes: int
+    records_replayed: int
+    recovery_seconds: float
+    matches: bool
+
+
+@dataclass
+class RecoveryReport:
+    points: List[RecoveryPoint] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        if not self.points:
+            return False
+        if not all(point.matches for point in self.points):
+            return False
+        # a checkpoint must actually shed replay work: its point replays
+        # (strictly) fewer records than the same-size uncheckpointed run
+        plain = {p.statements: p for p in self.points if not p.checkpointed}
+        for point in self.points:
+            if point.checkpointed and point.statements in plain:
+                if point.records_replayed >= plain[point.statements].records_replayed:
+                    return False
+        return True
+
+
+def run_recovery_bench(
+    sizes=(8, 32, 128), seed: int = 0, smoke: bool = False
+) -> RecoveryReport:
+    if smoke:
+        sizes = tuple(size for size in sizes if size <= 32) or (8,)
+    report = RecoveryReport()
+    for statements in sizes:
+        for checkpointed in (False, True) if statements == sizes[-1] else (False,):
+            report.points.append(
+                _measure(statements, checkpointed=checkpointed, seed=seed)
+            )
+    return report
+
+
+def _measure(statements: int, checkpointed: bool, seed: int) -> RecoveryPoint:
+    data_dir = tempfile.mkdtemp(prefix="repro-recover-")
+    try:
+        config = ClusterConfig(durability_mode="wal", data_dir=data_dir)
+        db = Database(config)
+        db.execute("CREATE TABLE points (k INTEGER, v VECTOR[])")
+        if checkpointed:
+            # checkpoint halfway: recovery replays only the second half
+            _workload(db, statements // 2, seed)
+            db.checkpoint()
+            _workload(db, statements - statements // 2, seed + 1)
+        else:
+            _workload(db, statements, seed)
+        expected = state_fingerprint(db)
+        wal_bytes = db.durability.wal_bytes()
+        # abandon without close(): the dirty state a SIGKILL leaves
+        start = time.perf_counter()
+        recovered = Database.restore(data_dir)
+        elapsed = time.perf_counter() - start
+        point = RecoveryPoint(
+            statements=statements,
+            checkpointed=checkpointed,
+            wal_bytes=wal_bytes,
+            records_replayed=recovered.durability.records_replayed,
+            recovery_seconds=elapsed,
+            matches=state_fingerprint(recovered) == expected,
+        )
+        recovered.close()
+        db.close()
+        return point
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def format_recovery(report: RecoveryReport) -> str:
+    lines = [
+        "recovery time vs WAL length (replay of acknowledged statements)",
+        f"{'stmts':>6}  {'ckpt':>5}  {'wal bytes':>10}  "
+        f"{'replayed':>8}  {'recovery s':>10}  match",
+    ]
+    for point in report.points:
+        lines.append(
+            f"{point.statements:>6}  {'yes' if point.checkpointed else 'no':>5}  "
+            f"{point.wal_bytes:>10}  {point.records_replayed:>8}  "
+            f"{point.recovery_seconds:>10.4f}  "
+            f"{'yes' if point.matches else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def write_snapshot(report: RecoveryReport, path: str) -> None:
+    payload = {
+        "benchmark": "recover",
+        "ok": report.ok(),
+        "points": [
+            {
+                "statements": point.statements,
+                "checkpointed": point.checkpointed,
+                "wal_bytes": point.wal_bytes,
+                "records_replayed": point.records_replayed,
+                "recovery_seconds": point.recovery_seconds,
+                "matches": point.matches,
+            }
+            for point in report.points
+        ],
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)

@@ -88,6 +88,18 @@ class ClusterConfig:
     #: through the database's reader–writer gate genuinely overlap on
     #: these threads; DDL/DML takes the exclusive path.
     worker_threads: int = 8
+    #: crash-safe durability: "off" keeps the historical behaviour (data
+    #: lives in memory until an explicit ``save``); "wal" appends every
+    #: committed DDL/DML statement to a checksummed, fsynced write-ahead
+    #: log under ``data_dir`` and turns ``Database.save`` into an atomic
+    #: checkpoint that truncates the log (see docs/DURABILITY.md).
+    durability_mode: str = "off"
+    #: home directory of the durability artifacts (``checkpoint.db`` +
+    #: ``wal.log``); required when ``durability_mode="wal"``. Recover a
+    #: crashed database with ``Database.restore(data_dir)`` (or
+    #: ``Database.open(config)``), which replays the WAL on top of the
+    #: latest checkpoint.
+    data_dir: Optional[str] = None
     #: real threads used *inside* one statement to run independent
     #: partition tasks of each operator concurrently (scan/filter/join/
     #: aggregate partitions, exchange senders/receivers). ``1`` keeps

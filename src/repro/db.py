@@ -22,6 +22,7 @@ Quickstart::
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -109,6 +110,7 @@ class Database:
         config: Optional[ClusterConfig] = None,
         size_blind_optimizer: bool = False,
         execution_mode: Optional[str] = None,
+        _recovery: bool = False,
     ):
         self.cluster = Cluster(config)
         self.config = self.cluster.config
@@ -122,12 +124,35 @@ class Database:
         #: admitted statements never share per-statement state (lineage
         #: memos, checkpoints, trace bookkeeping)
         self._executor = Executor(self.cluster, execution_mode, storage=self.storage)
+        # the storage engine's durability barriers (sealed segment
+        # writes) draw from the same injector as the executor
+        self.storage.set_injector(self._executor.injector)
         #: reader–writer statement admission: read-only statements run
         #: concurrently against a stable catalog, DDL/DML and config
         #: swaps take the exclusive path (see repro/admission.py). This
         #: replaces the old global ``_exec_lock`` that serialized every
         #: statement.
         self._admission = AdmissionGate()
+        #: crash-safe durability (docs/DURABILITY.md): when the config
+        #: says "wal", every committed DDL/DML appends a checksummed,
+        #: fsynced record to ``data_dir/wal.log`` before the call
+        #: returns; ``_recovery=True`` defers attaching until replay is
+        #: done (repro.storage.wal.recover_database resumes it)
+        self._durability = None
+        #: reentrancy guard: only the *outermost* mutating operation of
+        #: a statement logs (CTAS logs once, not once per inner
+        #: create_table). Mutations are exclusively admitted, so a plain
+        #: instance flag suffices.
+        self._in_durable_op = False
+        if self.config.durability_mode == "wal":
+            from .storage.wal import DurabilityManager
+
+            self._durability = DurabilityManager(self, attach=not _recovery)
+        elif self.config.durability_mode != "off":
+            raise ExecutionError(
+                f"unknown durability_mode {self.config.durability_mode!r}; "
+                "expected 'off' or 'wal'"
+            )
 
     @property
     def execution_mode(self) -> str:
@@ -147,22 +172,137 @@ class Database:
                 injector=self._executor.injector,
             )
 
-    # -- persistence --------------------------------------------------------------
+    # -- persistence and durability -----------------------------------------------
+
+    @property
+    def durability(self):
+        """The :class:`~repro.storage.wal.DurabilityManager` when
+        ``durability_mode="wal"``, else None."""
+        return self._durability
 
     def save(self, path: str) -> None:
-        """Serialize schemas, data, and views to a single file; restore
-        with :meth:`Database.restore`."""
+        """Serialize schemas, data, and views to a single file —
+        atomically (temp file + fsync + ``os.replace``), so a crash
+        mid-save never leaves a torn file under ``path``. Restore with
+        :meth:`Database.restore`. On a durable database, saving onto
+        the checkpoint path (what :meth:`checkpoint` does) truncates
+        the write-ahead log once the snapshot is down."""
         from .persist import save_database
 
-        save_database(self, path)
+        # shared admission: the snapshot must not interleave with a
+        # writer, and the WAL truncation below must see the same state
+        # the snapshot captured
+        with self._admission.shared():
+            save_database(self, path, injector=self.storage.injector)
+            if self._durability is not None:
+                self._durability.on_checkpoint(path)
+
+    def checkpoint(self) -> str:
+        """Atomically checkpoint a durable database into its
+        ``data_dir`` and truncate the WAL; returns the checkpoint path.
+        Recovery then replays only statements committed after this."""
+        from .errors import ReproError
+
+        if self._durability is None:
+            raise ReproError(
+                "checkpoint() requires durability_mode='wal' "
+                "(use save(path) for a plain snapshot)"
+            )
+        self.save(self._durability.checkpoint_path)
+        return self._durability.checkpoint_path
 
     @classmethod
     def restore(cls, path: str, config: Optional[ClusterConfig] = None) -> "Database":
         """Recreate a saved database (optionally onto a different
-        cluster shape; data is re-partitioned)."""
+        cluster shape; data is re-partitioned). ``path`` may be a
+        snapshot file, or a durability directory — the latter replays
+        the write-ahead log on top of the latest checkpoint and keeps
+        logging there (see docs/DURABILITY.md)."""
         from .persist import restore_database
 
         return restore_database(path, config)
+
+    @classmethod
+    def open(cls, config: ClusterConfig) -> "Database":
+        """Open a durable database: recover ``config.data_dir`` when it
+        already holds state, else start fresh. The crash-safe idiom for
+        long-lived processes (the server entry point uses it)."""
+        if config.durability_mode != "wal":
+            return cls(config)
+        from .storage.wal import DurabilityManager, has_existing_state
+
+        data_dir = config.data_dir
+        if data_dir and has_existing_state(data_dir):
+            return cls.restore(data_dir, config)
+        return cls(config)
+
+    def close(self) -> None:
+        """Release durability handles and storage-engine temp files.
+        A durable database closed *without* a final :meth:`checkpoint`
+        recovers through WAL replay, exactly like a crash."""
+        if self._durability is not None:
+            self._durability.close()
+        self.storage.close()
+
+    # -- write-ahead logging hooks -------------------------------------------------
+
+    @contextmanager
+    def _durable_root(self):
+        """Yields True when the enclosed mutation is the outermost one
+        of its statement and should be WAL-logged on success."""
+        if (
+            self._durability is None
+            or not self._durability.active
+            or self._in_durable_op
+        ):
+            yield False
+            return
+        self._in_durable_op = True
+        try:
+            yield True
+        finally:
+            self._in_durable_op = False
+
+    def _log_durable(self, record: Dict[str, object]) -> None:
+        """Append one committed operation to the WAL (the statement's
+        acknowledgement point). Called with exclusive admission held, so
+        WAL order is commit order."""
+        record["catalog_version"] = self.catalog.version
+        self._durability.log(record)
+
+    def _apply_wal_record(self, record: Dict[str, object]) -> None:
+        """Replay one WAL record during recovery (the manager is
+        detached, so nothing is re-logged). Replay runs the same code
+        paths as the original statement on the same cluster shape, which
+        is what makes recovered rows and statistics bit-identical."""
+        from .errors import ReproError
+        from .persist import _thaw_value
+
+        kind = record.get("kind")
+        if kind == "stmt":
+            frozen = record.get("params")
+            params = (
+                {key: _thaw_value(value) for key, value in frozen.items()}
+                if frozen
+                else None
+            )
+            self._execute_statement(record["ast"], params)
+        elif kind == "create_table":
+            self.create_table(
+                record["table"],
+                record["columns"],
+                partition_by=record["partition_by"],
+            )
+        elif kind == "load":
+            self.load(
+                record["table"],
+                [
+                    tuple(_thaw_value(value) for value in row)
+                    for row in record["rows"]
+                ],
+            )
+        else:
+            raise ReproError(f"unknown WAL record kind {kind!r}")
 
     # -- schema and loading ----------------------------------------------------
 
@@ -176,7 +316,23 @@ class Database:
         strings like ``"MATRIX[10][]"``); optionally hash-partitioned on
         some columns at load time."""
         with self._admission.exclusive():
-            return self._create_table_locked(name, columns, partition_by)
+            with self._durable_root() as log:
+                entry = self._create_table_locked(name, columns, partition_by)
+                if log:
+                    self._log_durable(
+                        {
+                            "kind": "create_table",
+                            "table": entry.name,
+                            "columns": [
+                                (column.name, repr(column.data_type))
+                                for column in entry.schema
+                            ],
+                            "partition_by": (
+                                list(partition_by) if partition_by else None
+                            ),
+                        }
+                    )
+                return entry
 
     def _create_table_locked(
         self,
@@ -212,8 +368,22 @@ class Database:
             converted = [
                 tuple(_convert_value(value) for value in row) for row in rows
             ]
-            count = entry.storage.insert_many(converted)
-            self._refresh_stats(entry, appended=converted)
+            with self._durable_root() as log:
+                count = entry.storage.insert_many(converted)
+                self._refresh_stats(entry, appended=converted)
+                if log:
+                    from .persist import _freeze_value
+
+                    self._log_durable(
+                        {
+                            "kind": "load",
+                            "table": entry.name,
+                            "rows": [
+                                tuple(_freeze_value(value) for value in row)
+                                for row in converted
+                            ],
+                        }
+                    )
             return count
 
     def _refresh_stats(
@@ -318,7 +488,25 @@ class Database:
             with self._admission.shared():
                 return self._dispatch_statement(statement, params)
         with self._admission.exclusive():
-            return self._dispatch_statement(statement, params)
+            with self._durable_root() as log:
+                result = self._dispatch_statement(statement, params)
+                if log:
+                    from .persist import _freeze_value
+
+                    frozen = (
+                        {
+                            key: _freeze_value(_convert_value(value))
+                            for key, value in params.items()
+                        }
+                        if params
+                        else None
+                    )
+                    # the statement is applied; appending this record is
+                    # the acknowledgement point (returning == durable)
+                    self._log_durable(
+                        {"kind": "stmt", "ast": statement, "params": frozen}
+                    )
+                return result
 
     def _dispatch_statement(
         self, statement: ast.Statement, params: Optional[Dict[str, object]]

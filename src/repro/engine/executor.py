@@ -291,7 +291,8 @@ class Executor:
         else:
             self.injector = (
                 FaultInjector(fault_plan)
-                if fault_plan is not None and fault_plan.enabled
+                if fault_plan is not None
+                and (fault_plan.enabled or fault_plan.storage_enabled)
                 else None
             )
         #: parameter-cell bindings snapshotted on the coordinator thread

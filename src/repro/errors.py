@@ -76,6 +76,48 @@ class CatalogError(ReproError):
     code = "catalog_error"
 
 
+class DurabilityError(ReproError):
+    """A write-ahead-log or checkpoint write failed (disk full, I/O
+    error). The in-memory state of the statement that triggered it may
+    have been applied, but the statement was **not acknowledged** and
+    will not survive a crash; the original ``OSError`` is chained via
+    ``__cause__``."""
+
+    code = "durability_error"
+
+
+class SnapshotCorruptError(ReproError):
+    """A saved database snapshot (or WAL header) failed validation:
+    truncated, checksum mismatch, or undecodable.
+
+    ``path`` names the offending file and ``offset`` the byte position
+    where validation failed (for a checksum mismatch, the start of the
+    checksummed payload — the exact flipped byte is unknowable).
+    """
+
+    code = "snapshot_corrupt"
+
+    def __init__(self, message: str, path: str = "", offset: int = 0):
+        self.path = path
+        self.offset = offset
+        super().__init__(f"{message} (file {path!r}, byte offset {offset})")
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["path"] = self.path
+        payload["offset"] = self.offset
+        return payload
+
+
+class SimulatedCrashError(BaseException):
+    """An injected process crash at a durability barrier (see
+    ``FaultPlan.crash_at_barrier``). Deliberately **not** a
+    :class:`ReproError` — and not even an :class:`Exception` — so no
+    recovery or serving layer can swallow it: it stands in for the
+    process dying, and the only legitimate handler is the test harness
+    that injected it."""
+
+
 class ExecutionError(ReproError):
     """A query failed while executing.
 

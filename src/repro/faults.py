@@ -70,19 +70,41 @@ class FaultPlan:
     #: operator's typical (median busy-slot) time
     speculation_threshold: float = 2.0
 
+    # -- storage faults (durability barriers; see docs/DURABILITY.md) ------
+    #: kill the process at the k-th durability barrier (1-based): a WAL
+    #: append, a checkpoint/segment atomic write, or a WAL truncation.
+    #: Barriers are counted in commit order (writes are exclusively
+    #: admitted), so the k-th barrier is the same operation every run.
+    crash_at_barrier: Optional[int] = None
+    #: what happens at that barrier: "crash" dies before any byte is
+    #: written, "torn" durably writes a deterministic prefix of the
+    #: pending bytes and then dies (a torn/short write), "enospc" raises
+    #: ``OSError(ENOSPC)`` instead of dying (the statement fails, the
+    #: process survives).
+    crash_kind: str = "crash"
+    #: flip one byte of the k-th durable *read* (1-based: checkpoint and
+    #: WAL reads during recovery), exercising bit-rot detection.
+    bitrot_at_read: Optional[int] = None
+
     def with_updates(self, **kwargs) -> "FaultPlan":
         """A copy with some fields replaced."""
         return replace(self, **kwargs)
 
     @property
     def enabled(self) -> bool:
-        """True when any fault can actually fire."""
+        """True when any *cluster* fault can actually fire."""
         return (
             self.slot_crash_rate > 0.0
             or self.lost_partition_rate > 0.0
             or self.transient_error_rate > 0.0
             or self.straggler_rate > 0.0
         )
+
+    @property
+    def storage_enabled(self) -> bool:
+        """True when any *storage* fault (crash point, torn write,
+        ENOSPC, bit-rot) is armed."""
+        return self.crash_at_barrier is not None or self.bitrot_at_read is not None
 
 
 #: the default injection used by ``repro-bench faults``: a cluster that
@@ -114,6 +136,11 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.events: Dict[str, int] = {}
+        #: durability barriers crossed (WAL appends, checkpoint/segment
+        #: atomic writes, WAL truncations) — see :meth:`storage_barrier`
+        self.barriers = 0
+        #: durable reads performed (checkpoint + WAL recovery reads)
+        self.durable_reads = 0
         self._lock = threading.Lock()
 
     # -- draws -------------------------------------------------------------
@@ -161,6 +188,53 @@ class FaultInjector:
         if self._uniform("straggle", op_index, slot) < self.plan.straggler_rate:
             return self.plan.straggler_multiplier
         return 1.0
+
+    # -- storage faults (durability barriers) ------------------------------
+
+    def storage_barrier(self) -> Optional[str]:
+        """Called by the :class:`~repro.storage.durable.DurableFile`
+        shim once per durability barrier, *before* any byte is written.
+        Returns ``None`` (healthy) or the armed ``crash_kind``
+        (``"crash"``/``"torn"``/``"enospc"``) when this barrier is the
+        configured crash point. Barriers happen under exclusive
+        admission, so the counter advances in commit order and the k-th
+        barrier names the same operation on every run."""
+        with self._lock:
+            self.barriers += 1
+            index = self.barriers
+        if (
+            self.plan.crash_at_barrier is not None
+            and index == self.plan.crash_at_barrier
+        ):
+            self.count(f"storage-{self.plan.crash_kind}")
+            return self.plan.crash_kind
+        return None
+
+    def torn_length(self, total: int) -> int:
+        """How many of ``total`` pending bytes a torn write durably
+        lands before the crash — a deterministic draw in ``[0, total)``
+        keyed on the barrier index, so the torn prefix is reproducible
+        and always strictly short."""
+        if total <= 0:
+            return 0
+        with self._lock:
+            index = self.barriers
+        return min(total - 1, int(self._uniform("torn", index) * total))
+
+    def corrupt_read(self, data: bytes) -> bytes:
+        """Apply bit-rot to one durable read: when this is the k-th
+        durable read and ``bitrot_at_read == k``, one deterministically
+        chosen byte is inverted."""
+        with self._lock:
+            self.durable_reads += 1
+            index = self.durable_reads
+        if self.plan.bitrot_at_read != index or not data:
+            return data
+        self.count("storage-bitrot")
+        position = int(self._uniform("bitrot", index) * len(data))
+        corrupted = bytearray(data)
+        corrupted[position] ^= 0xFF
+        return bytes(corrupted)
 
     # -- reporting ---------------------------------------------------------
 

@@ -1,21 +1,44 @@
 """Saving and restoring a database to/from a single file.
 
-The on-disk format is a versioned pickle of plain data: schemas as
+The payload is a versioned pickle of plain data: schemas as
 ``(name, type-string)`` pairs, table rows (vectors/matrices as numpy
 arrays), partitioning metadata, statistics-relevant row data, and view
 definitions as their original ASTs. It is an *internal* format — the
 paper's system keeps its data on HDFS; this is the laptop equivalent so
 a loaded workload can be reused across sessions.
+
+On disk, newly written snapshots are *framed*::
+
+    RDBF1\\n | <u32 CRC32(payload) LE> | pickled payload
+
+and are written atomically (same-directory temp file + fsync +
+``os.replace`` + directory fsync, via
+:func:`repro.storage.durable.atomic_write`), so a crash mid-save never
+leaves a torn file under the final name, and bit-rot is detected by the
+checksum instead of surfacing as an arbitrary unpickling failure.
+Legacy files (a bare pickle, as written before the framing existed)
+remain readable. Any validation failure raises a structured
+:class:`~repro.errors.SnapshotCorruptError` naming the file and the
+byte offset where validation stopped.
+
+``restore_database`` also accepts a *directory*: the durability home of
+a ``durability_mode="wal"`` database, recovered by replaying the
+write-ahead log on top of the latest checkpoint (see
+:mod:`repro.storage.wal` and docs/DURABILITY.md).
 """
 
 from __future__ import annotations
 
+import io
+import os
 import pickle
+import struct
+import zlib
 from typing import Optional
 
 from .catalog import TableStats
 from .config import ClusterConfig
-from .errors import ReproError
+from .errors import ReproError, SnapshotCorruptError
 from .types import LabeledScalar, Matrix, Vector
 
 #: v1 stored schemas + a flat row list only; v2 adds per-table
@@ -26,6 +49,10 @@ from .types import LabeledScalar, Matrix, Vector
 #: readable (they rescan and re-deal, as before).
 FORMAT_VERSION = 2
 MAGIC = "repro-database"
+#: header of framed (checksummed) snapshot files; files without it are
+#: read as legacy bare pickles
+FRAME_MAGIC = b"RDBF1\n"
+_FRAME_CRC = struct.Struct("<I")
 
 
 def _freeze_value(value):
@@ -104,9 +131,64 @@ def _thaw_stats(frozen: dict) -> TableStats:
     return stats
 
 
-def save_database(db, path: str) -> None:
+def write_snapshot(path: str, payload: dict, injector=None) -> None:
+    """Frame (CRC32) and atomically write one snapshot payload."""
+    from .storage.durable import atomic_write
+
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = FRAME_MAGIC + _FRAME_CRC.pack(zlib.crc32(body)) + body
+    atomic_write(path, blob, injector=injector)
+
+
+def load_snapshot(path: str, injector=None) -> dict:
+    """Read and validate one snapshot file (framed or legacy); raises
+    :class:`SnapshotCorruptError` on any validation failure and
+    :class:`ReproError` on a well-formed file of the wrong kind."""
+    from .storage.durable import durable_read
+
+    blob = durable_read(path, injector=injector)
+    header = len(FRAME_MAGIC) + _FRAME_CRC.size
+    if blob.startswith(FRAME_MAGIC):
+        if len(blob) < header:
+            raise SnapshotCorruptError(
+                "snapshot truncated inside the frame header",
+                path=path,
+                offset=len(blob),
+            )
+        (crc,) = _FRAME_CRC.unpack_from(blob, len(FRAME_MAGIC))
+        body = blob[header:]
+        if zlib.crc32(body) != crc:
+            raise SnapshotCorruptError(
+                "snapshot checksum mismatch (bit rot or torn write)",
+                path=path,
+                offset=header,
+            )
+        offset_base = header
+    else:
+        body = blob
+        offset_base = 0
+    stream = io.BytesIO(body)
+    try:
+        payload = pickle.load(stream)
+    except Exception as exc:
+        raise SnapshotCorruptError(
+            f"snapshot does not decode ({type(exc).__name__}: {exc})",
+            path=path,
+            offset=offset_base + stream.tell(),
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
+        raise ReproError(f"{path!r} is not a repro database file")
+    if payload.get("version") not in (1, FORMAT_VERSION):
+        raise ReproError(
+            f"unsupported database file version {payload.get('version')!r}"
+        )
+    return payload
+
+
+def save_database(db, path: str, injector=None) -> None:
     """Serialize a :class:`repro.Database` (schemas, data, statistics,
-    views) to ``path``."""
+    views) to ``path`` — atomically: a crash mid-save leaves the
+    previous file (or no file), never a torn one."""
     tables = []
     for entry in db.catalog.tables():
         storage = entry.storage
@@ -145,25 +227,38 @@ def save_database(db, path: str) -> None:
         "tables": tables,
         "views": views,
     }
-    with open(path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    write_snapshot(path, payload, injector=injector)
 
 
 def restore_database(path: str, config: Optional[ClusterConfig] = None):
     """Recreate a :class:`repro.Database` saved with
     :func:`save_database`; ``config`` overrides the saved cluster shape
-    (data is re-partitioned for the new slot count)."""
+    (data is re-partitioned for the new slot count).
+
+    When ``path`` is a *directory*, it is treated as the durability home
+    of a ``durability_mode="wal"`` database and recovered by replaying
+    the write-ahead log on top of the latest checkpoint; the recovered
+    database keeps logging to that directory. Restoring a bare snapshot
+    *file* always yields a non-durable database (its WAL, if any, lives
+    with the directory, not the file)."""
     from .db import Database
 
-    with open(path, "rb") as handle:
-        payload = pickle.load(handle)
-    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
-        raise ReproError(f"{path!r} is not a repro database file")
-    if payload.get("version") not in (1, FORMAT_VERSION):
-        raise ReproError(
-            f"unsupported database file version {payload.get('version')!r}"
-        )
-    db = Database(_effective_config(payload["config"], config))
+    if os.path.isdir(path):
+        from .storage.wal import recover_database
+
+        return recover_database(path, config)
+    payload = load_snapshot(path)
+    effective = _effective_config(payload["config"], config)
+    if effective.durability_mode != "off":
+        effective = effective.with_updates(durability_mode="off", data_dir=None)
+    db = Database(effective)
+    apply_snapshot(db, payload)
+    return db
+
+
+def apply_snapshot(db, payload: dict) -> None:
+    """Materialize a snapshot payload into an empty database: tables,
+    rows, statistics, views, catalog version."""
     for table in payload["tables"]:
         db.create_table(
             table["name"], table["columns"], partition_by=table["partition_by"]
@@ -173,15 +268,17 @@ def restore_database(path: str, config: Optional[ClusterConfig] = None):
         frozen_stats = table.get("stats")
         if frozen_stats is not None:
             entry.stats = _thaw_stats(frozen_stats)
-            db.catalog.bump_version()
         else:  # v1 files carry no statistics: rescan, as before
             db._refresh_stats(entry)
     for view in payload["views"]:
         db.catalog.create_view(view["name"], view["query"], view["column_names"])
     saved_catalog_version = payload.get("catalog_version")
     if saved_catalog_version is not None:
-        db.catalog.version = max(db.catalog.version, saved_catalog_version)
-    return db
+        # the saved version is authoritative for snapshot state: the
+        # database is freshly built (no plan caches to invalidate), and
+        # pinning it exactly is what lets WAL replay reproduce the
+        # original catalog version bit-for-bit
+        db.catalog.version = saved_catalog_version
 
 
 def _restore_rows(storage, table: dict) -> None:

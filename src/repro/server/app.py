@@ -252,6 +252,51 @@ class Server:
         if thread is not None:
             thread.join(timeout=10)
 
+    def drain(self, timeout: float = 30.0, checkpoint: bool = True) -> bool:
+        """Graceful shutdown: stop accepting new connections, let
+        in-flight requests and detached jobs finish, checkpoint a
+        durable database, then stop. Returns False when the timeout
+        expired with work still in flight (the server still stops —
+        a durable database recovers the stragglers from its WAL).
+
+        This is what the server entry point wires SIGTERM/SIGINT to.
+        """
+        import time
+
+        with self._lock:
+            loop = self._loop
+            server = self._asyncio_server
+            self._asyncio_server = None
+        if server is not None and loop is not None:
+            # close the listener only: existing connections (and the
+            # worker pool behind them) keep running until they finish.
+            # A starved loop must not wedge the drain — stop() below
+            # tears the whole loop down regardless.
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._await_closed(server), loop
+                ).result(timeout=10)
+            except TimeoutError:
+                pass
+        deadline = time.monotonic() + timeout
+        drained = False
+        while time.monotonic() < deadline:
+            with self._lock:
+                inflight = self._inflight
+            if inflight == 0 and self.jobs.active_count() == 0:
+                drained = True
+                break
+            time.sleep(0.01)
+        if checkpoint and self.db.durability is not None:
+            self.db.checkpoint()
+        self.stop()
+        return drained
+
+    @staticmethod
+    async def _await_closed(server: asyncio.AbstractServer) -> None:
+        server.close()
+        await server.wait_closed()
+
     def __enter__(self) -> "Server":
         return self.start()
 

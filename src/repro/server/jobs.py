@@ -163,6 +163,15 @@ class JobManager:
         with self._lock:
             return list(self._jobs.values())
 
+    def active_count(self) -> int:
+        """Jobs still queued or running (the drain path waits on this)."""
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state in ("queued", "running")
+            )
+
     def shutdown(self) -> None:
         """Release every job (server close path)."""
         with self._lock:

@@ -567,6 +567,8 @@ class QueryService:
             snapshot["scheduler"] = self.scheduler.stats()
             snapshot["breaker"] = self.breaker.stats()
             snapshot["storage"] = self.db.storage.stats()
+            if self.db.durability is not None:
+                snapshot["durability"] = self.db.durability.stats()
             snapshot["active_sessions"] = sorted(self._sessions)
             snapshot["session_gc"] = {
                 "opened": self.sessions_opened,

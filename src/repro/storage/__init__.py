@@ -22,6 +22,13 @@ simulated costs in either mode (see ``docs/STORAGE.md``).
 
 from .bufferpool import BufferPool
 from .disk import DiskPartitionedTable, DiskSegment
+from .durable import (
+    TMP_SUFFIX,
+    DurableFile,
+    atomic_write,
+    durable_read,
+    sweep_temp_files,
+)
 from .engine import STORAGE_MODES, StorageEngine
 from .segment import (
     SEGMENT_MAGIC,
@@ -38,12 +45,38 @@ from .segment import (
     zone_excludes,
 )
 
+from .wal import (
+    CHECKPOINT_FILE,
+    WAL_FILE,
+    WAL_MAGIC,
+    DurabilityManager,
+    WriteAheadLog,
+    has_existing_state,
+    read_wal,
+    recover_database,
+    truncate_torn_tail,
+)
+
 __all__ = [
     "BufferPool",
     "DiskPartitionedTable",
     "DiskSegment",
     "STORAGE_MODES",
     "StorageEngine",
+    "TMP_SUFFIX",
+    "DurableFile",
+    "atomic_write",
+    "durable_read",
+    "sweep_temp_files",
+    "CHECKPOINT_FILE",
+    "WAL_FILE",
+    "WAL_MAGIC",
+    "DurabilityManager",
+    "WriteAheadLog",
+    "has_existing_state",
+    "read_wal",
+    "recover_database",
+    "truncate_torn_tail",
     "SEGMENT_MAGIC",
     "MemorySegment",
     "ZoneMap",

@@ -40,7 +40,7 @@ class DiskSegment:
 
     __slots__ = ("path", "row_count", "width", "_zones", "_sizes", "_total")
 
-    def __init__(self, path: str, rows: Sequence[tuple], width: int):
+    def __init__(self, path: str, rows: Sequence[tuple], width: int, injector=None):
         self.path = path
         self.row_count = len(rows)
         self.width = width
@@ -48,7 +48,9 @@ class DiskSegment:
         self._sizes = seed.sizes()
         self._total = seed.total_bytes
         self._zones: List[ZoneMap] = [seed.zone(i) for i in range(width)]
-        write_segment_file(path, rows, width)
+        # sealing is crash-atomic (temp file + fsync + os.replace): a
+        # crash mid-seal leaves the final name absent, never torn
+        write_segment_file(path, rows, width, injector=injector)
 
     def sizes(self) -> List[float]:
         return self._sizes
@@ -164,7 +166,11 @@ class DiskPartitionedTable:
             chunk = tail[: self.segment_rows]
             del tail[: self.segment_rows]
             path = self.engine.allocate_segment_path(self.name)
-            self._sealed[slot].append(DiskSegment(path, chunk, self.width))
+            self._sealed[slot].append(
+                DiskSegment(
+                    path, chunk, self.width, injector=self.engine.injector
+                )
+            )
 
     def _drop_sealed(self, slot: int) -> None:
         pool = self.engine.buffer_pool

@@ -43,12 +43,22 @@ class StorageEngine:
         )
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         self._counter = 0
+        #: the database's fault injector (assigned by Database right
+        #: after executor construction); sealed base-table segment writes
+        #: consult it at their durability barriers
+        self.injector = None
         #: cumulative spill accounting across queries (service stats)
         self.spilled_bytes = 0.0
         self.spill_events = 0
         # one engine is shared by all concurrently admitted statements;
         # the lock guards the counters and lazy tempdir (assigned last)
         self._lock = threading.RLock()
+
+    def set_injector(self, injector) -> None:
+        """Share the database's fault injector with segment writers
+        (Database assigns it right after executor construction)."""
+        with self._lock:
+            self.injector = injector
 
     @property
     def root(self) -> str:
@@ -81,7 +91,9 @@ class StorageEngine:
         if self.mode != "disk" or not rows:
             return rows
         path = self.allocate_segment_path("spill")
-        write_segment_file(path, rows, len(rows[0]))
+        # spills are scratch (recomputed after a crash) and run from
+        # parallel partition tasks: not a durability barrier
+        write_segment_file(path, rows, len(rows[0]), durable=False)
         try:
             return read_segment_file(path)
         finally:

@@ -243,10 +243,29 @@ def decode_segment(blob: bytes) -> List[tuple]:
     return list(zip(*columns))
 
 
-def write_segment_file(path: str, rows: Sequence[tuple], width: int) -> dict:
+def write_segment_file(
+    path: str,
+    rows: Sequence[tuple],
+    width: int,
+    injector=None,
+    durable: bool = True,
+) -> dict:
+    """Write one segment file. ``durable`` (the default, used for sealed
+    base-table segments) goes through the crash-atomic
+    :func:`~repro.storage.durable.atomic_write` path — temp file, fsync,
+    ``os.replace`` — and counts as one durability barrier when an
+    ``injector`` is armed. Spill files pass ``durable=False``: they are
+    scratch state recomputed after any crash, and they are written from
+    parallel partition tasks, so routing them through the barrier
+    counter would make crash points scheduling-dependent."""
+    from .durable import atomic_write
+
     blob, footer = encode_segment(rows, width)
-    with open(path, "wb") as handle:
-        handle.write(blob)
+    if durable:
+        atomic_write(path, blob, injector=injector)
+    else:
+        with open(path, "wb") as handle:
+            handle.write(blob)
     return footer
 
 

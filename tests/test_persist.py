@@ -129,14 +129,17 @@ class TestFormatV2:
 
     def test_v1_files_still_restore_with_rescan(self, db, tmp_path):
         """A hand-built v1 payload (no stats, no catalog_version) must
-        load through the old rescan path with identical results."""
+        load through the old rescan path with identical results. The v1
+        file is written as a bare pickle — the legacy unframed on-disk
+        format — which the loader must still accept."""
         import pickle
+
+        from repro.persist import load_snapshot
 
         path = str(tmp_path / "db.repro")
         before = db.execute("SELECT SUM(get_scalar(vec, 1)) FROM pts").scalar()
         db.save(path)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        payload = load_snapshot(path)
         payload["version"] = 1
         payload.pop("catalog_version")
         for table in payload["tables"]:
@@ -158,10 +161,11 @@ class TestFormatV2:
     def test_unknown_version_rejected(self, db, tmp_path):
         import pickle
 
+        from repro.persist import load_snapshot
+
         path = str(tmp_path / "db.repro")
         db.save(path)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        payload = load_snapshot(path)
         payload["version"] = 99
         bad_path = str(tmp_path / "db_v99.repro")
         with open(bad_path, "wb") as handle:
@@ -346,3 +350,162 @@ class TestBadFiles:
         path.write_bytes(pickle.dumps({"something": "else"}))
         with pytest.raises(ReproError):
             Database.restore(str(path))
+
+
+class TestCorruptSnapshots:
+    """Corrupt/truncated snapshots raise a structured
+    SnapshotCorruptError naming the file and the byte offset — never a
+    raw pickle traceback."""
+
+    @staticmethod
+    def _saved(db, tmp_path) -> str:
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        return path
+
+    def test_bit_flip_in_body_named(self, db, tmp_path):
+        from repro.errors import SnapshotCorruptError
+        from repro.persist import FRAME_MAGIC
+
+        path = self._saved(db, tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            Database.restore(path)
+        assert path in str(excinfo.value)
+        assert excinfo.value.offset == len(FRAME_MAGIC) + 4
+        assert excinfo.value.to_payload()["path"] == path
+
+    def test_truncated_file_named(self, db, tmp_path):
+        from repro.errors import SnapshotCorruptError
+
+        path = self._saved(db, tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            Database.restore(path)
+        assert path in str(excinfo.value)
+
+    def test_truncated_inside_header_named(self, db, tmp_path):
+        from repro.errors import SnapshotCorruptError
+
+        path = self._saved(db, tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:7])
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            Database.restore(path)
+        assert excinfo.value.offset == 7
+
+    def test_legacy_truncated_pickle_named(self, db, tmp_path):
+        """Legacy (unframed) files get the structured error too: the
+        offset points at where unpickling stopped."""
+        import pickle
+
+        from repro.errors import SnapshotCorruptError
+        from repro.persist import load_snapshot
+
+        path = self._saved(db, tmp_path)
+        legacy = str(tmp_path / "legacy.repro")
+        body = pickle.dumps(load_snapshot(path))
+        open(legacy, "wb").write(body[: len(body) - 10])
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            Database.restore(legacy)
+        assert legacy in str(excinfo.value)
+
+    def test_error_is_repro_error(self, db, tmp_path):
+        from repro.errors import SnapshotCorruptError
+
+        assert issubclass(SnapshotCorruptError, ReproError)
+        assert SnapshotCorruptError("x", path="p", offset=3).code == (
+            "snapshot_corrupt"
+        )
+
+
+class TestRestoreMatrix:
+    """Satellite coverage: v1/v2 snapshot format x storage mode x
+    execution mode, asserting bit-identity of rows, statistics, and
+    catalog version across the restore."""
+
+    @staticmethod
+    def _build(storage_mode: str, execution_mode: str) -> Database:
+        config = ClusterConfig(
+            machines=2,
+            cores_per_machine=2,
+            storage_mode=storage_mode,
+            execution_mode=execution_mode,
+            segment_rows=4,
+        )
+        db = Database(config)
+        db.execute("CREATE TABLE pts (id INTEGER, vec VECTOR[])")
+        rng = np.random.default_rng(3)
+        db.load("pts", [(i, rng.normal(size=4)) for i in range(12)])
+        db.execute("CREATE VIEW g AS SELECT SUM(outer_product(vec, vec)) AS m FROM pts")
+        return db
+
+    @staticmethod
+    def _downgrade_to_v1(path: str, v1_path: str) -> None:
+        import pickle
+
+        from repro.persist import load_snapshot
+
+        payload = load_snapshot(path)
+        payload["version"] = 1
+        payload.pop("catalog_version")
+        for table in payload["tables"]:
+            table.pop("stats")
+            table.pop("insert_cursor")
+            table["rows"] = [
+                row for part in table.pop("partitions") for row in part
+            ]
+        with open(v1_path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    @pytest.mark.parametrize("storage_mode", ["memory", "disk"])
+    @pytest.mark.parametrize("execution_mode", ["row", "batch"])
+    def test_restore_matrix(self, tmp_path, fmt, storage_mode, execution_mode):
+        db = self._build(storage_mode, execution_mode)
+        path = str(tmp_path / "db.repro")
+        db.save(path)
+        if fmt == "v1":
+            v1_path = str(tmp_path / "db_v1.repro")
+            self._downgrade_to_v1(path, v1_path)
+            path = v1_path
+        restored = Database.restore(path)
+        assert restored.config.storage_mode == storage_mode
+        assert restored.config.execution_mode == execution_mode
+        # rows: bit-identical per partition (v2) or as a set (v1 re-deals)
+        want_storage = db.catalog.table("pts").storage
+        got_storage = restored.catalog.table("pts").storage
+        digest = lambda storage: [
+            [
+                (row[0], row[1].data.tobytes())
+                for row in storage.partition_rows(slot)
+            ]
+            for slot in range(storage.slots)
+        ]
+        if fmt == "v2":
+            assert digest(got_storage) == digest(want_storage)
+        else:
+            flat = lambda parts: sorted(row for part in parts for row in part)
+            assert flat(digest(got_storage)) == flat(digest(want_storage))
+        # statistics: identical row counts and distincts either way
+        want_stats = db.catalog.table("pts").stats
+        got_stats = restored.catalog.table("pts").stats
+        assert got_stats.row_count == want_stats.row_count
+        assert got_stats.distinct("id") == want_stats.distinct("id")
+        # catalog version: pinned exactly by v2; v1 has none to pin
+        if fmt == "v2":
+            assert restored.catalog.version == db.catalog.version
+        # query through the view is bit-identical on the same shape
+        sql = "SELECT m FROM g"
+        if fmt == "v2":
+            assert (
+                restored.execute(sql).scalar().data.tobytes()
+                == db.execute(sql).scalar().data.tobytes()
+            )
+        else:
+            assert restored.execute(sql).scalar().allclose(
+                db.execute(sql).scalar()
+            )
