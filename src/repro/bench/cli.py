@@ -34,6 +34,7 @@ TARGETS = (
     "trace",
     "spill",
     "recover",
+    "feedback",
     "all",
 )
 
@@ -170,6 +171,19 @@ def run_recover_target(
     return format_recovery(report), report.ok()
 
 
+def run_feedback_target(
+    smoke: bool = False, out: str = "BENCH_feedback.json"
+) -> "tuple":
+    """Returns (report text, ok) for the cardinality-feedback benchmark;
+    ``out`` is where the JSON snapshot lands ('' skips the write)."""
+    from .feedbackbench import format_feedback, run_feedback_bench, write_snapshot
+
+    report = run_feedback_bench(smoke=smoke)
+    if out:
+        write_snapshot(report, out)
+    return format_feedback(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -193,6 +207,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return run_spill_target()[0]
     if target == "recover":
         return run_recover_target()[0]
+    if target == "feedback":
+        return run_feedback_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -356,6 +372,20 @@ def main(argv=None) -> int:
                 "recover check FAILED: a recovered database diverged "
                 "from the abandoned one, or a checkpoint failed to "
                 "shed replay work"
+            )
+            return 1
+        return 0
+    if args.target == "feedback":
+        text, ok = run_feedback_target(
+            smoke=args.check,
+            out=args.out if args.out is not None else "BENCH_feedback.json",
+        )
+        print(text)
+        if args.check and not ok:
+            print(
+                "feedback check FAILED: q-error did not converge with "
+                "feedback on, drifted with it off, rows changed, or "
+                "Top-K held more than O(k) state"
             )
             return 1
         return 0

@@ -2,16 +2,27 @@
 
 from .catalog import Catalog, TableEntry, ViewEntry
 from .schema import Column, Schema
-from .statistics import ColumnStats, TableStats, append_stats, collect_stats
+from .statistics import (
+    ColumnStats,
+    FeedbackStatistics,
+    TableStats,
+    append_stats,
+    collect_stats,
+    join_fingerprint,
+    predicate_fingerprint,
+)
 
 __all__ = [
     "Catalog",
     "Column",
     "ColumnStats",
+    "FeedbackStatistics",
     "Schema",
     "TableEntry",
     "TableStats",
     "ViewEntry",
     "append_stats",
     "collect_stats",
+    "join_fingerprint",
+    "predicate_fingerprint",
 ]

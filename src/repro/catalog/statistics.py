@@ -16,8 +16,9 @@ value/shape accumulator sets on the stats objects, and
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from ..types import DataType, Matrix, MatrixType, Vector, VectorType
 
@@ -151,3 +152,243 @@ def append_stats(stats: TableStats, schema, rows) -> bool:
         # distinct stays unknown, appends cannot change that
     stats.row_count += len(rows)
     return True
+
+
+# -- cardinality feedback ---------------------------------------------------
+#
+# After every completed statement the database folds the observed
+# per-operator actual row counts (``Result.metrics.trace``) back into the
+# structures below. Estimates consult them through the cost model, so a
+# predicate the static statistics mis-costed on the first run is planned
+# from its *observed* selectivity on the next one, and repeated workloads
+# converge toward q-error 1. Feedback never changes result rows — only
+# estimates.
+
+
+def predicate_fingerprint(expr, scope: str = "") -> Optional[Tuple]:
+    """A normalized, compile-independent fingerprint of a predicate.
+
+    Column references are rendered by (lower-cased) column *name* rather
+    than by the binder's per-statement column ids, so the same SQL text
+    compiled twice fingerprints identically. Commutative structure is
+    normalized: the two sides of ``AND``/``OR`` and of an equality are
+    sorted, so ``a = b`` and ``b = a`` (and reordered conjuncts) share a
+    fingerprint. ``scope`` qualifies the fingerprint with the table a
+    filter sits directly above, keeping same-named columns of different
+    tables apart.
+
+    Returns ``None`` for predicates containing query parameters: their
+    selectivity depends on the bound value, so one binding's observation
+    would mislead the next — and recording them would churn the feedback
+    version (and through it the plan cache) on every prepared-statement
+    execution.
+    """
+
+    rendered = _render_expr(expr)
+    if rendered is None:
+        return None
+    return ("pred", scope.lower(), rendered)
+
+
+def join_fingerprint(equi_pairs, residual=None) -> Optional[Tuple]:
+    """A normalized fingerprint for a join: the set of equi-key pairs
+    (each pair orientation-insensitive, the set order-insensitive) plus
+    the residual predicate, if any. Returns ``None`` when any component
+    contains a query parameter."""
+
+    pairs = []
+    for left, right in equi_pairs:
+        left_r = _render_expr(left)
+        right_r = _render_expr(right)
+        if left_r is None or right_r is None:
+            return None
+        pairs.append(tuple(sorted((left_r, right_r))))
+    residual_r: Tuple = ()
+    if residual is not None:
+        rendered = _render_expr(residual)
+        if rendered is None:
+            return None
+        residual_r = rendered
+    return ("join", tuple(sorted(pairs)), residual_r)
+
+
+_COMMUTATIVE_OPS = {"=", "<>", "!=", "+", "*", "and", "or"}
+
+
+def _render_expr(expr) -> Optional[Tuple]:
+    """Duck-typed structural rendering of a ``TypedExpr`` tree (avoids a
+    catalog -> plan import cycle). Stable across compilations of the same
+    SQL text; ``None`` marks a parameter somewhere in the tree."""
+
+    cls = type(expr).__name__
+    if cls == "ParamExpr":
+        return None
+    if cls == "ColumnVar":
+        name = (getattr(expr, "name", "") or "").lower()
+        return ("col", name if name else f"#{getattr(expr, 'column_id', '?')}")
+    if cls == "LiteralExpr":
+        return ("lit", repr(getattr(expr, "value", None)))
+    parts = [cls]
+    op = getattr(expr, "op", None)
+    if op is not None:
+        parts.append(str(op).lower())
+    if hasattr(expr, "negated"):
+        parts.append(bool(expr.negated))
+    builtin = getattr(expr, "builtin", None)
+    if builtin is not None:
+        parts.append(getattr(builtin, "name", type(builtin).__name__))
+    children = []
+    for child in expr.children():
+        rendered = _render_expr(child)
+        if rendered is None:
+            return None
+        children.append(rendered)
+    if op is not None and str(op).lower() in _COMMUTATIVE_OPS:
+        children.sort()
+    return tuple(parts) + tuple(children)
+
+
+#: Observed values within this relative factor of the stored one do not
+#: update the store (and so do not bump the feedback version): repeated
+#: identical workloads converge to a stable version and the plan cache
+#: keeps hitting.
+_FEEDBACK_TOLERANCE = 0.10
+
+#: Estimates already within this q-error of the observation are "right
+#: enough": recording them would add nothing and would invalidate cached
+#: plans for no benefit.
+_RECORD_THRESHOLD = 1.5
+
+
+@dataclass
+class _FeedbackEntry:
+    """One learned value plus how often it was (re-)observed."""
+
+    value: float
+    observations: int = 1
+
+
+class FeedbackStatistics:
+    """Observed-cardinality overrides learned from completed queries.
+
+    Three stores, all keyed independently of any single compilation:
+
+    - ``row_counts``: table name -> actual rows delivered by an unpruned
+      scan (normally agrees with ``TableStats.row_count``; diverges only
+      for hand-built fixtures whose stats were never refreshed);
+    - ``selectivities``: :func:`predicate_fingerprint` -> observed
+      ``rows_out / rows_in`` of a filter;
+    - ``join_selectivities``: :func:`join_fingerprint` -> observed
+      ``rows_out / (left_rows * right_rows)`` of a join.
+
+    ``version`` increases monotonically whenever a recording *changes*
+    the store (new key, or value drifted beyond ``_FEEDBACK_TOLERANCE``);
+    the service's plan-cache key includes it, so cached plans built from
+    stale estimates are invalidated exactly when new knowledge arrives —
+    and a converged workload stops invalidating. All methods are
+    thread-safe: concurrent SELECTs absorb feedback under shared
+    admission.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._version = 0
+        self._row_counts: Dict[str, _FeedbackEntry] = {}
+        self._selectivities: Dict[Tuple, _FeedbackEntry] = {}
+        self._join_selectivities: Dict[Tuple, _FeedbackEntry] = {}
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    # -- recording (executor side) -----------------------------------------
+
+    def record_scan_rows(self, table: str, rows: float) -> bool:
+        return self._record(self._row_counts, table.lower(), float(rows))
+
+    def record_selectivity(self, fingerprint: Tuple, observed: float) -> bool:
+        return self._record(self._selectivities, fingerprint, observed)
+
+    def record_join_selectivity(self, fingerprint: Tuple, observed: float) -> bool:
+        return self._record(self._join_selectivities, fingerprint, observed)
+
+    def _record(self, store: Dict, key, value: float) -> bool:
+        with self._lock:
+            entry = store.get(key)
+            if entry is not None:
+                entry.observations += 1
+                if _within_tolerance(entry.value, value):
+                    return False
+                entry.value = value
+            else:
+                store[key] = _FeedbackEntry(value)
+            self._version += 1
+            return True
+
+    # -- lookup (estimator side) -------------------------------------------
+
+    def scan_rows(self, table: str) -> Optional[float]:
+        with self._lock:
+            entry = self._row_counts.get(table.lower())
+            return entry.value if entry else None
+
+    def selectivity(self, fingerprint: Optional[Tuple]) -> Optional[float]:
+        if fingerprint is None:
+            return None
+        with self._lock:
+            entry = self._selectivities.get(fingerprint)
+            return entry.value if entry else None
+
+    def join_selectivity(self, fingerprint: Optional[Tuple]) -> Optional[float]:
+        if fingerprint is None:
+            return None
+        with self._lock:
+            entry = self._join_selectivities.get(fingerprint)
+            return entry.value if entry else None
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget everything learned (bumps the version so cached plans
+        built on the learned estimates are invalidated too)."""
+        with self._lock:
+            if self._row_counts or self._selectivities or self._join_selectivities:
+                self._row_counts.clear()
+                self._selectivities.clear()
+                self._join_selectivities.clear()
+                self._version += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for ``QueryService.stats()`` / debugging."""
+        with self._lock:
+            return {
+                "version": self._version,
+                "tables": len(self._row_counts),
+                "predicates": len(self._selectivities),
+                "joins": len(self._join_selectivities),
+                "observations": sum(
+                    entry.observations
+                    for store in (
+                        self._row_counts,
+                        self._selectivities,
+                        self._join_selectivities,
+                    )
+                    for entry in store.values()
+                ),
+            }
+
+
+def _within_tolerance(stored: float, observed: float) -> bool:
+    if stored == observed:
+        return True
+    baseline = max(abs(stored), abs(observed), 1e-12)
+    return abs(stored - observed) / baseline <= _FEEDBACK_TOLERANCE
+
+
+def estimate_needs_feedback(estimated: float, observed: float) -> bool:
+    """True when the estimate was wrong enough (q-error beyond the
+    recording threshold) that learning the observation is worthwhile."""
+    est = max(float(estimated), 1.0)
+    act = max(float(observed), 1.0)
+    return max(est / act, act / est) > _RECORD_THRESHOLD

@@ -109,6 +109,15 @@ class ClusterConfig:
     #: per-task metric contexts are merged in deterministic partition
     #: order (see docs/ENGINE.md).
     intra_query_parallelism: int = 1
+    #: cardinality feedback: "on" folds per-operator actual row counts
+    #: from every completed statement back into the catalog's feedback
+    #: statistics (scan row counts, filter/join selectivities keyed by a
+    #: normalized predicate fingerprint), so the optimizer's estimates
+    #: converge on repeated workloads; "off" plans from static
+    #: statistics only. Feedback never changes result rows — only
+    #: estimates, and through them plan choice (see docs/ENGINE.md,
+    #: "Adaptive optimization").
+    feedback_mode: str = "on"
 
     @property
     def effective_buffer_pool_bytes(self) -> float:

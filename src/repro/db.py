@@ -28,11 +28,22 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from .admission import AdmissionGate
-from .catalog import Catalog, Schema, TableEntry, append_stats, collect_stats
+from .catalog import (
+    Catalog,
+    FeedbackStatistics,
+    Schema,
+    TableEntry,
+    append_stats,
+    collect_stats,
+    join_fingerprint,
+    predicate_fingerprint,
+)
+from .catalog.statistics import estimate_needs_feedback
 from .config import ClusterConfig
 from .engine import Cluster, Executor, PartitionedTable, QueryMetrics
 from .errors import CompileError, ExecutionError
 from .plan import Binder, CostModel, Optimizer, PhysicalPlanner
+from .plan.physical import PFilter, PHashJoin, PNestedLoopJoin, PScan
 from .sql import ast, parse_script, parse_statement
 from .storage import DiskPartitionedTable, StorageEngine
 from .types import Matrix, Vector
@@ -115,7 +126,15 @@ class Database:
         self.cluster = Cluster(config)
         self.config = self.cluster.config
         self.catalog = Catalog()
-        self.cost_model = CostModel(self.config, size_blind=size_blind_optimizer)
+        #: cardinality feedback (docs/ENGINE.md, "Adaptive
+        #: optimization"): observed per-operator row counts folded back
+        #: from completed statements; consulted by the cost model when
+        #: ``config.feedback_mode == "on"``, versioned so the service's
+        #: plan cache drops plans built from stale statistics
+        self.feedback = FeedbackStatistics()
+        self.cost_model = CostModel(
+            self.config, size_blind=size_blind_optimizer, feedback=self.feedback
+        )
         #: segment files, buffer pool, and spill bookkeeping — shared by
         #: every table and executor of this database
         self.storage = StorageEngine(self.config)
@@ -709,8 +728,89 @@ class Database:
                 # annotate estimates here (not in the executor) so both
                 # direct execution and service-cached plans carry them
                 self.cost_model.annotate_trace(metrics.trace, physical)
+                if self.config.feedback_mode == "on":
+                    self._absorb_feedback(metrics.trace, physical)
         columns = [column.name for column in logical.columns]
         return Result(columns, rows, metrics)
+
+    def _absorb_feedback(self, trace, node) -> None:
+        """Fold one statement's observed cardinalities back into the
+        feedback statistics (the closed loop of docs/ENGINE.md,
+        "Adaptive optimization"). Only materially wrong estimates are
+        recorded — estimates within the q-error threshold teach the
+        model nothing it doesn't already know — and operators the
+        executor skipped (the LIMIT 0 short-circuit) report zeros that
+        are not measurements, so they never become phantom actuals."""
+        if trace.executed and trace.est_rows is not None:
+            actual = float(trace.rows_out)
+            if isinstance(node, PScan):
+                # a pruned scan's output reflects the predicate's
+                # segment elimination, not the table's cardinality
+                if trace.segments_pruned == 0 and estimate_needs_feedback(
+                    trace.est_rows, actual
+                ):
+                    self.feedback.record_scan_rows(node.table.name, actual)
+            elif isinstance(node, PFilter):
+                # blame assignment: judge the filter by its *own*
+                # selectivity estimate applied to the actual input, not
+                # by its row q-error — a child's misestimate (e.g. an
+                # unlearnable parameterized predicate below) inflates
+                # the row error without this filter being wrong
+                estimated_selectivity = self._estimated_selectivity(trace)
+                if trace.rows_in > 0 and estimated_selectivity is not None:
+                    predicted = estimated_selectivity * float(trace.rows_in)
+                    if estimate_needs_feedback(predicted, actual):
+                        scope = (
+                            node.child.table.name
+                            if isinstance(node.child, PScan)
+                            else ""
+                        )
+                        fingerprint = predicate_fingerprint(
+                            node.predicate, scope
+                        )
+                        if fingerprint is not None:
+                            self.feedback.record_selectivity(
+                                fingerprint, actual / float(trace.rows_in)
+                            )
+            elif isinstance(node, (PHashJoin, PNestedLoopJoin)):
+                # input cardinalities come from the child traces; their
+                # product commutes, so probe/build orientation (which
+                # the planner may flip run to run) cannot skew it
+                inputs = 1.0
+                estimated_inputs = 1.0
+                for child_trace in trace.children:
+                    inputs *= float(child_trace.rows_out)
+                    estimated_inputs *= float(child_trace.est_rows or 0.0)
+                if inputs > 0 and estimated_inputs > 0:
+                    # same blame assignment as filters: compare the
+                    # join's selectivity estimate on the actual inputs
+                    predicted = (
+                        trace.est_rows / estimated_inputs
+                    ) * inputs
+                    if estimate_needs_feedback(predicted, actual):
+                        pairs = (
+                            list(zip(node.probe_keys, node.build_keys))
+                            if isinstance(node, PHashJoin)
+                            else []
+                        )
+                        fingerprint = join_fingerprint(pairs, node.residual)
+                        if fingerprint is not None:
+                            self.feedback.record_join_selectivity(
+                                fingerprint, actual / inputs
+                            )
+        for child_trace, child_node in zip(trace.children, node.children()):
+            self._absorb_feedback(child_trace, child_node)
+
+    @staticmethod
+    def _estimated_selectivity(trace) -> Optional[float]:
+        """The selectivity this operator's estimate implied, from the
+        annotated trace: own estimated rows over the child's."""
+        if not trace.children:
+            return None
+        child_est = trace.children[0].est_rows
+        if child_est is None or child_est <= 0 or trace.est_rows is None:
+            return None
+        return trace.est_rows / child_est
 
     def _run_select(
         self, statement: ast.SelectStatement, params: Optional[Dict[str, object]]

@@ -40,6 +40,7 @@ around the handlers.
 
 from __future__ import annotations
 
+import heapq
 import math
 import threading
 from typing import Dict, List, Optional, Tuple
@@ -68,6 +69,7 @@ from ..plan.physical import (
     PScan,
     PhysicalNode,
     PSortLimit,
+    PTopK,
     resolve_prune_predicates,
 )
 from ..storage.segment import segment_pruned
@@ -271,6 +273,7 @@ class Executor:
                 PFinalAggregate: self._final_aggregate_batch,
                 PDistinct: self._distinct_batch,
                 PSortLimit: self._sort_limit_batch,
+                PTopK: self._top_k_batch,
             }
         else:
             self._handlers = {
@@ -284,6 +287,7 @@ class Executor:
                 PFinalAggregate: self._final_aggregate,
                 PDistinct: self._distinct,
                 PSortLimit: self._sort_limit,
+                PTopK: self._top_k,
             }
         fault_plan = cluster.config.fault_plan
         if injector is not None:
@@ -384,6 +388,11 @@ class Executor:
             fault_count=self._node_faults.get(key, 0),
         )
         op = self._node_ops.get(key)
+        # a node with no recorded operator run was skipped entirely (the
+        # LIMIT 0 short-circuit never executes its child subtree): its
+        # zeros are not measurements, so q_error stays undefined and
+        # cardinality feedback ignores it
+        trace.executed = op is not None
         if op is not None:
             trace.rows_in = op.rows_in
             trace.rows_out = op.rows_out
@@ -1262,6 +1271,10 @@ class Executor:
                 ordered = ordered[: node.limit]
             comparisons = len(rows) * max(1.0, math.log2(len(rows) + 1))
             op.charge_cpu(slot, tuples=comparisons)
+            # the full sort materializes an ordered copy of the whole
+            # partition before any LIMIT truncation — O(n) state (the
+            # bounded-heap PTopK holds O(k); see _top_k)
+            op.note_peak(child.partition_total_bytes(slot))
             op.rows_in += len(rows)
             op.rows_out += len(ordered)
             return ordered
@@ -1272,6 +1285,59 @@ class Executor:
         return self._wrap_output(
             child.column_ids, parts_out, was_broadcast, child.partitioning
         )
+
+    def _top_k(self, node: PTopK) -> DistributedRelation:
+        if node.limit <= 0:
+            return self._top_k_empty(node)
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"TopK({'final' if node.final else 'local'})")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        tasks = self._partition_tasks(run, len(parts_in))
+        ascending = [asc for _, asc in node.keys]
+
+        def topk_slot(slot, op):
+            rows = parts_in[slot]
+            key_columns = []
+            for expr, _asc in node.keys:
+                cost = EvalCost()
+                key_columns.append(
+                    [
+                        _sort_key(expr.evaluate(child.view(row), cost))
+                        for row in rows
+                    ]
+                )
+                op.charge_eval(slot, 0, cost)
+            chosen = _top_k_indices(key_columns, ascending, len(rows), node.limit)
+            out = [rows[i] for i in chosen]
+            sizes = child.partition_row_bytes(slot)
+            op.charge_cpu(slot, tuples=_top_k_comparisons(len(rows), node.limit))
+            # only the heap's k survivors are ever held, not the partition
+            op.note_peak(float(sum(sizes[i] for i in chosen)))
+            op.rows_in += len(rows)
+            op.rows_out += len(out)
+            return out
+
+        parts_out = tasks.map(topk_slot)
+        tasks.finish()
+        self.cluster.record(run)
+        return self._wrap_output(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+    def _top_k_empty(self, node: PTopK) -> DistributedRelation:
+        """``LIMIT 0``: emit nothing — and never execute the child
+        subtree (the zero-row short-circuit; skipped operators are
+        marked not-executed in the trace)."""
+        run = self.cluster.operator(
+            f"TopK({'final' if node.final else 'local'})"
+        )
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        if self.execution_mode == "batch":
+            parts: list = [Batch.empty_like(column_ids) for _ in range(self.slots)]
+        else:
+            parts = [[] for _ in range(self.slots)]
+        return DistributedRelation(column_ids, parts, node.partitioning)
 
     # =======================================================================
     # batch-columnar operators
@@ -1893,11 +1959,57 @@ class Executor:
             out = batch.take(np.asarray(order, dtype=np.int64))
             comparisons = batch.length * max(1.0, math.log2(batch.length + 1))
             op.charge_cpu(slot, tuples=comparisons)
+            # the full sort materializes an ordered copy of the whole
+            # partition before any LIMIT truncation — O(n) state (the
+            # bounded-heap PTopK holds O(k); see _top_k_batch)
+            op.note_peak(child.partition_total_bytes(slot))
             op.rows_in += batch.length
             op.rows_out += out.length
             return out
 
         parts_out = tasks.map(sort_slot)
+        tasks.finish()
+        self.cluster.record(run)
+        return self._wrap_output_batch(
+            child.column_ids, parts_out, was_broadcast, child.partitioning
+        )
+
+    def _top_k_batch(self, node: PTopK) -> DistributedRelation:
+        if node.limit <= 0:
+            return self._top_k_empty(node)
+        child = self.execute(node.child)
+        run = self.cluster.operator(f"TopK({'final' if node.final else 'local'})")
+        parts_in, was_broadcast = self._effective_partitions(child)
+        tasks = self._partition_tasks(run, len(parts_in))
+        ascending = [asc for _, asc in node.keys]
+
+        def topk_slot(slot, op):
+            batch = parts_in[slot]
+            key_columns = []
+            for expr, _asc in node.keys:
+                cost = EvalCost()
+                key_columns.append(
+                    [
+                        _sort_key(value)
+                        for value in expr.evaluate_batch(batch, cost).pylist()
+                    ]
+                )
+                op.charge_eval(slot, 0, cost)
+            chosen = _top_k_indices(
+                key_columns, ascending, batch.length, node.limit
+            )
+            out = batch.take(np.asarray(chosen, dtype=np.int64))
+            sizes = child.partition_row_bytes(slot)
+            op.charge_cpu(
+                slot, tuples=_top_k_comparisons(batch.length, node.limit)
+            )
+            # only the heap's k survivors are ever held, not the partition
+            op.note_peak(float(sum(sizes[i] for i in chosen)))
+            op.rows_in += batch.length
+            op.rows_out += out.length
+            return out
+
+        parts_out = tasks.map(topk_slot)
         tasks.finish()
         self.cluster.record(run)
         return self._wrap_output_batch(
@@ -1948,4 +2060,64 @@ def _hashable(key: tuple) -> tuple:
 def _sort_key(value):
     if value is None:
         return (0, 0)
+    if type(value) is Vector:
+        # vectors carry no __lt__; order them lexicographically by
+        # element so ORDER BY over a vector column is well-defined (and
+        # identical for the full sort and the Top-K heap)
+        return (1, (0, tuple(value.data.tolist())))
     return (1, value)
+
+
+class _HeapWorst:
+    """heapq wrapper with *inverted* comparison, so ``heap[0]`` is the
+    worst (greatest, in final output order) of the selected rows.
+
+    True order is the composite sort order of the full sort: keys in
+    ORDER BY sequence, each with its own direction, ties broken by
+    input position ascending — which is exactly what the chain of
+    stable sorts in ``_sort_limit`` computes. Matching it key-for-key
+    (including the tiebreak) is what makes Top-K bit-identical to the
+    full sort, ties at rank k included.
+    """
+
+    __slots__ = ("keys", "index", "ascending")
+
+    def __init__(self, keys, index, ascending):
+        self.keys = keys
+        self.index = index
+        self.ascending = ascending
+
+    def _truly_less(self, other: "_HeapWorst") -> bool:
+        for mine, theirs, asc in zip(self.keys, other.keys, self.ascending):
+            if mine == theirs:
+                continue
+            return mine < theirs if asc else theirs < mine
+        return self.index < other.index
+
+    def __lt__(self, other: "_HeapWorst") -> bool:
+        # inverted: heapq's min-heap then surfaces the truly-greatest
+        return other._truly_less(self)
+
+
+def _top_k_indices(key_columns, ascending, count, k):
+    """Input positions of the k first rows under the composite sort
+    order, returned in that order. Bounded state: the heap never holds
+    more than k entries, so selection is O(n log k) time and O(k)
+    space regardless of the partition size."""
+    heap: List[_HeapWorst] = []
+    for i in range(count):
+        item = _HeapWorst(tuple(col[i] for col in key_columns), i, ascending)
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif heap[0] < item:
+            # the new row truly precedes the current worst survivor
+            heapq.heapreplace(heap, item)
+    # ascending wrapper order is descending true order; reverse it
+    return [item.index for item in sorted(heap)][::-1]
+
+
+def _top_k_comparisons(count: int, limit: int) -> float:
+    """Simulated comparison count for a bounded-heap selection —
+    ``n·log2(min(k, n)+1)`` against the full sort's ``n·log2(n+1)``.
+    Identical in row and batch mode by construction."""
+    return count * max(1.0, math.log2(min(limit, count) + 1))

@@ -111,6 +111,12 @@ class OperatorTrace:
     pool_hits: int = 0
     pool_misses: int = 0
     peak_memory_bytes: float = 0.0
+    #: False when the executor skipped this operator entirely (e.g. the
+    #: zero-row short-circuit under ``LIMIT 0``): its zero actual rows
+    #: are an artifact of not running, not a measurement, so q_error is
+    #: None instead of comparing the estimate against a phantom actual
+    #: — and cardinality feedback must not learn from it
+    executed: bool = True
     children: List["OperatorTrace"] = field(default_factory=list)
     #: filled by CostModel.annotate_trace
     est_rows: Optional[float] = None
@@ -121,8 +127,10 @@ class OperatorTrace:
     @property
     def q_error(self) -> Optional[float]:
         """Cardinality q-error of this operator (>= 1.0; 1.0 is a
-        perfect estimate); None until estimates are annotated."""
-        if self.est_rows is None:
+        perfect estimate); None until estimates are annotated — and None
+        for operators that never executed, whose ``rows_out == 0`` says
+        nothing about the estimate's quality."""
+        if self.est_rows is None or not self.executed:
             return None
         estimated = max(self.est_rows, 1.0)
         actual = max(float(self.rows_out), 1.0)
@@ -153,6 +161,8 @@ class OperatorTrace:
                 f"{node.est_seconds:.3f}" if node.est_seconds is not None else "-"
             )
             suffix = ""
+            if not node.executed:
+                suffix = "  [not executed]"
             if node.retries or node.fault_count:
                 suffix = f"  [retries {node.retries}, faults {node.fault_count}]"
             if node.spill_bytes:

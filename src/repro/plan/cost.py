@@ -23,6 +23,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..catalog.statistics import (
+    FeedbackStatistics,
+    join_fingerprint,
+    predicate_fingerprint,
+)
 from ..config import ClusterConfig
 from ..types import DataType
 from .expressions import (
@@ -51,6 +56,18 @@ DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 DEFAULT_NEQ_SELECTIVITY = 0.9
 
 
+def _filter_scope(child_node) -> str:
+    """The table name qualifying a filter's feedback fingerprint when it
+    sits directly above a scan (logical ``ScanNode`` or physical
+    ``PScan``), else the empty scope. Duck-typed so the same helper
+    serves both plan layers."""
+    if type(child_node).__name__ in ("ScanNode", "PScan"):
+        table = getattr(child_node, "table", None)
+        if table is not None:
+            return str(table.name).lower()
+    return ""
+
+
 @dataclass
 class Estimate:
     """Estimated properties of one plan node's output."""
@@ -65,11 +82,53 @@ class Estimate:
 
 
 class CostModel:
-    """Estimates cardinalities and execution cost in seconds."""
+    """Estimates cardinalities and execution cost in seconds.
 
-    def __init__(self, config: ClusterConfig, size_blind: bool = False):
+    When ``feedback`` is attached (and the cluster's ``feedback_mode``
+    is on), observed cardinalities learned from completed queries
+    override the static guesses: scan row counts, filter selectivities
+    and join selectivities keyed by normalized fingerprints (see
+    ``catalog/statistics.py``). Everything else — widths, cost rates,
+    the per-operator formulas — is unchanged, so feedback sharpens
+    *estimates* without touching the charging model."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        size_blind: bool = False,
+        feedback: Optional[FeedbackStatistics] = None,
+    ):
         self.config = config
         self.size_blind = size_blind
+        self.feedback = (
+            feedback if getattr(config, "feedback_mode", "on") == "on" else None
+        )
+
+    # -- cardinality feedback --------------------------------------------------
+
+    def _feedback_scan_rows(self, table_name: str) -> Optional[float]:
+        if self.feedback is None:
+            return None
+        return self.feedback.scan_rows(table_name)
+
+    def _feedback_selectivity(self, predicate, child_node) -> Optional[float]:
+        """Observed selectivity of a whole filter predicate, if one was
+        learned; ``child_node`` (logical or physical) scopes the
+        fingerprint to the scanned table when the filter sits directly
+        above a scan."""
+        if self.feedback is None:
+            return None
+        scope = _filter_scope(child_node)
+        return self.feedback.selectivity(
+            predicate_fingerprint(predicate, scope)
+        )
+
+    def _feedback_join_selectivity(self, equi_pairs, residual) -> Optional[float]:
+        if self.feedback is None:
+            return None
+        return self.feedback.join_selectivity(
+            join_fingerprint(equi_pairs, residual)
+        )
 
     # -- widths ---------------------------------------------------------------
 
@@ -91,7 +150,9 @@ class CostModel:
             return self._estimate_scan(node)
         if isinstance(node, FilterNode):
             child = self.estimate(node.child)
-            selectivity = self.selectivity(node.predicate, child)
+            selectivity = self._feedback_selectivity(node.predicate, node.child)
+            if selectivity is None:
+                selectivity = self.selectivity(node.predicate, child)
             return Estimate(
                 max(child.rows * selectivity, 1.0),
                 self.row_width(node),
@@ -146,7 +207,10 @@ class CostModel:
         raise TypeError(f"cannot estimate {type(node).__name__}")
 
     def _estimate_scan(self, node: ScanNode) -> Estimate:
-        rows = float(max(node.table.stats.row_count, 1))
+        rows = self._feedback_scan_rows(node.table.name)
+        if rows is None:
+            rows = float(node.table.stats.row_count)
+        rows = max(rows, 1.0)
         distinct = {}
         for column in node.columns:
             stat = node.table.stats.distinct(column.name)
@@ -157,6 +221,18 @@ class CostModel:
     def _estimate_join(self, node: JoinNode) -> Estimate:
         left = self.estimate(node.left)
         right = self.estimate(node.right)
+        observed = self._feedback_join_selectivity(node.equi, node.residual)
+        if observed is not None:
+            # the learned selectivity covers equi keys *and* residual
+            combined = Estimate(
+                max(left.rows * right.rows * observed, 1.0), self.row_width(node)
+            )
+            combined.distinct = {**left.distinct, **right.distinct}
+            combined.distinct = {
+                key: min(value, combined.rows)
+                for key, value in combined.distinct.items()
+            }
+            return combined
         rows = left.rows * right.rows
         for left_key, right_key in node.equi:
             left_distinct = self._expr_distinct(left_key, left)
@@ -371,10 +447,45 @@ class CostModel:
             )
         if isinstance(node, SortNode):
             child_est = self.estimate(node.child)
-            return child_cost + self._shuffle_seconds(
-                child_est.total_bytes, child_est.rows
+            # the pre-gather local sort/Top-K truncates to the limit, so
+            # the gather ships at most ``limit`` rows per slot
+            shipped_rows = child_est.rows
+            if node.limit is not None:
+                shipped_rows = min(
+                    shipped_rows, float(node.limit) * self.config.slots
+                )
+            shipped_bytes = shipped_rows * child_est.width_bytes
+            sort_seconds = self._cpu_seconds(
+                self.sort_comparisons(child_est.rows, node.limit), 0.0, 8.0
+            )
+            return (
+                child_cost
+                + self._shuffle_seconds(shipped_bytes, shipped_rows)
+                + sort_seconds
             )
         raise TypeError(f"cannot cost {type(node).__name__}")
+
+    # -- ORDER BY ... LIMIT strategy ----------------------------------------------
+
+    def sort_comparisons(self, input_rows: float, limit: Optional[int]) -> float:
+        """Estimated comparison count of ordering ``input_rows``: a full
+        sort is n·log2(n); with a LIMIT the bounded-heap Top-K pass does
+        n·log2(k) (see :meth:`use_top_k`)."""
+        n = max(input_rows, 1.0)
+        if limit is not None and self.use_top_k(limit, n):
+            bound = max(min(float(limit), n), 1.0)
+            return n * math.log2(bound + 1.0)
+        return n * math.log2(max(n, 2.0))
+
+    def use_top_k(self, limit: Optional[int], input_rows: float) -> bool:
+        """Whether the bounded-heap Top-K beats the full sort for
+        ``ORDER BY ... LIMIT limit`` over an estimated ``input_rows``:
+        whenever k is smaller than the input, n·log2(k) comparisons with
+        O(k) state win over n·log2(n) with O(n) state (``k == 0`` always
+        wins — it short-circuits the whole subtree)."""
+        if limit is None:
+            return False
+        return limit == 0 or float(limit) < input_rows
 
     # -- physical-plan estimates (EXPLAIN ANALYZE) --------------------------------
 
@@ -397,6 +508,7 @@ class CostModel:
             PProject,
             PScan,
             PSortLimit,
+            PTopK,
         )
 
         if memo is None:
@@ -407,7 +519,10 @@ class CostModel:
             return cached
 
         if isinstance(node, PScan):
-            rows = float(max(node.table.stats.row_count, 1))
+            rows = self._feedback_scan_rows(node.table.name)
+            if rows is None:
+                rows = float(node.table.stats.row_count)
+            rows = max(rows, 1.0)
             distinct = {}
             for column in node.columns:
                 stat = node.table.stats.distinct(column.name)
@@ -417,7 +532,9 @@ class CostModel:
             result = (est, self.scan_cost(est))
         elif isinstance(node, PFilter):
             child, _ = self.physical_estimate(node.child, memo)
-            selectivity = self.selectivity(node.predicate, child)
+            selectivity = self._feedback_selectivity(node.predicate, node.child)
+            if selectivity is None:
+                selectivity = self.selectivity(node.predicate, child)
             rows = max(child.rows * selectivity, 1.0)
             est = Estimate(
                 rows,
@@ -534,6 +651,21 @@ class CostModel:
             )
             comparisons = child.rows * math.log2(max(child.rows, 2.0))
             result = (est, self._cpu_seconds(comparisons, 0.0, 8.0))
+        elif isinstance(node, PTopK):
+            child, _ = self.physical_estimate(node.child, memo)
+            cap = float(node.limit)
+            if not node.final:
+                cap *= self.config.slots
+            rows = max(min(child.rows, cap), 1.0)
+            est = Estimate(
+                rows,
+                child.width_bytes,
+                {key_: min(value, rows) for key_, value in child.distinct.items()},
+            )
+            # bounded heap: n rows streamed against a k-entry heap
+            bound = max(min(float(node.limit), child.rows), 1.0)
+            comparisons = child.rows * math.log2(bound + 1.0)
+            result = (est, self._cpu_seconds(comparisons, 0.0, 8.0))
         else:
             raise TypeError(f"cannot estimate {type(node).__name__}")
 
@@ -546,6 +678,20 @@ class CostModel:
         probe, _ = self.physical_estimate(node.probe, memo)
         build, _ = self.physical_estimate(node.build, memo)
         left, right = (probe, build) if node.probe_is_left else (build, probe)
+        equi_pairs = (
+            list(zip(node.probe_keys, node.build_keys))
+            if isinstance(node, PHashJoin)
+            else []
+        )
+        observed = self._feedback_join_selectivity(equi_pairs, node.residual)
+        if observed is not None:
+            rows = max(left.rows * right.rows * observed, 1.0)
+            combined = Estimate(rows, self.row_width(node))
+            combined.distinct = {
+                key: min(value, rows)
+                for key, value in {**left.distinct, **right.distinct}.items()
+            }
+            return combined, self._join_cpu_seconds(node, probe, build, combined)
         rows = left.rows * right.rows
         if isinstance(node, PHashJoin):
             for probe_key, build_key in zip(node.probe_keys, node.build_keys):
@@ -562,6 +708,9 @@ class CostModel:
             key: min(value, combined.rows)
             for key, value in combined.distinct.items()
         }
+        return combined, self._join_cpu_seconds(node, probe, build, combined)
+
+    def _join_cpu_seconds(self, node, probe, build, combined) -> float:
         # movement was charged to the exchanges below; this node pays
         # build + probe + emit CPU plus any anticipated build-side spill
         # (a broadcast build is a full copy on every slot)
@@ -569,12 +718,11 @@ class CostModel:
             build_per_slot = build.total_bytes
         else:
             build_per_slot = build.total_bytes / self.config.slots
-        seconds = (
+        return (
             self._cpu_seconds(probe.rows + build.rows, 0.0, 8.0)
             + self._cpu_seconds(combined.rows, 0.0, 8.0)
             + self._spill_seconds(build_per_slot)
         )
-        return combined, seconds
 
     def annotate_trace(self, trace, node) -> None:
         """Fill the estimate columns (``est_rows`` / ``est_width_bytes``

@@ -106,6 +106,61 @@ def substitute(expr: TypedExpr, subst: Subst) -> TypedExpr:
     return expr
 
 
+def _replace_columns(
+    expr: TypedExpr, mapping: Dict[int, TypedExpr]
+) -> Optional[TypedExpr]:
+    """Rewrite ``expr`` with every column reference replaced by its
+    defining expression from ``mapping`` — the inverse direction of
+    :func:`substitute`, used to push sort keys through a projection.
+    Returns None when the expression references a column the mapping
+    does not define (or an unknown node type), meaning: don't rewrite."""
+    if isinstance(expr, ColumnVar):
+        return mapping.get(expr.column_id)
+    if isinstance(expr, (LiteralExpr, ParamExpr)):
+        return expr
+    if isinstance(expr, BinaryExpr):
+        left = _replace_columns(expr.left, mapping)
+        right = _replace_columns(expr.right, mapping)
+        if left is None or right is None:
+            return None
+        return BinaryExpr(expr.op, left, right)
+    if isinstance(expr, BoolExpr):
+        left = _replace_columns(expr.left, mapping)
+        right = _replace_columns(expr.right, mapping)
+        if left is None or right is None:
+            return None
+        return BoolExpr(expr.op, left, right)
+    if isinstance(expr, NotExpr):
+        operand = _replace_columns(expr.operand, mapping)
+        return NotExpr(operand) if operand is not None else None
+    if isinstance(expr, NegExpr):
+        operand = _replace_columns(expr.operand, mapping)
+        return NegExpr(operand) if operand is not None else None
+    if isinstance(expr, IsNullExpr):
+        operand = _replace_columns(expr.operand, mapping)
+        return IsNullExpr(operand, expr.negated) if operand is not None else None
+    if isinstance(expr, FuncExpr):
+        args = [_replace_columns(arg, mapping) for arg in expr.args]
+        if any(arg is None for arg in args):
+            return None
+        return FuncExpr(expr.builtin, args)
+    if isinstance(expr, CaseExpr):
+        whens = []
+        for condition, value in expr.whens:
+            new_condition = _replace_columns(condition, mapping)
+            new_value = _replace_columns(value, mapping)
+            if new_condition is None or new_value is None:
+                return None
+            whens.append((new_condition, new_value))
+        otherwise = None
+        if expr.otherwise is not None:
+            otherwise = _replace_columns(expr.otherwise, mapping)
+            if otherwise is None:
+                return None
+        return CaseExpr(whens, otherwise)
+    return None
+
+
 def _max_column_id(node: LogicalNode) -> int:
     highest = max((column.column_id for column in node.columns), default=0)
     for child in node.children():
@@ -193,13 +248,51 @@ class Optimizer:
             )
         if isinstance(node, SortNode):
             child, _ = self._optimize(node.child, None)
-            return SortNode(child, node.keys, node.limit), {}
+            plan = SortNode(child, node.keys, node.limit)
+            if node.limit is not None:
+                pushed = self._push_limit(plan)
+                if pushed is not None:
+                    return pushed, {}
+            return plan, {}
         if isinstance(node, DistinctNode):
             child, _ = self._optimize(node.child, None)
             return DistinctNode(child), {}
         if isinstance(node, (FilterNode, JoinNode, ScanNode)):
             return self._optimize_region(node, consumers)
         return node, {}
+
+    def _push_limit(self, node: SortNode) -> Optional[LogicalNode]:
+        """Limit pushdown: ``ORDER BY ... LIMIT k`` above a projection
+        becomes sort-then-project, so the projection expressions — and
+        everything above the pre-gather local Top-K — touch at most k
+        rows per slot instead of the whole input. Sort keys are
+        rewritten through the projection's defining expressions; the
+        rewrite is kept only when the cost model agrees (a shrinking
+        projection, e.g. one multiplying 80 MB matrices into scalars,
+        can make sorting the projected rows the cheaper order).
+
+        Bit-identical either way: a projection is deterministic, 1:1
+        and order-preserving, so every row keeps its rank and ties
+        still break by the same input position."""
+        child = node.child
+        if not isinstance(child, ProjectNode):
+            return None
+        mapping = {
+            column.column_id: expr
+            for column, expr in zip(child.columns, child.exprs)
+        }
+        keys: List[Tuple[TypedExpr, bool]] = []
+        for expr, ascending in node.keys:
+            replaced = _replace_columns(expr, mapping)
+            if replaced is None:
+                return None
+            keys.append((replaced, ascending))
+        pushed = ProjectNode(
+            SortNode(child.child, keys, node.limit), child.exprs, child.columns
+        )
+        if self.cost.plan_cost(pushed) < self.cost.plan_cost(node):
+            return pushed
+        return None
 
     # -- region optimization -----------------------------------------------------
 

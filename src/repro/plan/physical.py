@@ -318,6 +318,36 @@ class PSortLimit(PhysicalNode):
         return f"Sort({'final' if self.final else 'local'}){suffix}"
 
 
+class PTopK(PhysicalNode):
+    """Bounded-heap ``ORDER BY ... LIMIT k``: each slot keeps at most k
+    rows in a heap instead of materializing and sorting its whole
+    partition, so peak memory is O(k) and comparisons are O(n log k).
+    Emits exactly the rows (and order) the full sort would — ties at
+    rank k are broken by input position, matching Python's stable sort
+    (see ``Executor._top_k``). ``limit == 0`` short-circuits: the child
+    subtree is never executed."""
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        keys: List[Tuple[TypedExpr, bool]],
+        limit: int,
+        final: bool,
+    ):
+        self.child = child
+        self.keys = list(keys)
+        self.limit = int(limit)
+        self.final = final
+        self.columns = list(child.columns)
+        self.partitioning = child.partitioning
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"TopK({'final' if self.final else 'local'}) LIMIT {self.limit}"
+
+
 #: literal types whose comparisons zone maps can reason about
 PRUNABLE_LITERALS = (bool, int, float, str)
 _FLIPPED_OP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "="}
@@ -382,8 +412,11 @@ def resolve_prune_predicates(
 
 
 class PhysicalPlanner:
-    def __init__(self, cost_model: CostModel):
+    def __init__(self, cost_model: CostModel, enable_top_k: bool = True):
         self.cost = cost_model
+        #: tests compare the bounded-heap Top-K against the full sort by
+        #: planning the same statement with this off
+        self.enable_top_k = enable_top_k
 
     def plan(self, node: LogicalNode) -> PhysicalNode:
         if isinstance(node, ScanNode):
@@ -409,9 +442,24 @@ class PhysicalPlanner:
             return PDistinct(shuffled, local=False)
         if isinstance(node, SortNode):
             child = self.plan(node.child)
-            local = PSortLimit(child, node.keys, node.limit, final=False)
+            top_k = (
+                self.enable_top_k
+                and node.limit is not None
+                and self.cost.use_top_k(
+                    node.limit, self.cost.estimate(node.child).rows
+                )
+            )
+            if top_k:
+                if child.partitioning.kind == "single":
+                    return PTopK(child, node.keys, node.limit, final=True)
+                local: PhysicalNode = PTopK(
+                    child, node.keys, node.limit, final=False
+                )
+                gathered = PExchange(local, "gather")
+                return PTopK(gathered, node.keys, node.limit, final=True)
             if child.partitioning.kind == "single":
                 return PSortLimit(child, node.keys, node.limit, final=True)
+            local = PSortLimit(child, node.keys, node.limit, final=False)
             gathered = PExchange(local, "gather")
             return PSortLimit(gathered, node.keys, node.limit, final=True)
         raise TypeError(f"cannot lower {type(node).__name__}")

@@ -63,6 +63,12 @@ class ServiceMetrics:
     q_errors: List[float] = field(default_factory=list)
     worst_q_error: float = 0.0
     worst_q_error_operator: str = ""
+    #: every trace operator seen, whether or not it carried a q-error —
+    #: the denominator of the annotated-coverage ratio. Operators with
+    #: no q-error were either never annotated with an estimate or were
+    #: skipped by the executor (LIMIT 0 short-circuit), and a mean over
+    #: only the annotated ones silently overstates coverage.
+    trace_operators: int = 0
     #: declared last so every earlier field is assigned during (exempt)
     #: construction; post-construction writes require the lock (see
     #: repro.service.locking)
@@ -89,6 +95,7 @@ class ServiceMetrics:
             stats.queue_seconds += metrics.queue_seconds
             if metrics.trace is not None:
                 for node in metrics.trace.walk():
+                    self.trace_operators += 1
                     q_error = node.q_error
                     if q_error is None:
                         continue
@@ -138,13 +145,26 @@ class ServiceMetrics:
 
     @property
     def mean_q_error(self) -> float:
+        # q-errors are >= 1.0 by construction, so the empty aggregate
+        # is the identity (perfect estimates), not an impossible 0.0
         if not self.q_errors:
-            return 0.0
+            return 1.0
         return sum(self.q_errors) / len(self.q_errors)
 
     @property
     def q_error_p95(self) -> float:
+        if not self.q_errors:
+            return 1.0
         return percentile(self.q_errors, 95.0)
+
+    @property
+    def estimate_coverage(self) -> float:
+        """Fraction of trace operators that carried a cardinality
+        q-error; 1.0 with no operators seen (vacuously full coverage,
+        so an idle service doesn't read as uninstrumented)."""
+        if self.trace_operators == 0:
+            return 1.0
+        return len(self.q_errors) / self.trace_operators
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -162,6 +182,8 @@ class ServiceMetrics:
             "mean_queue_seconds": self.mean_queue_seconds,
             "estimate_errors": {
                 "operators": len(self.q_errors),
+                "trace_operators": self.trace_operators,
+                "coverage": self.estimate_coverage,
                 "mean_q_error": self.mean_q_error,
                 "q_error_p95": self.q_error_p95,
                 "worst_q_error": self.worst_q_error,

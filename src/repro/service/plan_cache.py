@@ -90,6 +90,15 @@ class PlanCacheKey:
     catalog_version: int
     param_types: Tuple
     scope: str = ""
+    #: execution-relevant configuration baked into the compiled plan:
+    #: (execution_mode, storage_mode, intra_query_parallelism). A plan
+    #: compiled under one mode must never serve another — the physical
+    #: plan shape and cost decisions can differ.
+    exec_fingerprint: Tuple = ()
+    #: version of the database's cardinality-feedback statistics at
+    #: compile time; feedback that materially changes an estimate bumps
+    #: it, so plans built from stale statistics miss and recompile
+    feedback_version: int = 0
 
 
 @dataclass
@@ -153,15 +162,24 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def purge_stale(self, current_version: int) -> int:
-        """Drop entries compiled against an older catalog version; they
-        can never hit again (the key embeds the version), so this only
-        frees memory. Returns the number dropped."""
+    def purge_stale(
+        self,
+        current_version: int,
+        feedback_version: Optional[int] = None,
+    ) -> int:
+        """Drop entries compiled against an older catalog version (or,
+        when ``feedback_version`` is given, older feedback statistics);
+        they can never hit again (the key embeds both versions), so
+        this only frees memory. Returns the number dropped."""
         with self._lock:
             stale = [
                 key
                 for key in self._entries
                 if key.catalog_version != current_version
+                or (
+                    feedback_version is not None
+                    and key.feedback_version != feedback_version
+                )
             ]
             for key in stale:
                 del self._entries[key]

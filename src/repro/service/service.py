@@ -343,6 +343,12 @@ class QueryService:
             catalog_version=self.db.catalog.version,
             param_types=param_signature(converted),
             scope=session.plan_scope,
+            exec_fingerprint=(
+                self.db.execution_mode,
+                self.db.config.storage_mode,
+                self.db.config.intra_query_parallelism,
+            ),
+            feedback_version=self.db.feedback.version,
         )
         if self.config.plan_cache_enabled:
             cached = self.plan_cache.lookup(key)
@@ -365,7 +371,10 @@ class QueryService:
             + self.config.compile_cost_per_node_s * plan.node_count
         )
         if self.config.plan_cache_enabled:
-            self.plan_cache.purge_stale(self.db.catalog.version)
+            self.plan_cache.purge_stale(
+                self.db.catalog.version,
+                feedback_version=self.db.feedback.version,
+            )
             self.plan_cache.store(key, plan)
         return plan, False, compile_seconds
 

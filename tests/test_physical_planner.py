@@ -13,6 +13,7 @@ from repro.plan.physical import (
     PPartialAggregate,
     PScan,
     PSortLimit,
+    PTopK,
 )
 from repro.sql import parse_statement
 
@@ -102,15 +103,24 @@ class TestAggregatePlanning:
 
 class TestSortPlanning:
     def test_local_then_gather_then_final(self, db):
+        # a small LIMIT now lowers to the bounded-heap Top-K operator
         physical = plan(db, "SELECT k FROM small ORDER BY k LIMIT 3")
-        sorts = collect(physical, PSortLimit)
+        sorts = collect(physical, PTopK)
         assert {s.final for s in sorts} == {True, False}
         assert [e.kind for e in collect(physical, PExchange)] == ["gather"]
 
     def test_limits_applied_both_phases(self, db):
         physical = plan(db, "SELECT k FROM small ORDER BY k LIMIT 3")
-        for sort in collect(physical, PSortLimit):
+        sorts = collect(physical, PTopK)
+        assert sorts
+        for sort in sorts:
             assert sort.limit == 3
+
+    def test_no_limit_uses_full_sort(self, db):
+        physical = plan(db, "SELECT k FROM small ORDER BY k")
+        sorts = collect(physical, PSortLimit)
+        assert {s.final for s in sorts} == {True, False}
+        assert not collect(physical, PTopK)
 
 
 class TestPartitioningPropagation:
