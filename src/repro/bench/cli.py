@@ -35,6 +35,7 @@ TARGETS = (
     "spill",
     "recover",
     "feedback",
+    "views",
     "all",
 )
 
@@ -184,6 +185,19 @@ def run_feedback_target(
     return format_feedback(report), report.ok()
 
 
+def run_views_target(
+    smoke: bool = False, out: str = "BENCH_views.json"
+) -> "tuple":
+    """Returns (report text, ok) for the materialized-view benchmark;
+    ``out`` is where the JSON snapshot lands ('' skips the write)."""
+    from .viewbench import format_views, run_view_bench, write_snapshot
+
+    report = run_view_bench(smoke=smoke)
+    if out:
+        write_snapshot(report, out)
+    return format_views(report), report.ok()
+
+
 def run_target(target: str, run_mini: bool = True) -> str:
     if target == "fig1":
         return format_figure(figure("gram", run_mini=run_mini))
@@ -209,6 +223,8 @@ def run_target(target: str, run_mini: bool = True) -> str:
         return run_recover_target()[0]
     if target == "feedback":
         return run_feedback_target()[0]
+    if target == "views":
+        return run_views_target()[0]
     if target == "all":
         # "all" regenerates the paper artifacts; the serving benchmark
         # is its own target so the golden figure outputs stay stable.
@@ -386,6 +402,20 @@ def main(argv=None) -> int:
                 "feedback check FAILED: q-error did not converge with "
                 "feedback on, drifted with it off, rows changed, or "
                 "Top-K held more than O(k) state"
+            )
+            return 1
+        return 0
+    if args.target == "views":
+        text, ok = run_views_target(
+            smoke=args.check,
+            out=args.out if args.out is not None else "BENCH_views.json",
+        )
+        print(text)
+        if args.check and not ok:
+            print(
+                "views check FAILED: maintenance was not O(delta), the "
+                "view never answered the query, the hit was not cheaper "
+                "than the cold plan, or rows diverged"
             )
             return 1
         return 0

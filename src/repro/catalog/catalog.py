@@ -3,7 +3,9 @@
 Table payloads (partitioned tuple storage) live in the engine; the catalog
 holds schemas and metadata and maps names to storage. Views are stored as
 parsed query ASTs and expanded during binding, exactly like traditional
-SQL views.
+SQL views. Materialized views (``repro/views/``) additionally carry
+stored state; the catalog tracks their base-table dependency graph so
+``DROP TABLE`` cannot silently orphan them.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import CatalogError
+from ..errors import CatalogError, DependentViewError
 from .schema import Schema
 from .statistics import TableStats
 
@@ -42,12 +44,27 @@ class Catalog:
     bumped on every DDL change and on every statistics refresh. Cached
     query plans are keyed on it: any version change invalidates them
     (plans bake in resolved names, refined types, and size estimates).
+
+    Two finer-grained counters let caches invalidate selectively instead
+    of flushing on every data load:
+
+    * :attr:`ddl_version` moves only when the *set of relations* changes
+      (create/drop of a table or view) — name resolution can change, so
+      every cached plan is suspect;
+    * per-table versions (:meth:`table_version`) move when one table's
+      data or statistics change — only plans that read that table are
+      suspect.
     """
 
     def __init__(self):
         self._tables: Dict[str, TableEntry] = {}
         self._views: Dict[str, ViewEntry] = {}
+        #: materialized views (repro.views.MaterializedView objects),
+        #: keyed like every other relation
+        self._matviews: Dict[str, object] = {}
         self.version = 0
+        self.ddl_version = 0
+        self._table_versions: Dict[str, int] = {}
 
     def bump_version(self) -> int:
         """Advance the catalog version (DDL or statistics change);
@@ -55,15 +72,33 @@ class Catalog:
         self.version += 1
         return self.version
 
+    def bump_ddl(self) -> int:
+        """Advance the DDL version (the set of relations changed)."""
+        self.ddl_version += 1
+        return self.ddl_version
+
+    # -- per-table data versions -----------------------------------------
+
+    def bump_table(self, name: str) -> int:
+        """Advance one table's data version (DML or statistics refresh);
+        cached plans referencing the table are stale, others are not."""
+        key = name.lower()
+        self._table_versions[key] = self._table_versions.get(key, 0) + 1
+        return self._table_versions[key]
+
+    def table_version(self, name: str) -> int:
+        return self._table_versions.get(name.lower(), 0)
+
     # -- tables -----------------------------------------------------------
 
     def create_table(self, name: str, schema: Schema) -> TableEntry:
         key = name.lower()
-        if key in self._tables or key in self._views:
+        if self.has_relation(name):
             raise CatalogError(f"relation {name!r} already exists")
         entry = TableEntry(name=name, schema=schema)
         self._tables[key] = entry
         self.bump_version()
+        self.bump_ddl()
         return entry
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -72,8 +107,19 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"no table named {name!r}")
+        dependents = self.views_depending_on(name)
+        if dependents:
+            raise DependentViewError(
+                f"cannot drop table {name!r}: materialized view(s) "
+                f"{', '.join(repr(v) for v in dependents)} depend on it "
+                f"(drop them first)",
+                table=name,
+                views=dependents,
+            )
         del self._tables[key]
+        self._table_versions.pop(key, None)
         self.bump_version()
+        self.bump_ddl()
 
     def table(self, name: str) -> TableEntry:
         entry = self._tables.get(name.lower())
@@ -93,11 +139,12 @@ class Catalog:
         self, name: str, query, column_names: Optional[List[str]] = None
     ) -> ViewEntry:
         key = name.lower()
-        if key in self._tables or key in self._views:
+        if self.has_relation(name):
             raise CatalogError(f"relation {name!r} already exists")
         entry = ViewEntry(name=name, query=query, column_names=column_names)
         self._views[key] = entry
         self.bump_version()
+        self.bump_ddl()
         return entry
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
@@ -108,10 +155,50 @@ class Catalog:
             raise CatalogError(f"no view named {name!r}")
         del self._views[key]
         self.bump_version()
+        self.bump_ddl()
 
     def view(self, name: str) -> Optional[ViewEntry]:
         return self._views.get(name.lower())
 
+    # -- materialized views ------------------------------------------------
+
+    def create_materialized_view(self, view) -> None:
+        """Register one :class:`repro.views.MaterializedView` under its
+        name (which must be free across tables, views, and materialized
+        views alike)."""
+        if self.has_relation(view.name):
+            raise CatalogError(f"relation {view.name!r} already exists")
+        self._matviews[view.name.lower()] = view
+        self.bump_version()
+        self.bump_ddl()
+
+    def drop_materialized_view(self, name: str, if_exists: bool = False):
+        key = name.lower()
+        view = self._matviews.pop(key, None)
+        if view is None:
+            if if_exists:
+                return None
+            raise CatalogError(f"no materialized view named {name!r}")
+        self.bump_version()
+        self.bump_ddl()
+        return view
+
+    def materialized_view(self, name: str):
+        return self._matviews.get(name.lower())
+
+    def materialized_views(self) -> List[object]:
+        return list(self._matviews.values())
+
+    def views_depending_on(self, table: str) -> List[str]:
+        """Names of materialized views that read ``table`` (registration
+        order) — the dependency edges DROP TABLE refuses to cut."""
+        key = table.lower()
+        return [
+            view.name
+            for view in self._matviews.values()
+            if key in view.base_tables
+        ]
+
     def has_relation(self, name: str) -> bool:
         key = name.lower()
-        return key in self._tables or key in self._views
+        return key in self._tables or key in self._views or key in self._matviews

@@ -119,6 +119,16 @@ class ClusterConfig:
     #: "Adaptive optimization").
     feedback_mode: str = "on"
 
+    #: materialized-view maintenance policy: "eager" folds appended rows
+    #: into incremental views (and recomputes full views) inside the
+    #: mutating statement, so every view is always fresh; "deferred"
+    #: moves the incremental fold to the next read and marks full views
+    #: stale until an explicit REFRESH MATERIALIZED VIEW (stale views
+    #: are skipped by the optimizer's view matching). Either way,
+    #: answering from a view is bit-identical to rescanning
+    #: (docs/VIEWS.md).
+    view_refresh_mode: str = "eager"
+
     @property
     def effective_buffer_pool_bytes(self) -> float:
         """The working-memory budget actually enforced: the explicit

@@ -43,10 +43,12 @@ from .config import ClusterConfig
 from .engine import Cluster, Executor, PartitionedTable, QueryMetrics
 from .errors import CompileError, ExecutionError
 from .plan import Binder, CostModel, Optimizer, PhysicalPlanner
-from .plan.physical import PFilter, PHashJoin, PNestedLoopJoin, PScan
+from .plan.logical import OutputColumn, ViewScanNode
+from .plan.physical import PFilter, PHashJoin, PNestedLoopJoin, PScan, PViewScan
 from .sql import ast, parse_script, parse_statement
 from .storage import DiskPartitionedTable, StorageEngine
 from .types import Matrix, Vector
+from .views import ViewMatcher, ViewRegistry
 
 
 class Result:
@@ -146,6 +148,10 @@ class Database:
         # the storage engine's durability barriers (sealed segment
         # writes) draw from the same injector as the executor
         self.storage.set_injector(self._executor.injector)
+        #: materialized views (docs/VIEWS.md): lifecycle, delta
+        #: maintenance on base-table changes, and the counters behind
+        #: ``QueryService.stats()["views"]``
+        self.views = ViewRegistry(self)
         #: reader–writer statement admission: read-only statements run
         #: concurrently against a stable catalog, DDL/DML and config
         #: swaps take the exclusive path (see repro/admission.py). This
@@ -417,7 +423,15 @@ class Database:
         ):
             entry.stats = collect_stats(entry.schema, entry.storage.all_rows())
         # statistics feed refined types and size estimates into plans, so
-        # every refresh invalidates cached plans via the catalog version
+        # every refresh invalidates cached plans that read this table
+        # (the plan cache validates the per-table version)
+        self.catalog.bump_table(entry.name)
+        # materialized views over this table fold the delta (append) or
+        # refresh/go stale (delete), per config.view_refresh_mode
+        if appended is not None:
+            self.views.on_table_appended(entry.name)
+        else:
+            self.views.on_table_changed(entry.name)
         self.catalog.bump_version()
 
     # -- SQL ----------------------------------------------------------------------
@@ -545,7 +559,7 @@ class Database:
             entry = self.catalog.table(statement.name)
             entry.storage.insert_many(result.rows)
             self._refresh_stats(entry, appended=result.rows)
-            return result
+            return self._attach_maintenance(result)
         if isinstance(statement, ast.CreateView):
             if statement.temporary:
                 raise CompileError(
@@ -567,6 +581,17 @@ class Database:
                 statement.name, statement.query, statement.column_names
             )
             return Result([], [])
+        if isinstance(statement, ast.CreateMaterializedView):
+            self.views.create(
+                statement.name, statement.query, statement.column_names
+            )
+            return Result([], [])
+        if isinstance(statement, ast.RefreshMaterializedView):
+            self.views.refresh(statement.name)
+            return Result([], [])
+        if isinstance(statement, ast.DropMaterializedView):
+            self.views.drop(statement.name, if_exists=statement.if_exists)
+            return Result([], [])
         if isinstance(statement, ast.InsertValues):
             entry = self.catalog.table(statement.table)
             binder = Binder(self.catalog, params)
@@ -574,7 +599,7 @@ class Database:
             inserted = [tuple(row) for row in rows]
             entry.storage.insert_many(inserted)
             self._refresh_stats(entry, appended=inserted)
-            return Result([], [])
+            return self._attach_maintenance(Result([], []))
         if isinstance(statement, ast.InsertSelect):
             return self._run_insert_select(statement, params)
         if isinstance(statement, ast.Delete):
@@ -616,7 +641,7 @@ class Database:
             )
         entry.storage.insert_many(coerced)
         self._refresh_stats(entry, appended=coerced)
-        return Result([], [], result.metrics)
+        return self._attach_maintenance(Result([], [], result.metrics))
 
     def _run_delete(
         self, statement: ast.Delete, params: Optional[Dict[str, object]]
@@ -627,7 +652,7 @@ class Database:
         if statement.where is None:
             entry.storage.truncate()
             self._refresh_stats(entry)
-            return Result([], [])
+            return self._attach_maintenance(Result([], []))
         converted = {
             key: _convert_value(value) for key, value in (params or {}).items()
         }
@@ -647,7 +672,7 @@ class Database:
                 [row for row in rows if not predicate.evaluate(RowView(row, index))],
             )
         self._refresh_stats(entry)
-        return Result([], [])
+        return self._attach_maintenance(Result([], []))
 
     def _run_union(
         self, statement: ast.UnionStatement, params: Optional[Dict[str, object]]
@@ -697,19 +722,48 @@ class Database:
         params: Optional[Dict[str, object]],
         catalog=None,
         param_cells=None,
+        use_views=True,
     ):
         """Bind and optimize a SELECT. ``catalog`` may be a session-level
         overlay (temp views); ``param_cells`` switches parameters to
-        runtime slots so the service layer can cache the plan."""
+        runtime slots so the service layer can cache the plan;
+        ``use_views=False`` disables view-based answering (a view's own
+        refresh must recompute from the base tables)."""
         converted = {
             key: _convert_value(value) for key, value in (params or {}).items()
         }
-        binder = Binder(
-            catalog or self.catalog, converted, param_cells=param_cells
-        )
+        scope = catalog or self.catalog
+        binder = Binder(scope, converted, param_cells=param_cells)
         plan = binder.bind_select(statement)
-        optimizer = Optimizer(self.cost_model)
-        return optimizer.optimize(plan)
+        whole = self._match_whole_statement(statement, scope) if use_views else None
+        if whole is not None:
+            replacement = ViewScanNode(whole, plan.columns, None)
+            replacement.view_hits = 1
+            replacement.view_misses = 0
+            return replacement
+        matcher = ViewMatcher(scope) if use_views else None
+        optimizer = Optimizer(self.cost_model, view_matcher=matcher)
+        optimized = optimizer.optimize(plan)
+        optimized.view_hits = optimizer.view_hits
+        optimized.view_misses = optimizer.view_misses
+        return optimized
+
+    @staticmethod
+    def _match_whole_statement(statement: ast.SelectStatement, catalog):
+        """A fresh *full-mode* materialized view whose defining query is
+        structurally identical to ``statement`` (AST dataclass
+        equality) — the whole result is served from stored rows. The
+        incrementally maintainable class is matched at the subtree
+        level by the optimizer's ViewMatcher instead."""
+        list_views = getattr(catalog, "materialized_views", None)
+        if list_views is None:
+            return None
+        for view in list_views():
+            if view.incremental or not view.fresh:
+                continue
+            if view.query == statement:
+                return view
+        return None
 
     def _plan_physical(self, logical):
         return PhysicalPlanner(self.cost_model).plan(logical)
@@ -730,8 +784,21 @@ class Database:
                 self.cost_model.annotate_trace(metrics.trace, physical)
                 if self.config.feedback_mode == "on":
                     self._absorb_feedback(metrics.trace, physical)
+        metrics.view_hits = self._count_view_scans(physical)
+        metrics.view_misses = getattr(logical, "view_misses", 0)
         columns = [column.name for column in logical.columns]
         return Result(columns, rows, metrics)
+
+    @staticmethod
+    def _count_view_scans(physical) -> int:
+        count = 0
+        stack = [physical]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, PViewScan):
+                count += 1
+            stack.extend(node.children())
+        return count
 
     def _absorb_feedback(self, trace, node) -> None:
         """Fold one statement's observed cardinalities back into the
@@ -813,8 +880,21 @@ class Database:
         return trace.est_rows / child_est
 
     def _run_select(
-        self, statement: ast.SelectStatement, params: Optional[Dict[str, object]]
+        self,
+        statement: ast.SelectStatement,
+        params: Optional[Dict[str, object]],
+        use_views: bool = True,
     ) -> Result:
-        logical = self._plan_select(statement, params)
+        logical = self._plan_select(statement, params, use_views=use_views)
         physical = self._plan_physical(logical)
         return self._execute_physical(logical, physical)
+
+    def _attach_maintenance(self, result: Result) -> Result:
+        """Fold the view maintenance a mutating statement triggered into
+        its metrics (view counters in EXPLAIN ANALYZE / stats)."""
+        summary = self.views.take_last_maintenance()
+        if summary:
+            result.metrics.view_maintenance = summary.get("maintained", 0)
+            result.metrics.view_delta_rows = summary.get("delta_rows", 0)
+            result.metrics.view_refreshes = summary.get("refreshes", 0)
+        return result

@@ -70,6 +70,7 @@ from ..plan.physical import (
     PhysicalNode,
     PSortLimit,
     PTopK,
+    PViewScan,
     resolve_prune_predicates,
 )
 from ..storage.segment import segment_pruned
@@ -274,6 +275,7 @@ class Executor:
                 PDistinct: self._distinct_batch,
                 PSortLimit: self._sort_limit_batch,
                 PTopK: self._top_k_batch,
+                PViewScan: self._view_scan_batch,
             }
         else:
             self._handlers = {
@@ -288,6 +290,7 @@ class Executor:
                 PDistinct: self._distinct,
                 PSortLimit: self._sort_limit,
                 PTopK: self._top_k,
+                PViewScan: self._view_scan,
             }
         fault_plan = cluster.config.fault_plan
         if injector is not None:
@@ -793,6 +796,36 @@ class Executor:
         tasks.finish()
         parts = [rows for rows, _ in scanned_parts]
         parts_bytes = [sizes for _, sizes in scanned_parts]
+        run.rows_in = run.rows_out
+        self.cluster.record(run)
+        column_ids = [column.column_id for column in node.columns]
+        return DistributedRelation(
+            column_ids, parts, node.partitioning, row_bytes=parts_bytes
+        )
+
+    def _view_scan(self, node: PViewScan) -> DistributedRelation:
+        """Answer from a materialized view's stored state: slot 0 emits
+        the view's rows (for an incremental view, the merged + finished
+        accumulator states — deferred maintenance catches up here, under
+        the view's lock), every other slot is empty, matching the SINGLE
+        layout of the final aggregate or gathered result it replaces."""
+        run = self.cluster.operator(f"ViewScan({node.view.name})")
+        tasks = self._partition_tasks(run, self.slots)
+
+        def view_slot(slot, op):
+            if slot != 0:
+                return [], []
+            rows = node.view.answer_rows(node.spec_indices)
+            sizes = [row_bytes(row) for row in rows]
+            op.charge_cpu(slot, tuples=len(rows))
+            op.rows_out += len(rows)
+            op.bytes_out += sum(sizes)
+            return rows, sizes
+
+        answered = tasks.map(view_slot)
+        tasks.finish()
+        parts = [rows for rows, _ in answered]
+        parts_bytes = [sizes for _, sizes in answered]
         run.rows_in = run.rows_out
         self.cluster.record(run)
         column_ids = [column.column_id for column in node.columns]
@@ -1399,6 +1432,31 @@ class Executor:
             return batch
 
         parts = tasks.map(scan_slot)
+        tasks.finish()
+        run.rows_in = run.rows_out
+        self.cluster.record(run)
+        return DistributedRelation(column_ids, parts, node.partitioning)
+
+    def _view_scan_batch(self, node: PViewScan) -> DistributedRelation:
+        """Batch twin of :meth:`_view_scan` — same rows, same single
+        partition, wrapped as columnar batches."""
+        run = self.cluster.operator(f"ViewScan({node.view.name})")
+        column_ids = [column.column_id for column in node.columns]
+        tasks = self._partition_tasks(run, self.slots)
+
+        def view_slot(slot, op):
+            if slot != 0:
+                return Batch.empty_like(column_ids)
+            rows = node.view.answer_rows(node.spec_indices)
+            sizes = [row_bytes(row) for row in rows]
+            op.charge_cpu(slot, tuples=len(rows))
+            op.rows_out += len(rows)
+            op.bytes_out += sum(sizes)
+            return Batch.from_rows(
+                column_ids, rows, row_bytes=np.asarray(sizes, dtype=np.float64)
+            )
+
+        parts = tasks.map(view_slot)
         tasks.finish()
         run.rows_in = run.rows_out
         self.cluster.record(run)

@@ -246,6 +246,16 @@ class QueryMetrics:
     speculative_seconds: float = 0.0
     #: injected fault counts by kind
     fault_events: Dict[str, int] = field(default_factory=dict)
+    #: materialized-view accounting (docs/VIEWS.md): aggregate subtrees
+    #: answered from stored view state / considered but not answered in
+    #: this statement's plan, and — for DML — the maintenance work the
+    #: statement triggered (view delta-folds, rows folded, full
+    #: refreshes)
+    view_hits: int = 0
+    view_misses: int = 0
+    view_maintenance: int = 0
+    view_delta_rows: int = 0
+    view_refreshes: int = 0
     #: per-operator estimate-vs-actual trace tree (EXPLAIN ANALYZE);
     #: built by the executor for every statement, estimate columns are
     #: annotated by the database layer's cost model
@@ -334,6 +344,11 @@ class QueryMetrics:
             speculative_seconds=self.speculative_seconds
             + other.speculative_seconds,
             fault_events=fault_events,
+            view_hits=self.view_hits + other.view_hits,
+            view_misses=self.view_misses + other.view_misses,
+            view_maintenance=self.view_maintenance + other.view_maintenance,
+            view_delta_rows=self.view_delta_rows + other.view_delta_rows,
+            view_refreshes=self.view_refreshes + other.view_refreshes,
             # a merged record spans several statements; keep the first
             # statement's trace (callers wanting all traces hold the
             # per-statement Results)
@@ -378,6 +393,19 @@ class QueryMetrics:
                 f"queued {self.queue_seconds:.3f}s  "
                 f"stretch {self.stretch_seconds:.3f}s  "
                 f"elapsed {self.elapsed_seconds:.3f}s"
+            )
+        if (
+            self.view_hits
+            or self.view_misses
+            or self.view_maintenance
+            or self.view_refreshes
+        ):
+            lines.append(
+                f"{'VIEWS':<24}answered {self.view_hits} subtree(s)  "
+                f"missed {self.view_misses}  "
+                f"maintained {self.view_maintenance} view(s) "
+                f"({self.view_delta_rows} delta row(s))  "
+                f"refreshed {self.view_refreshes}"
             )
         if (
             self.spill_bytes

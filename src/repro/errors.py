@@ -76,6 +76,26 @@ class CatalogError(ReproError):
     code = "catalog_error"
 
 
+class DependentViewError(CatalogError):
+    """DROP TABLE was refused because materialized views still depend on
+    the table. There is no silent cascade: the caller must drop the
+    dependents first. ``views`` lists their names (machine-readable, in
+    catalog registration order)."""
+
+    code = "dependent_views"
+
+    def __init__(self, message: str, table: str = "", views: Optional[list] = None):
+        self.table = table
+        self.views = list(views or [])
+        super().__init__(message)
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["table"] = self.table
+        payload["views"] = self.views
+        return payload
+
+
 class DurabilityError(ReproError):
     """A write-ahead-log or checkpoint write failed (disk full, I/O
     error). The in-memory state of the statement that triggered it may

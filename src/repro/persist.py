@@ -45,9 +45,13 @@ from .types import LabeledScalar, Matrix, Vector
 #: statistics and the catalog version (restore skips the full
 #: statistics rescan) and keeps rows *per partition*, so restoring onto
 #: the same cluster shape reproduces the exact slot layout — and
-#: therefore bit-identical per-slot summation order. v1 files remain
-#: readable (they rescan and re-deal, as before).
-FORMAT_VERSION = 2
+#: therefore bit-identical per-slot summation order. v3 adds
+#: materialized views: the definition plus a full view's stored result
+#: rows and staleness flag (an incremental view's accumulator state is
+#: re-folded from the restored partitions, which reproduces it
+#: bit-for-bit — the partitions land verbatim). v1/v2 files remain
+#: readable.
+FORMAT_VERSION = 3
 MAGIC = "repro-database"
 #: header of framed (checksummed) snapshot files; files without it are
 #: read as legacy bare pickles
@@ -178,7 +182,7 @@ def load_snapshot(path: str, injector=None) -> dict:
         ) from exc
     if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
         raise ReproError(f"{path!r} is not a repro database file")
-    if payload.get("version") not in (1, FORMAT_VERSION):
+    if payload.get("version") not in (1, 2, FORMAT_VERSION):
         raise ReproError(
             f"unsupported database file version {payload.get('version')!r}"
         )
@@ -219,6 +223,28 @@ def save_database(db, path: str, injector=None) -> None:
         }
         for view in db.catalog._views.values()
     ]
+    matviews = [
+        {
+            "name": view.name,
+            "query": view.query,
+            "column_names": view.column_names,
+            "mode": view.mode,
+            # a full view's stored result rows travel verbatim (a stale
+            # deferred view must come back with its *old* rows, not a
+            # recompute); incremental state is re-folded from the
+            # restored partitions instead, which is bit-identical
+            "rows": (
+                None
+                if view.incremental
+                else [
+                    tuple(_freeze_value(value) for value in row)
+                    for row in view.rows
+                ]
+            ),
+            "stale": view.stale,
+        }
+        for view in db.catalog.materialized_views()
+    ]
     payload = {
         "magic": MAGIC,
         "version": FORMAT_VERSION,
@@ -226,6 +252,7 @@ def save_database(db, path: str, injector=None) -> None:
         "catalog_version": db.catalog.version,
         "tables": tables,
         "views": views,
+        "matviews": matviews,
     }
     write_snapshot(path, payload, injector=injector)
 
@@ -272,6 +299,21 @@ def apply_snapshot(db, payload: dict) -> None:
             db._refresh_stats(entry)
     for view in payload["views"]:
         db.catalog.create_view(view["name"], view["query"], view["column_names"])
+    for frozen in payload.get("matviews", ()):
+        rows = frozen.get("rows")
+        db.views.restore(
+            frozen["name"],
+            frozen["query"],
+            frozen["column_names"],
+            rows=(
+                None
+                if rows is None
+                else [
+                    tuple(_thaw_value(value) for value in row) for row in rows
+                ]
+            ),
+            stale=frozen.get("stale", False),
+        )
     saved_catalog_version = payload.get("catalog_version")
     if saved_catalog_version is not None:
         # the saved version is authoritative for snapshot state: the

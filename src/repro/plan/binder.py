@@ -60,6 +60,7 @@ from .logical import (
     ProjectNode,
     ScanNode,
     SortNode,
+    ViewScanNode,
 )
 
 
@@ -252,6 +253,23 @@ class Binder:
             if view.column_names is not None:
                 plan = self._rename(plan, view.column_names)
             return _Binding(item.binding_name, plan)
+        matview = getattr(self._catalog, "materialized_view", lambda _: None)(
+            item.name
+        )
+        if matview is not None:
+            # FROM <matview> reads the stored state directly — no
+            # recomputation (an incremental view self-catches-up at
+            # execution; a stale full view serves its last refresh)
+            columns = [
+                OutputColumn(next(self._ids), name, data_type)
+                for name, data_type in matview.columns
+            ]
+            indices = (
+                list(matview.output_spec_indices) if matview.incremental else None
+            )
+            return _Binding(
+                item.binding_name, ViewScanNode(matview, columns, indices)
+            )
         table = self._catalog.table(item.name)
         return _Binding(item.binding_name, self._scan(table, item.binding_name))
 

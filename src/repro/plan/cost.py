@@ -48,6 +48,7 @@ from .logical import (
     ProjectNode,
     ScanNode,
     SortNode,
+    ViewScanNode,
 )
 
 #: Selectivity guesses when statistics are missing.
@@ -148,6 +149,10 @@ class CostModel:
     def estimate(self, node: LogicalNode) -> Estimate:
         if isinstance(node, ScanNode):
             return self._estimate_scan(node)
+        if isinstance(node, ViewScanNode):
+            return Estimate(
+                max(node.view.estimated_rows(), 1.0), self.row_width(node)
+            )
         if isinstance(node, FilterNode):
             child = self.estimate(node.child)
             selectivity = self._feedback_selectivity(node.predicate, node.child)
@@ -426,6 +431,9 @@ class CostModel:
         estimate = self.estimate(node)
         if isinstance(node, ScanNode):
             return self.scan_cost(estimate)
+        if isinstance(node, ViewScanNode):
+            # stored state, no scan, no shuffle: just emitting the rows
+            return estimate.rows * self.config.tuple_cpu_s
         child_cost = sum(self.plan_cost(child) for child in node.children())
         if isinstance(node, FilterNode):
             child_est = self.estimate(node.child)
@@ -509,6 +517,7 @@ class CostModel:
             PScan,
             PSortLimit,
             PTopK,
+            PViewScan,
         )
 
         if memo is None:
@@ -530,6 +539,10 @@ class CostModel:
                     distinct[column.column_id] = float(stat)
             est = Estimate(rows, self.row_width(node), distinct)
             result = (est, self.scan_cost(est))
+        elif isinstance(node, PViewScan):
+            rows = max(node.view.estimated_rows(), 1.0)
+            est = Estimate(rows, self.row_width(node))
+            result = (est, rows * self.config.tuple_cpu_s)
         elif isinstance(node, PFilter):
             child, _ = self.physical_estimate(node.child, memo)
             selectivity = self._feedback_selectivity(node.predicate, node.child)

@@ -95,6 +95,34 @@ class ScanNode(LogicalNode):
         return f"Scan {self.table.name} AS {self.binding_name} ({rows} rows)"
 
 
+class ViewScanNode(LogicalNode):
+    """Read a materialized view's stored state instead of recomputing.
+
+    ``view`` is a :class:`repro.views.MaterializedView`. For an
+    incremental view, ``spec_indices`` maps each output column to the
+    view's aggregate-spec index that produces it (the matcher may select
+    a subset or permutation of the view's aggregates); for a full view
+    (``spec_indices is None``) the stored result rows are emitted
+    verbatim. Output is a single partition — exactly the layout of the
+    scalar final-aggregate (or gathered result) this node replaces, so
+    downstream operators see bit-identical row order.
+    """
+
+    def __init__(
+        self,
+        view,
+        columns: List[OutputColumn],
+        spec_indices: Optional[List[int]] = None,
+    ):
+        self.view = view
+        self.columns = list(columns)
+        self.spec_indices = list(spec_indices) if spec_indices is not None else None
+
+    def describe(self) -> str:
+        mode = "incremental" if self.spec_indices is not None else "full"
+        return f"ViewScan {self.view.name} ({mode})"
+
+
 class FilterNode(LogicalNode):
     def __init__(self, child: LogicalNode, predicate: TypedExpr):
         self.child = child

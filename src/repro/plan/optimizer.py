@@ -209,12 +209,19 @@ class _Candidate:
 
 
 class Optimizer:
-    def __init__(self, cost_model: CostModel):
+    def __init__(self, cost_model: CostModel, view_matcher=None):
         self.cost = cost_model
+        self.views = view_matcher  # repro.views.ViewMatcher or None
         self._ids = None  # set in optimize()
+        #: per-optimize() counts of aggregate subtrees answered from a
+        #: materialized view / considered but not answered
+        self.view_hits = 0
+        self.view_misses = 0
 
     def optimize(self, plan: LogicalNode) -> LogicalNode:
         self._ids = itertools.count(_max_column_id(plan) + 1)
+        self.view_hits = 0
+        self.view_misses = 0
         optimized, _ = self._optimize(plan, None)
         return optimized
 
@@ -228,6 +235,15 @@ class Optimizer:
             exprs = [substitute(expr, subst) for expr in node.exprs]
             return ProjectNode(child, exprs, node.columns), {}
         if isinstance(node, AggregateNode):
+            if self.views is not None:
+                replacement, considered = self.views.match_aggregate(node)
+                if replacement is not None and self.cost.plan_cost(
+                    replacement
+                ) < self.cost.plan_cost(node):
+                    self.view_hits += 1
+                    return replacement, {}
+                if considered:
+                    self.view_misses += 1
             inner_consumers = list(node.group_exprs) + [
                 spec.arg for spec in node.aggregates if spec.arg is not None
             ]

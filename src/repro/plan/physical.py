@@ -44,6 +44,7 @@ from .logical import (
     ProjectNode,
     ScanNode,
     SortNode,
+    ViewScanNode,
 )
 
 
@@ -89,6 +90,23 @@ class PScan(PhysicalNode):
 
     def describe(self) -> str:
         return f"Scan {self.table.name}"
+
+
+class PViewScan(PhysicalNode):
+    """Emit a materialized view's stored state: one partition (slot 0),
+    like the scalar FinalAggregate or gathered result it replaces. The
+    state is read at *execution* time, so a cached plan holding this
+    node always serves the view's current contents."""
+
+    def __init__(self, node: ViewScanNode):
+        self.view = node.view
+        self.spec_indices = node.spec_indices
+        self.columns = list(node.columns)
+        self.partitioning = SINGLE
+
+    def describe(self) -> str:
+        mode = "incremental" if self.spec_indices is not None else "full"
+        return f"ViewScan {self.view.name} ({mode})"
 
 
 class PFilter(PhysicalNode):
@@ -421,6 +439,8 @@ class PhysicalPlanner:
     def plan(self, node: LogicalNode) -> PhysicalNode:
         if isinstance(node, ScanNode):
             return PScan(node.table, node.columns)
+        if isinstance(node, ViewScanNode):
+            return PViewScan(node)
         if isinstance(node, FilterNode):
             child = self.plan(node.child)
             if isinstance(child, PScan):

@@ -8,9 +8,14 @@ plan, and the statement's runtime parameter cells, keyed on:
 
 * the **normalized SQL text** (token-normalized: whitespace and keyword
   case insensitive, so ``select X`` and ``SELECT  x`` share a plan);
-* the **catalog version** — bumped on every DDL statement and every
-  statistics refresh, so schema changes and data loads invalidate
-  cached plans without any explicit dependency tracking;
+* the **DDL version** — bumped only when the set of relations changes
+  (CREATE/DROP), so schema changes invalidate everything, while plain
+  data changes do not touch the key at all;
+* the **referenced-table versions** — each cached plan records the
+  per-table version of every base table it scans at compile time, and
+  a lookup revalidates them: an ``INSERT`` into table A bumps only A's
+  version, so plans that touch only table B keep hitting (previously
+  any catalog bump flushed the whole cache);
 * the **parameter type signature** — plans bake in inferred vector and
   matrix dimensions (the paper's templated signatures), so ``:v`` bound
   to a length-10 vector compiles a different plan than a length-20 one;
@@ -87,7 +92,11 @@ def param_signature(params: Dict[str, object]) -> Tuple:
 @dataclass(frozen=True)
 class PlanCacheKey:
     sql: str
-    catalog_version: int
+    #: the catalog's *DDL* version (relation set), not its full version:
+    #: data changes are validated per referenced table instead (see
+    #: :attr:`CachedPlan.table_versions`), so an INSERT into one table
+    #: no longer invalidates plans over unrelated tables
+    ddl_version: int
     param_types: Tuple
     scope: str = ""
     #: execution-relevant configuration baked into the compiled plan:
@@ -109,6 +118,11 @@ class CachedPlan:
     physical: object  # plan.PhysicalNode
     param_cells: Dict[str, object] = field(default_factory=dict)
     node_count: int = 0
+    #: (table name, catalog table version) for every base table the plan
+    #: reads — including the bases of any materialized view it answers
+    #: from — captured at compile time; a lookup revalidates these so
+    #: data changes invalidate exactly the plans that read them
+    table_versions: Tuple[Tuple[str, int], ...] = ()
 
     def bind(self, params: Dict[str, object]) -> None:
         """Write fresh parameter values into the plan's cells before an
@@ -122,6 +136,24 @@ class CachedPlan:
 def count_nodes(plan) -> int:
     """Plan size (physical operators), used to model compile cost."""
     return 1 + sum(count_nodes(child) for child in plan.children())
+
+
+def referenced_tables(logical) -> Tuple[str, ...]:
+    """Sorted lowercase names of every base table a logical plan reads.
+    A ViewScan contributes its view's base tables: the stored view state
+    tracks those tables, so the plan is stale exactly when they move."""
+    from ..plan.logical import ScanNode, ViewScanNode
+
+    names = set()
+    stack = [logical]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ScanNode):
+            names.add(node.table.name.lower())
+        elif isinstance(node, ViewScanNode):
+            names.update(node.view.base_tables)
+        stack.extend(node.children())
+    return tuple(sorted(names))
 
 
 class PlanCache:
@@ -144,10 +176,25 @@ class PlanCache:
         with self._lock:
             return len(self._entries)
 
-    def lookup(self, key: PlanCacheKey) -> Optional[CachedPlan]:
+    def lookup(
+        self, key: PlanCacheKey, table_version_of=None
+    ) -> Optional[CachedPlan]:
+        """Find a live entry. ``table_version_of`` (a ``name -> version``
+        callable, normally ``catalog.table_version``) revalidates the
+        entry's recorded base-table versions: a mismatch means the data
+        under the plan moved, so the entry is dropped and the lookup
+        misses — plans over untouched tables keep hitting."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
+                self.misses += 1
+                return None
+            if table_version_of is not None and any(
+                table_version_of(name) != version
+                for name, version in getattr(entry, "table_versions", ())
+            ):
+                del self._entries[key]
+                self.invalidated += 1
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -167,15 +214,15 @@ class PlanCache:
         current_version: int,
         feedback_version: Optional[int] = None,
     ) -> int:
-        """Drop entries compiled against an older catalog version (or,
-        when ``feedback_version`` is given, older feedback statistics);
-        they can never hit again (the key embeds both versions), so
-        this only frees memory. Returns the number dropped."""
+        """Drop entries compiled against an older DDL version (or, when
+        ``feedback_version`` is given, older feedback statistics); they
+        can never hit again (the key embeds both versions), so this only
+        frees memory. Returns the number dropped."""
         with self._lock:
             stale = [
                 key
                 for key in self._entries
-                if key.catalog_version != current_version
+                if key.ddl_version != current_version
                 or (
                     feedback_version is not None
                     and key.feedback_version != feedback_version

@@ -41,6 +41,7 @@ from .plan_cache import (
     count_nodes,
     normalize_sql,
     param_signature,
+    referenced_tables,
 )
 from .scheduler import SlotScheduler, Ticket
 from .session import Session
@@ -340,7 +341,7 @@ class QueryService:
         }
         key = PlanCacheKey(
             sql=normalize_sql(sql),
-            catalog_version=self.db.catalog.version,
+            ddl_version=self.db.catalog.ddl_version,
             param_types=param_signature(converted),
             scope=session.plan_scope,
             exec_fingerprint=(
@@ -351,7 +352,9 @@ class QueryService:
             feedback_version=self.db.feedback.version,
         )
         if self.config.plan_cache_enabled:
-            cached = self.plan_cache.lookup(key)
+            cached = self.plan_cache.lookup(
+                key, table_version_of=self.db.catalog.table_version
+            )
             if cached is not None:
                 cached.bind(converted)
                 return cached, True, 0.0
@@ -365,6 +368,10 @@ class QueryService:
             physical=physical,
             param_cells=cells,
             node_count=count_nodes(physical),
+            table_versions=tuple(
+                (name, self.db.catalog.table_version(name))
+                for name in referenced_tables(logical)
+            ),
         )
         compile_seconds = (
             self.config.compile_cost_s
@@ -372,7 +379,7 @@ class QueryService:
         )
         if self.config.plan_cache_enabled:
             self.plan_cache.purge_stale(
-                self.db.catalog.version,
+                self.db.catalog.ddl_version,
                 feedback_version=self.db.feedback.version,
             )
             self.plan_cache.store(key, plan)
@@ -576,6 +583,7 @@ class QueryService:
             snapshot["scheduler"] = self.scheduler.stats()
             snapshot["breaker"] = self.breaker.stats()
             snapshot["storage"] = self.db.storage.stats()
+            snapshot["views"] = self.db.views.stats()
             if self.db.durability is not None:
                 snapshot["durability"] = self.db.durability.stats()
             snapshot["active_sessions"] = sorted(self._sessions)

@@ -70,9 +70,26 @@ class SessionCatalog:
     def has_relation(self, name: str) -> bool:
         return name.lower() in self._temp_views or self._shared.has_relation(name)
 
+    def materialized_view(self, name: str):
+        # a session temp view shadows a shared materialized view of the
+        # same name, exactly as it shadows plain views and tables
+        if name.lower() in self._temp_views:
+            return None
+        return self._shared.materialized_view(name)
+
+    def materialized_views(self):
+        return self._shared.materialized_views()
+
+    def table_version(self, name: str) -> int:
+        return self._shared.table_version(name)
+
     @property
     def version(self) -> int:
         return self._shared.version
+
+    @property
+    def ddl_version(self) -> int:
+        return self._shared.ddl_version
 
     def temp_view_names(self) -> List[str]:
         return sorted(self._temp_views)

@@ -222,6 +222,29 @@ class CreateView(Statement):
 
 
 @dataclass
+class CreateMaterializedView(Statement):
+    """``CREATE MATERIALIZED VIEW name [(cols)] AS SELECT ...``."""
+
+    name: str
+    query: SelectStatement
+    column_names: Optional[List[str]] = None
+
+
+@dataclass
+class RefreshMaterializedView(Statement):
+    """``REFRESH MATERIALIZED VIEW name`` — rebuild stored state from
+    the base tables (how a deferred-mode view becomes fresh again)."""
+
+    name: str
+
+
+@dataclass
+class DropMaterializedView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
 class InsertValues(Statement):
     table: str
     rows: List[List[Expression]]

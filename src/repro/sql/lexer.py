@@ -46,6 +46,8 @@ KEYWORDS = {
     "UNION",
     "ALL",
     "DELETE",
+    "MATERIALIZED",
+    "REFRESH",
 }
 
 #: Multi-character operators, checked before single characters.

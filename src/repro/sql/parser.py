@@ -95,6 +95,8 @@ class Parser:
             return self._parse_delete()
         if token.matches("KEYWORD", "DROP"):
             return self._parse_drop()
+        if token.matches("KEYWORD", "REFRESH"):
+            return self._parse_refresh()
         raise self._error(f"unexpected {token.text!r}; expected a statement")
 
     def _parse_select_or_union(self) -> ast.Statement:
@@ -123,6 +125,12 @@ class Parser:
             return self._parse_create_view(temporary=True)
         if self._accept("KEYWORD", "VIEW"):
             return self._parse_create_view()
+        if self._accept("KEYWORD", "MATERIALIZED"):
+            self._expect("KEYWORD", "VIEW")
+            plain = self._parse_create_view()
+            return ast.CreateMaterializedView(
+                plain.name, plain.query, plain.column_names
+            )
         self._expect("KEYWORD", "TABLE")
         name = self._expect("IDENT").text
         if self._accept("KEYWORD", "AS"):
@@ -198,14 +206,28 @@ class Parser:
 
     def _parse_drop(self) -> ast.Statement:
         self._expect("KEYWORD", "DROP")
-        is_view = bool(self._accept("KEYWORD", "VIEW"))
-        if not is_view:
-            self._expect("KEYWORD", "TABLE")
+        is_matview = False
+        if self._accept("KEYWORD", "MATERIALIZED"):
+            self._expect("KEYWORD", "VIEW")
+            is_matview = True
+            is_view = False
+        else:
+            is_view = bool(self._accept("KEYWORD", "VIEW"))
+            if not is_view:
+                self._expect("KEYWORD", "TABLE")
         if_exists = self._accept_keyword("IF", "EXISTS")
         name = self._expect("IDENT").text
+        if is_matview:
+            return ast.DropMaterializedView(name, if_exists)
         if is_view:
             return ast.DropView(name, if_exists)
         return ast.DropTable(name, if_exists)
+
+    def _parse_refresh(self) -> ast.RefreshMaterializedView:
+        self._expect("KEYWORD", "REFRESH")
+        self._expect("KEYWORD", "MATERIALIZED")
+        self._expect("KEYWORD", "VIEW")
+        return ast.RefreshMaterializedView(self._expect("IDENT").text)
 
     # -- SELECT --------------------------------------------------------------
 

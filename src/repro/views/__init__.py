@@ -1,0 +1,28 @@
+"""Materialized views with incremental delta maintenance.
+
+The paper's headline workloads — Gram matrices, covariance, normal
+equations — are semiring aggregates: they fold through ``create``/
+``add``/``merge`` exactly like the engine's distributed partial
+aggregation, which means an append of *k* rows can be folded into stored
+per-slot accumulator states in O(k), without rescanning the table
+(Shaikhha et al., "Semi-Ring Dictionaries"; ``append_stats`` proves the
+same pattern for statistics).
+
+Three pieces:
+
+* :class:`MaterializedView` — one view's definition, classification
+  (incremental vs full), and stored state;
+* :class:`ViewRegistry` — the database-level subsystem: creates and
+  drops views, reacts to base-table changes (delta fold or tracked full
+  refresh, eager or deferred per ``ClusterConfig.view_refresh_mode``),
+  and keeps the cumulative counters served by
+  ``QueryService.stats()["views"]``;
+* :class:`ViewMatcher` — the optimizer hook that rewrites matching
+  aggregate subtrees into ``ViewScan`` nodes (see docs/VIEWS.md).
+"""
+
+from .definition import MaterializedView
+from .matcher import ViewMatcher
+from .registry import ViewRegistry
+
+__all__ = ["MaterializedView", "ViewMatcher", "ViewRegistry"]

@@ -1,0 +1,219 @@
+"""The database-level materialized-view subsystem.
+
+One :class:`ViewRegistry` per :class:`repro.Database`. It owns the
+lifecycle (``CREATE``/``REFRESH``/``DROP MATERIALIZED VIEW``), reacts to
+base-table changes from the DML paths, and keeps the cumulative counters
+that ``QueryService.stats()["views"]`` serves.
+
+Refresh-mode semantics (``ClusterConfig.view_refresh_mode``):
+
+* ``"eager"`` (default) — incremental views fold the appended suffix at
+  write time (O(delta), under the writer's exclusive admission); full
+  views recompute immediately on any base-table change. Every view is
+  always fresh.
+* ``"deferred"`` — writes only invalidate: incremental views catch up
+  lazily at the next read (the fold moves from the write path to the
+  first read), full views go stale and are skipped by the optimizer
+  until an explicit ``REFRESH MATERIALIZED VIEW``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..errors import CatalogError, CompileError
+from .definition import MaterializedView
+
+
+class ViewRegistry:
+    """Creates, maintains, refreshes, and drops materialized views."""
+
+    def __init__(self, db):
+        self._db = db
+        # reentrancy guard: a full refresh runs the view's own SELECT,
+        # whose planning must not be answered from the view being
+        # refreshed (or trigger further maintenance)
+        self._refreshing = False
+        #: per-statement maintenance summary, stashed by the DML hooks
+        #: and picked up into that statement's QueryMetrics
+        self.last_maintenance: Dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def refresh_mode(self) -> str:
+        return self._db.config.view_refresh_mode
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self, name: str, query, column_names=None) -> MaterializedView:
+        """Bind, classify, register, and initially populate a view."""
+        from ..plan.binder import Binder
+
+        db = self._db
+        # bind with no parameters: a materialized view's state cannot
+        # depend on per-query parameter values
+        binder = Binder(db.catalog)
+        try:
+            plan = binder.bind_select(query)
+        except CompileError as exc:
+            if "parameter" in str(exc):
+                raise CompileError(
+                    f"materialized view {name!r}: parameters are not "
+                    f"allowed in the defining query"
+                ) from exc
+            raise
+        view = MaterializedView(
+            name, query, column_names, plan, db.config.slots
+        )
+        db.catalog.create_materialized_view(view)
+        try:
+            if view.incremental:
+                view.fold_new_rows()
+                # the initial build is neither a refresh nor maintenance
+                view.refresh_count = 0
+                view.maintain_count = 0
+                view.delta_rows = 0
+            else:
+                self._recompute(view)
+                view.refresh_count = 0
+        except Exception:
+            db.catalog.drop_materialized_view(name)
+            raise
+        return view
+
+    def restore(
+        self,
+        name: str,
+        query,
+        column_names=None,
+        rows=None,
+        stale: bool = False,
+    ) -> MaterializedView:
+        """Recreate a view from a snapshot payload. An incremental view
+        re-folds from the restored partitions (bit-identical — the
+        partitions land verbatim, so per-slot fold order reproduces); a
+        full view gets its saved ``rows`` (and staleness) back verbatim
+        instead of recomputing — a stale deferred view must stay stale."""
+        from ..plan.binder import Binder
+
+        db = self._db
+        plan = Binder(db.catalog).bind_select(query)
+        view = MaterializedView(
+            name, query, column_names, plan, db.config.slots
+        )
+        db.catalog.create_materialized_view(view)
+        try:
+            if view.incremental:
+                view.fold_new_rows()
+                view.refresh_count = 0
+                view.maintain_count = 0
+                view.delta_rows = 0
+            elif rows is not None:
+                view.rows = [tuple(row) for row in rows]
+                view.stale = stale
+            else:  # defensive: a payload without rows recomputes
+                self._recompute(view)
+                view.refresh_count = 0
+        except Exception:
+            db.catalog.drop_materialized_view(name)
+            raise
+        return view
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        self._db.catalog.drop_materialized_view(name, if_exists=if_exists)
+
+    def refresh(self, name: str) -> MaterializedView:
+        """REFRESH MATERIALIZED VIEW: rebuild from the base tables —
+        a from-scratch re-fold for incremental views, a recompute for
+        full views (also how a stale deferred view becomes fresh)."""
+        view = self._db.catalog.materialized_view(name)
+        if view is None:
+            raise CatalogError(f"no materialized view named {name!r}")
+        if view.incremental:
+            view.refold()
+        else:
+            self._recompute(view)
+        return view
+
+    # -- base-table change hooks ----------------------------------------------
+
+    def on_table_appended(self, table: str) -> None:
+        """Rows were appended to ``table`` (INSERT/CTAS/load): the
+        O(delta) path for incremental views."""
+        self._on_change(table, append_only=True)
+
+    def on_table_changed(self, table: str) -> None:
+        """``table`` changed non-incrementally (DELETE/truncate)."""
+        self._on_change(table, append_only=False)
+
+    def _on_change(self, table: str, append_only: bool) -> None:
+        with self._lock:
+            if self._refreshing:
+                return
+            summary = {"maintained": 0, "delta_rows": 0, "refreshes": 0}
+            key = table.lower()
+            eager = self.refresh_mode == "eager"
+            for view in self._db.catalog.materialized_views():
+                if key not in view.base_tables:
+                    continue
+                if view.incremental:
+                    if append_only:
+                        if eager:
+                            summary["delta_rows"] += view.fold_new_rows()
+                            summary["maintained"] += 1
+                        # deferred: the read-side catch_up folds later
+                    else:
+                        if eager:
+                            view.refold()
+                            summary["refreshes"] += 1
+                        else:
+                            view.mark_dirty()
+                else:
+                    if eager:
+                        self._recompute(view)
+                        summary["refreshes"] += 1
+                    else:
+                        view.stale = True
+            self.last_maintenance = summary
+            self._db.catalog.bump_version()
+
+    # -- full recompute -------------------------------------------------------
+
+    def _recompute(self, view: MaterializedView) -> None:
+        """Re-run a full view's defining query (with view matching
+        disabled, so a view never answers its own refresh) and install
+        the result rows."""
+        with self._lock:
+            previous = self._refreshing
+            self._refreshing = True
+            try:
+                result = self._db._run_select(
+                    view.query, params=None, use_views=False
+                )
+            finally:
+                self._refreshing = previous
+            view.set_rows(result.rows)
+
+    # -- introspection --------------------------------------------------------
+
+    def take_last_maintenance(self) -> Dict[str, int]:
+        """The maintenance summary of the most recent DML statement
+        (consumed by the statement's Result metrics)."""
+        with self._lock:
+            summary = self.last_maintenance
+            self.last_maintenance = {}
+            return summary
+
+    def stats(self) -> Dict[str, object]:
+        views = self._db.catalog.materialized_views()
+        per_view = {view.name: view.stats() for view in views}
+        return {
+            "count": len(views),
+            "refresh_mode": self.refresh_mode,
+            "hits": sum(view.hits for view in views),
+            "maintenance_runs": sum(view.maintain_count for view in views),
+            "delta_rows": sum(view.delta_rows for view in views),
+            "refreshes": sum(view.refresh_count for view in views),
+            "views": per_view,
+        }
